@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: the full trigger/action design space of Section 3.1.
+ * Sweeps trigger level {l0, l1, l2} x action {squash, throttle,
+ * both} over a representative benchmark subset and reports the
+ * IPC/AVF/MITF frontier — including the fetch-throttling action the
+ * paper studied but did not report numbers for ("we did not observe
+ * significant reduction in AVF beyond what instruction squashing
+ * already provides").
+ *
+ * Usage: ablation_triggers [insts=N] [benchmarks=a,b,c]
+ */
+
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "sim/config.hh"
+#include "workloads/profile.hh"
+#include "workloads/suite.hh"
+
+using namespace ser;
+using harness::Table;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    std::uint64_t insts = config.getUint("insts", 120000);
+    std::vector<std::string> benchmarks = {"mcf",    "ammp",
+                                           "gzip",   "equake",
+                                           "vortex", "facerec"};
+    if (config.has("benchmarks")) {
+        benchmarks.clear();
+        std::istringstream is(config.getString("benchmarks", ""));
+        std::string item;
+        while (std::getline(is, item, ','))
+            benchmarks.push_back(item);
+    }
+
+    struct Point
+    {
+        const char *trigger;
+        const char *action;
+    };
+    const Point points[] = {
+        {"none", "squash"}, {"l0", "squash"},   {"l1", "squash"},
+        {"l2", "squash"},   {"l0", "throttle"}, {"l1", "throttle"},
+        {"l0", "both"},     {"l1", "both"},
+    };
+
+    // Build each program once.
+    std::vector<isa::Program> programs;
+    for (const auto &name : benchmarks)
+        programs.push_back(workloads::buildBenchmark(name, insts));
+
+    Table table({"trigger", "action", "IPC", "SDC AVF", "DUE AVF",
+                 "SDC MITF", "DUE MITF"});
+    double base_ipc = 0, base_sdc = 0, base_due = 0;
+    for (const auto &pt : points) {
+        double ipc = 0, sdc = 0, due = 0;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            harness::ExperimentConfig cfg;
+            cfg.dynamicTarget = insts;
+            cfg.warmupInsts = insts / 10;
+            cfg.triggerLevel = pt.trigger;
+            cfg.triggerAction = pt.action;
+            auto r = harness::runProgram(programs[i], cfg,
+                                         benchmarks[i]);
+            ipc += r.ipc;
+            sdc += r.avf.sdcAvf();
+            due += r.avf.dueAvf();
+        }
+        double n = static_cast<double>(programs.size());
+        ipc /= n;
+        sdc /= n;
+        due /= n;
+        if (std::string(pt.trigger) == "none") {
+            base_ipc = ipc;
+            base_sdc = sdc;
+            base_due = due;
+        }
+        table.addRow(
+            {pt.trigger, pt.action, Table::fmt(ipc),
+             Table::pct(sdc), Table::pct(due),
+             Table::fmt((ipc / sdc) / (base_ipc / base_sdc)) + "x",
+             Table::fmt((ipc / due) / (base_ipc / base_due)) +
+                 "x"});
+    }
+
+    harness::printHeading(
+        std::cout,
+        "trigger/action ablation (avg over " +
+            std::to_string(benchmarks.size()) + " benchmarks, " +
+            std::to_string(insts) + " insts)");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Simulator performance microbenchmarks (google-benchmark): how fast
+ * the substrates themselves run — cache lookups, predictor lookups,
+ * the assembler, the functional executor, the timing pipeline, and
+ * the post-run analyses. Useful for keeping the simulator fast
+ * enough for full-suite sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "branch/predictor.hh"
+#include "cpu/pipeline.hh"
+#include "isa/assembler.hh"
+#include "isa/executor.hh"
+#include "memory/hierarchy.hh"
+#include "sim/rng.hh"
+#include "workloads/suite.hh"
+
+using namespace ser;
+
+namespace
+{
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    memory::CacheHierarchy h;
+    Rng rng(1);
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        std::uint64_t addr = rng.range(1 << 22) & ~7ULL;
+        benchmark::DoNotOptimize(h.access(addr, cycle));
+        cycle += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    branch::GsharePredictor pred(16384, 12);
+    Rng rng(2);
+    for (auto _ : state) {
+        std::uint64_t pc = rng.range(4096);
+        auto l = pred.predict(pc);
+        pred.update(pc, l.taken, l);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GsharePredict);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    std::string src = workloads::benchmarkSource(
+        workloads::findProfile("gzip"), 100000);
+    for (auto _ : state) {
+        auto result = isa::assemble(src);
+        benchmark::DoNotOptimize(result.ok());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * src.size()));
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_FunctionalExecutor(benchmark::State &state)
+{
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    for (auto _ : state) {
+        isa::Executor ex(program);
+        ex.run(50000);
+        benchmark::DoNotOptimize(ex.steps());
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_FunctionalExecutor);
+
+void
+BM_TimingPipeline(benchmark::State &state)
+{
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    for (auto _ : state) {
+        cpu::PipelineParams params;
+        params.maxInsts = 20000;
+        cpu::InOrderPipeline pipe(program, params);
+        auto trace = pipe.run();
+        benchmark::DoNotOptimize(trace.commits.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingPipeline);
+
+void
+BM_DeadnessAnalysis(benchmark::State &state)
+{
+    static isa::Program program =
+        workloads::buildBenchmark("vortex", 200000);
+    static cpu::SimTrace trace = [] {
+        cpu::PipelineParams params;
+        params.maxInsts = 400000;
+        cpu::InOrderPipeline pipe(program, params);
+        auto t = pipe.run();
+        t.program = &program;
+        return t;
+    }();
+    for (auto _ : state) {
+        auto dead = avf::analyzeDeadness(trace);
+        benchmark::DoNotOptimize(dead.numDead());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.commits.size());
+}
+BENCHMARK(BM_DeadnessAnalysis);
+
+void
+BM_AvfFold(benchmark::State &state)
+{
+    static isa::Program program =
+        workloads::buildBenchmark("vortex", 200000);
+    static cpu::SimTrace trace = [] {
+        cpu::PipelineParams params;
+        params.maxInsts = 400000;
+        cpu::InOrderPipeline pipe(program, params);
+        auto t = pipe.run();
+        t.program = &program;
+        return t;
+    }();
+    static avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+    for (auto _ : state) {
+        auto avf = avf::computeAvf(trace, dead);
+        benchmark::DoNotOptimize(avf.sdcAvf());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.incarnations.size());
+}
+BENCHMARK(BM_AvfFold);
+
+} // namespace
+
+BENCHMARK_MAIN();

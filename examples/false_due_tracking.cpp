@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A didactic walk through the pi-bit machinery of Section 4: takes
+ * a small hand-written program, pretends the instruction queue
+ * detected a parity error on each instruction in turn, and shows
+ * where every tracking level finally signals the error — or proves
+ * it false and suppresses it.
+ *
+ * Usage: false_due_tracking
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "avf/deadness.hh"
+#include "core/pi_machine.hh"
+#include "cpu/pipeline.hh"
+#include "harness/reporting.hh"
+#include "isa/assembler.hh"
+
+using namespace ser;
+using core::PiMachine;
+using core::TrackingLevel;
+
+int
+main()
+{
+    // A little program with one of everything the paper's taxonomy
+    // cares about: live work, a no-op and a prefetch (neutral), a
+    // nullified instruction, an overwritten-unread def (FDD), a
+    // dead chain (TDD), and dead stores.
+    const char *src = R"(
+        .entry main
+        main:
+            movi r5 = 0x4000
+            movi r2 = 6
+            movi r3 = 7
+            mul r4 = r2, r3       // live: reaches the out
+            nop                   // neutral
+            prefetch [r5, 64]     // neutral
+            cmpieq p2 = r4, 0
+            (p2) addi r4 = r4, 1  // predicated false
+            movi r8 = 111         // FDD: overwritten unread
+            movi r8 = 222
+            addi r9 = r8, 1       // TDD: read only by a dead def
+            movi r9 = 0
+            st8 [r5, 0] = r4      // live store: loaded below
+            ld8 r10 = [r5, 0]
+            st8 [r5, 8] = r2      // dead store: overwritten unread
+            st8 [r5, 8] = r10
+            out r4
+            out r10
+            halt
+    )";
+    isa::Program program = isa::assembleOrDie(src);
+
+    cpu::PipelineParams params;
+    params.maxInsts = 1000;
+    cpu::InOrderPipeline pipe(program, params);
+    cpu::SimTrace trace = pipe.run();
+    trace.program = &program;
+    avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+
+    const TrackingLevel levels[] = {
+        TrackingLevel::None,          TrackingLevel::PiToCommit,
+        TrackingLevel::AntiPi,        TrackingLevel::PetBuffer,
+        TrackingLevel::PiRegFile,     TrackingLevel::PiStoreBuffer,
+        TrackingLevel::PiMemory,
+    };
+
+    harness::printHeading(
+        std::cout,
+        "where each tracking level signals a detected error");
+    std::cout << std::left << std::setw(34) << "instruction"
+              << std::setw(10) << "deadness";
+    for (auto l : levels)
+        std::cout << std::setw(18) << core::trackingLevelName(l);
+    std::cout << "\n" << std::string(34 + 10 + 18 * 7, '-') << "\n";
+
+    for (std::uint64_t i = 0; i < trace.commits.size(); ++i) {
+        const auto &cr = trace.commits[i];
+        const isa::StaticInst &inst = program.inst(cr.staticIdx);
+        std::string text = inst.toString();
+        if (!cr.qpTrue)
+            text += " [nullified]";
+        std::cout << std::setw(34) << text.substr(0, 33)
+                  << std::setw(10)
+                  << avf::deadKindName(dead.kind[i]);
+        for (auto l : levels) {
+            PiMachine machine(trace, l);
+            auto out = machine.run(i);
+            std::cout << std::setw(18)
+                      << (out.signalled
+                              ? core::piSignalPointName(out.point)
+                              : "(suppressed)");
+        }
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "\nreading guide: plain parity signals everything at "
+           "detection; pi-to-commit clears nullified instructions; "
+           "the anti-pi bit clears no-ops and prefetches; the PET "
+           "buffer and the pi-bit levels progressively prove the "
+           "dead defs false, until pi-on-memory signals only what "
+           "truly reaches the program output (Section 4.3).\n";
+    return 0;
+}

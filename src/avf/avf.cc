@@ -1,0 +1,216 @@
+#include "avf.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/encoding.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace avf
+{
+
+const char *
+unAceSourceName(UnAceSource src)
+{
+    switch (src) {
+      case UnAceSource::WrongPath: return "wrong_path";
+      case UnAceSource::PredFalse: return "pred_false";
+      case UnAceSource::Neutral: return "neutral";
+      case UnAceSource::FddReg: return "fdd_reg";
+      case UnAceSource::TddReg: return "tdd_reg";
+      case UnAceSource::FddMem: return "fdd_mem";
+      case UnAceSource::TddMem: return "tdd_mem";
+      case UnAceSource::NumSources: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+AvfResult::unAceReadTotal() const
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < numUnAceSources; ++i)
+        total += unAceRead[i];
+    return total;
+}
+
+double
+AvfResult::unreadUnAceFraction() const
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < numUnAceSources; ++i)
+        total += unAceUnread[i];
+    return frac(total);
+}
+
+std::string
+AvfResult::summary() const
+{
+    std::ostringstream os;
+    os << "window cycles      " << windowCycles << "\n";
+    os << "idle               " << idleFraction() * 100 << "%\n";
+    os << "ex-ACE             " << exAceFraction() * 100 << "%\n";
+    os << "ACE (SDC AVF)      " << sdcAvf() * 100 << "%\n";
+    os << "  field-refined    " << sdcAvfRefined() * 100 << "%\n";
+    os << "valid un-ACE       " << validUnAceFraction() * 100
+       << "%\n";
+    os << "DUE AVF            " << dueAvf() * 100 << "%\n";
+    os << "  true DUE AVF     " << trueDueAvf() * 100 << "%\n";
+    os << "  false DUE AVF    " << falseDueAvf() * 100 << "%\n";
+    for (int i = 0; i < numUnAceSources; ++i) {
+        os << "    " << unAceSourceName(static_cast<UnAceSource>(i))
+           << " " << frac(unAceRead[i]) * 100 << "%\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+constexpr std::uint64_t payloadBits = isa::encoding::payloadBits;
+
+/** Clip [lo, hi) to the window; returns the clipped length. */
+std::uint64_t
+clip(std::uint64_t lo, std::uint64_t hi, std::uint64_t wlo,
+     std::uint64_t whi)
+{
+    lo = std::max(lo, wlo);
+    hi = std::min(hi, whi);
+    return hi > lo ? hi - lo : 0;
+}
+
+} // namespace
+
+AvfResult
+computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness)
+{
+    AvfResult r;
+    const std::uint64_t wlo = trace.startCycle;
+    const std::uint64_t whi = trace.endCycle;
+    r.windowCycles = whi - wlo;
+    r.totalBitCycles =
+        static_cast<std::uint64_t>(trace.iqEntries) * payloadBits *
+        r.windowCycles;
+
+    using namespace isa::encoding;
+
+    std::uint64_t occupied = 0;
+
+    for (const auto &inc : trace.incarnations) {
+        const std::uint64_t enq = inc.enqueueCycle;
+        const std::uint64_t evict = inc.evictCycle;
+        const bool issued = inc.issueCycle != cpu::noCycle32;
+
+        if (!issued) {
+            // Squashed before any read: a strike here is wiped by
+            // the refetch — fully un-ACE and undetectable.
+            std::uint64_t cyc = clip(enq, evict, wlo, whi);
+            r.squashedUnread += cyc * payloadBits;
+            occupied += cyc * payloadBits;
+            continue;
+        }
+
+        const std::uint64_t issue = inc.issueCycle;
+        std::uint64_t pre = clip(enq, issue, wlo, whi);
+        std::uint64_t post = clip(issue, evict, wlo, whi);
+        occupied += (pre + post) * payloadBits;
+        r.exAce += post * payloadBits;
+        if (pre == 0)
+            continue;
+
+        // Classify the pre-read residency per field.
+        if (inc.flags & cpu::incWrongPath) {
+            r.unAceRead[static_cast<int>(UnAceSource::WrongPath)] +=
+                pre * payloadBits;
+            continue;
+        }
+
+        const isa::StaticInst &inst =
+            trace.program->inst(inc.staticIdx);
+        const isa::OpInfo &oi = inst.info();
+
+        if (oi.isNeutral) {
+            // Only the opcode bits could turn this into something
+            // that matters.
+            r.ace += pre * opcodeBits;
+            r.aceRefined += pre * opcodeBits;
+            r.unAceRead[static_cast<int>(UnAceSource::Neutral)] +=
+                pre * (payloadBits - opcodeBits);
+            continue;
+        }
+        if (inc.flags & cpu::incPredFalse) {
+            // Only the qualifying-predicate bits could un-nullify it.
+            r.ace += pre * qpBits;
+            r.aceRefined += pre * qpBits;
+            r.unAceRead[static_cast<int>(UnAceSource::PredFalse)] +=
+                pre * (payloadBits - qpBits);
+            continue;
+        }
+
+        DeadKind kind = DeadKind::Live;
+        std::uint32_t overwrite_dist = noOverwrite;
+        if (inc.oracleSeq != cpu::noSeq32 &&
+            inc.oracleSeq < deadness.kind.size()) {
+            kind = deadness.kind[inc.oracleSeq];
+            overwrite_dist = deadness.overwriteDist[inc.oracleSeq];
+        }
+
+        switch (kind) {
+          case DeadKind::Live: {
+            r.ace += pre * payloadBits;
+            // Refined estimate: only the fields this opcode uses.
+            const isa::OpInfo &info = oi;
+            std::uint64_t used = qpBits + opcodeBits;
+            if (info.dstClass != isa::RegClass::None)
+                used += dstBits;
+            if (info.src1Class != isa::RegClass::None)
+                used += src1Bits;
+            if (info.src2Class != isa::RegClass::None)
+                used += src2Bits;
+            if (info.usesImm)
+                used += immBits;
+            r.aceRefined += pre * used;
+            break;
+          }
+          case DeadKind::FddReg:
+          case DeadKind::TddReg: {
+            // Destination-specifier bits stay ACE (a strike there
+            // redirects the dead result onto a live register).
+            std::uint64_t un = pre * (payloadBits - dstBits);
+            r.ace += pre * dstBits;
+            r.aceRefined += pre * dstBits;
+            auto src = kind == DeadKind::FddReg ? UnAceSource::FddReg
+                                                : UnAceSource::TddReg;
+            r.unAceRead[static_cast<int>(src)] += un;
+            if (kind == DeadKind::FddReg)
+                r.fddRegExposures.push_back({un, overwrite_dist});
+            break;
+          }
+          case DeadKind::FddMem:
+          case DeadKind::TddMem: {
+            // Address bits (base specifier + offset) stay ACE (a
+            // strike there redirects the dead store onto live
+            // memory).
+            std::uint64_t ace_bits = src1Bits + immBits;
+            std::uint64_t un = pre * (payloadBits - ace_bits);
+            r.ace += pre * ace_bits;
+            r.aceRefined += pre * ace_bits;
+            auto src = kind == DeadKind::FddMem ? UnAceSource::FddMem
+                                                : UnAceSource::TddMem;
+            r.unAceRead[static_cast<int>(src)] += un;
+            break;
+          }
+        }
+    }
+
+    if (occupied > r.totalBitCycles)
+        SER_PANIC("avf: occupied bit-cycles {} exceed total {}",
+                  occupied, r.totalBitCycles);
+    r.idle = r.totalBitCycles - occupied;
+    return r;
+}
+
+} // namespace avf
+} // namespace ser

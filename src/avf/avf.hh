@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-bit AVF accounting for the instruction queue (paper Section 2).
+ *
+ * Folds the per-incarnation queue residencies recorded by the timing
+ * model together with the deadness classification into bit-cycle
+ * counts per ACE class, and derives from them:
+ *
+ *  - SDC AVF of the unprotected queue (= ACE bit-cycles / total);
+ *  - DUE AVF of a parity-protected queue that signals on detection
+ *    (= true DUE + false DUE, where true DUE equals the unprotected
+ *    SDC AVF and false DUE comes from un-ACE bits that get read);
+ *  - the un-ACE breakdown by source (wrong-path, predicated-false,
+ *    neutral, FDD/TDD via registers/memory) that drives the paper's
+ *    Figure 2 coverage analysis.
+ *
+ * Field-sensitive rules (Section 4.1, plus refinements documented in
+ * DESIGN.md):
+ *  - dynamically dead register defs: destination-specifier bits are
+ *    ACE, everything else un-ACE;
+ *  - dynamically dead stores: address bits (base register specifier
+ *    and immediate offset) are ACE, everything else un-ACE;
+ *  - neutral instructions: opcode bits ACE, everything else un-ACE;
+ *  - predicated-false instructions: qualifying-predicate bits ACE,
+ *    everything else un-ACE;
+ *  - wrong-path instructions: fully un-ACE;
+ *  - residencies that are squashed before ever being read are fully
+ *    un-ACE and undetectable (the refetch wipes any strike);
+ *  - post-last-read residency is Ex-ACE: never read again, so it
+ *    contributes to neither SDC nor DUE (except in the
+ *    decode-at-retire ablation, where it becomes readable).
+ */
+
+#ifndef SER_AVF_AVF_HH
+#define SER_AVF_AVF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "avf/deadness.hh"
+#include "cpu/trace.hh"
+
+namespace ser
+{
+namespace avf
+{
+
+/** The un-ACE sources the paper's tracking mechanisms cover. */
+enum class UnAceSource : std::uint8_t
+{
+    WrongPath,
+    PredFalse,
+    Neutral,
+    FddReg,
+    TddReg,
+    FddMem,
+    TddMem,
+    NumSources
+};
+
+constexpr int numUnAceSources =
+    static_cast<int>(UnAceSource::NumSources);
+
+const char *unAceSourceName(UnAceSource src);
+
+/** One first-level-dead register def's exposure, for PET coverage. */
+struct FddExposure
+{
+    std::uint64_t bitCycles;      ///< read un-ACE bit-cycles
+    std::uint32_t overwriteDist;  ///< commits until the overwrite
+};
+
+/** Bit-cycle totals and the AVFs derived from them. */
+struct AvfResult
+{
+    // Window geometry.
+    std::uint64_t windowCycles = 0;
+    std::uint64_t totalBitCycles = 0;  ///< entries * 64 * cycles
+
+    // Occupancy classes.
+    std::uint64_t idle = 0;
+    std::uint64_t exAce = 0;
+    std::uint64_t squashedUnread = 0;  ///< squashed before any read
+    std::uint64_t ace = 0;             ///< read, affects output
+
+    /** Field-refined ACE bit-cycles: like 'ace' but counting only
+     * the encoding fields a live instruction actually uses (unused
+     * source/immediate fields cannot affect the outcome). This is a
+     * tighter SDC estimate; the headline sdcAvf() stays with the
+     * conservative whole-payload rule so that the false-DUE
+     * decomposition still covers 100% of the un-ACE bits. */
+    std::uint64_t aceRefined = 0;
+
+    /** Read (parity-detectable) un-ACE bit-cycles by source. */
+    std::uint64_t unAceRead[numUnAceSources] = {};
+    /** Never-read un-ACE bit-cycles by source (no DUE, no SDC). */
+    std::uint64_t unAceUnread[numUnAceSources] = {};
+
+    /** Exposure records of read FDD-via-register bits (PET study). */
+    std::vector<FddExposure> fddRegExposures;
+
+    // --- derived metrics ---
+    double frac(std::uint64_t x) const
+    {
+        return totalBitCycles
+                   ? static_cast<double>(x) /
+                         static_cast<double>(totalBitCycles)
+                   : 0.0;
+    }
+
+    std::uint64_t unAceReadTotal() const;
+
+    /** SDC AVF of the unprotected queue. */
+    double sdcAvf() const { return frac(ace); }
+
+    /** Field-refined SDC AVF (tighter; see aceRefined). */
+    double sdcAvfRefined() const { return frac(aceRefined); }
+
+    /** True DUE AVF of the parity-protected queue. */
+    double trueDueAvf() const { return frac(ace); }
+
+    /** False DUE AVF of the parity-protected queue. */
+    double falseDueAvf() const { return frac(unAceReadTotal()); }
+
+    /** Total DUE AVF (signal-on-detect parity). */
+    double dueAvf() const { return trueDueAvf() + falseDueAvf(); }
+
+    /** False DUE AVF if instructions were re-decoded at retire
+     * instead of carrying an anti-pi bit: Ex-ACE time becomes
+     * readable (the paper's 33% -> 41% observation). */
+    double falseDueAvfDecodeAtRetire() const
+    {
+        return frac(unAceReadTotal() + exAce);
+    }
+
+    /** Fraction of all bit-cycles that are idle (invalid entries). */
+    double idleFraction() const { return frac(idle); }
+    double exAceFraction() const { return frac(exAce); }
+
+    /** Valid-but-un-ACE fraction (the paper's "valid un-ACE"). */
+    double validUnAceFraction() const
+    {
+        return frac(unAceReadTotal()) + frac(squashedUnread) +
+               unreadUnAceFraction();
+    }
+    double unreadUnAceFraction() const;
+
+    /** Human-readable summary block. */
+    std::string summary() const;
+};
+
+/** Fold a run's trace + deadness labels into AVF accounting. */
+AvfResult computeAvf(const cpu::SimTrace &trace,
+                     const DeadnessResult &deadness);
+
+} // namespace avf
+} // namespace ser
+
+#endif // SER_AVF_AVF_HH

@@ -1,0 +1,56 @@
+#include "mitf.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace ser
+{
+namespace avf
+{
+
+double
+ErrorRateModel::neutronFluxFactor() const
+{
+    return std::exp(altitudeKm / 1.05);
+}
+
+double
+structureFit(const ErrorRateModel &model, std::uint64_t bits,
+             double avf)
+{
+    return model.rawFitPerBit() * static_cast<double>(bits) * avf;
+}
+
+double
+fitToMttfYears(double fit)
+{
+    if (fit <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1e9 / fit / hoursPerYear;
+}
+
+double
+mttfYearsToFit(double mttf_years)
+{
+    if (mttf_years <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1e9 / (mttf_years * hoursPerYear);
+}
+
+double
+mitf(double ipc, double frequency_ghz, double mttf_years)
+{
+    double mttf_seconds = mttf_years * hoursPerYear * 3600.0;
+    return ipc * frequency_ghz * 1e9 * mttf_seconds;
+}
+
+double
+mitfRatio(double ipc_a, double avf_a, double ipc_b, double avf_b)
+{
+    if (avf_b <= 0.0 || ipc_a <= 0.0 || avf_a <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (ipc_b / avf_b) / (ipc_a / avf_a);
+}
+
+} // namespace avf
+} // namespace ser

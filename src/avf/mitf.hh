@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FIT / MTTF / MITF arithmetic (paper Sections 2 and 3.2).
+ *
+ * FIT (failures in time) = failures per 10^9 device-hours; a
+ * structure's FIT contribution is (raw FIT/bit) * bits * AVF. MTTF is
+ * the reciprocal. MITF (mean instructions to failure), the paper's
+ * new metric, is
+ *
+ *     MITF = IPC * frequency * MTTF
+ *          = (frequency / raw error rate) * (IPC / AVF),
+ *
+ * so at fixed frequency and raw rate, MITF is proportional to
+ * IPC / AVF — the quantity Table 1 reports.
+ */
+
+#ifndef SER_AVF_MITF_HH
+#define SER_AVF_MITF_HH
+
+#include <cstdint>
+
+namespace ser
+{
+namespace avf
+{
+
+/** Hours in a (non-leap) year: 24 * 365. */
+constexpr double hoursPerYear = 8760.0;
+
+/** The paper's example: MTBF of one year = 114,155 FIT. */
+constexpr double fitPerYearMtbf = 1e9 / hoursPerYear;
+
+/**
+ * The raw per-bit soft error rate of the storage technology.
+ * The default value (in milliFIT per bit) is representative of the
+ * era's SRAM cells; every reported result in this repo is a ratio,
+ * so the absolute value only scales the illustrative FIT/MTTF/MITF
+ * numbers.
+ */
+struct ErrorRateModel
+{
+    /** Neutron-induced component at sea level. */
+    double rawMilliFitPerBit = 1.0;
+
+    /** Altitude in km: the paper's Section 2 notes the neutron flux
+     * at 1.5 km (Denver) is 3-5x the sea-level flux; the standard
+     * exponential atmospheric-attenuation model with a ~1.05 km
+     * scale height lands inside that band. */
+    double altitudeKm = 0.0;
+
+    /** Alpha-particle (packaging) component, unaffected by
+     * altitude, as a fraction of the sea-level neutron rate. */
+    double alphaFraction = 0.2;
+
+    /** Neutron-flux multiplier for the configured altitude. */
+    double neutronFluxFactor() const;
+
+    double rawFitPerBit() const
+    {
+        return rawMilliFitPerBit * 1e-3 *
+               (neutronFluxFactor() + alphaFraction);
+    }
+};
+
+/** FIT contribution of a structure: raw rate * bits * AVF. */
+double structureFit(const ErrorRateModel &model, std::uint64_t bits,
+                    double avf);
+
+/** MTTF in years from a FIT rate. */
+double fitToMttfYears(double fit);
+
+/** FIT rate from an MTTF in years. */
+double mttfYearsToFit(double mttf_years);
+
+/**
+ * MITF = IPC * frequency * MTTF.
+ *
+ * @param ipc committed instructions per cycle
+ * @param frequency_ghz clock frequency in GHz
+ * @param mttf_years mean time to failure in years
+ * @return mean instructions to failure
+ */
+double mitf(double ipc, double frequency_ghz, double mttf_years);
+
+/**
+ * The MITF ratio between two design points at fixed frequency and
+ * raw error rate: (ipc_b / avf_b) / (ipc_a / avf_a). Values above 1
+ * mean design b completes more work between errors.
+ */
+double mitfRatio(double ipc_a, double avf_a, double ipc_b,
+                 double avf_b);
+
+} // namespace avf
+} // namespace ser
+
+#endif // SER_AVF_MITF_HH

@@ -1,0 +1,74 @@
+#include "range_min.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace avf
+{
+
+RangeMin::RangeMin(std::vector<std::int32_t> values, std::size_t block)
+    : _values(std::move(values)), _block(block ? block : 1)
+{
+    std::size_t nblocks = (_values.size() + _block - 1) / _block;
+    if (nblocks == 0)
+        return;
+    // Level 0: per-block minima.
+    _sparse.emplace_back(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::int32_t m = _values[b * _block];
+        std::size_t end =
+            std::min(_values.size(), (b + 1) * _block);
+        for (std::size_t i = b * _block + 1; i < end; ++i)
+            m = std::min(m, _values[i]);
+        _sparse[0][b] = m;
+    }
+    // Doubling levels.
+    for (std::size_t len = 2; len <= nblocks; len *= 2) {
+        const auto &prev = _sparse.back();
+        std::vector<std::int32_t> level(nblocks - len + 1);
+        for (std::size_t b = 0; b + len <= nblocks; ++b)
+            level[b] = std::min(prev[b], prev[b + len / 2]);
+        _sparse.push_back(std::move(level));
+    }
+}
+
+std::int32_t
+RangeMin::min(std::size_t lo, std::size_t hi) const
+{
+    if (lo > hi || hi >= _values.size())
+        SER_PANIC("RangeMin: bad range [{}, {}] of {}", lo, hi,
+                  _values.size());
+    std::size_t blo = lo / _block;
+    std::size_t bhi = hi / _block;
+    if (blo == bhi) {
+        std::int32_t m = _values[lo];
+        for (std::size_t i = lo + 1; i <= hi; ++i)
+            m = std::min(m, _values[i]);
+        return m;
+    }
+    // Partial edges.
+    std::int32_t m = _values[lo];
+    for (std::size_t i = lo + 1; i < (blo + 1) * _block; ++i)
+        m = std::min(m, _values[i]);
+    for (std::size_t i = bhi * _block; i <= hi; ++i)
+        m = std::min(m, _values[i]);
+    // Full blocks (blo+1 .. bhi-1) via the sparse table.
+    if (blo + 1 <= bhi - 1 && bhi >= 1) {
+        std::size_t first = blo + 1;
+        std::size_t count = bhi - 1 - first + 1;
+        if (count > 0) {
+            unsigned level = std::bit_width(count) - 1;
+            std::size_t len = std::size_t{1} << level;
+            m = std::min(m, _sparse[level][first]);
+            m = std::min(m, _sparse[level][bhi - len]);
+        }
+    }
+    return m;
+}
+
+} // namespace avf
+} // namespace ser

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Block-based range-minimum queries over a fixed array.
+ *
+ * Used by the deadness analysis to ask "did the call depth drop below
+ * d anywhere between a register def and its overwrite" (the paper's
+ * Figure 3 return-FDD category). Block decomposition with a sparse
+ * table over block minima: O(n) memory, O(block) worst-case query.
+ */
+
+#ifndef SER_AVF_RANGE_MIN_HH
+#define SER_AVF_RANGE_MIN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ser
+{
+namespace avf
+{
+
+/** Range-minimum over an immutable i32 array. */
+class RangeMin
+{
+  public:
+    explicit RangeMin(std::vector<std::int32_t> values,
+                      std::size_t block = 256);
+
+    /** Minimum of values[lo..hi] inclusive; lo <= hi required. */
+    std::int32_t min(std::size_t lo, std::size_t hi) const;
+
+    std::size_t size() const { return _values.size(); }
+    std::int32_t at(std::size_t i) const { return _values[i]; }
+
+  private:
+    std::vector<std::int32_t> _values;
+    std::vector<std::vector<std::int32_t>> _sparse;  ///< over blocks
+    std::size_t _block;
+};
+
+} // namespace avf
+} // namespace ser
+
+#endif // SER_AVF_RANGE_MIN_HH

@@ -1,0 +1,190 @@
+#include "regfile_avf.hh"
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace avf
+{
+
+namespace
+{
+
+/** One register's open value window during the forward walk. */
+struct Window
+{
+    std::uint64_t defCycle = 0;
+    std::uint64_t lastReadCycle = 0;
+    bool open = false;
+    bool read = false;
+    bool dead = false;
+};
+
+class FileAccum
+{
+  public:
+    FileAccum(std::uint64_t regs, std::uint64_t bits)
+    {
+        result.regs = regs;
+        result.bitsPerReg = bits;
+        windows.assign(regs, Window{});
+    }
+
+    void
+    def(std::size_t reg, std::uint64_t cycle, bool dead)
+    {
+        close(reg, cycle);
+        Window &w = windows[reg];
+        w.open = true;
+        w.defCycle = cycle;
+        w.lastReadCycle = cycle;
+        w.read = false;
+        w.dead = dead;
+    }
+
+    void
+    read(std::size_t reg, std::uint64_t cycle)
+    {
+        Window &w = windows[reg];
+        if (!w.open)
+            return;  // reading architectural init state
+        w.read = true;
+        if (cycle > w.lastReadCycle)
+            w.lastReadCycle = cycle;
+    }
+
+    void
+    close(std::size_t reg, std::uint64_t cycle)
+    {
+        Window &w = windows[reg];
+        if (!w.open)
+            return;
+        std::uint64_t end = std::max(cycle, w.defCycle);
+        std::uint64_t bits = result.bitsPerReg;
+        if (w.dead || !w.read) {
+            // Dead values (or values never read before overwrite):
+            // the whole window is un-ACE — and is exactly what the
+            // pi-per-register bit proves false.
+            result.deadValue += (end - w.defCycle) * bits;
+        } else {
+            std::uint64_t last =
+                std::min(std::max(w.lastReadCycle, w.defCycle), end);
+            result.ace += (last - w.defCycle) * bits;
+            result.exAce += (end - last) * bits;
+        }
+        w.open = false;
+    }
+
+    void
+    finish(std::uint64_t end_cycle, std::uint64_t window_cycles)
+    {
+        for (std::size_t r = 0; r < windows.size(); ++r)
+            close(r, end_cycle);
+        result.totalBitCycles =
+            result.regs * result.bitsPerReg * window_cycles;
+        std::uint64_t used =
+            result.ace + result.exAce + result.deadValue;
+        result.unwritten =
+            used > result.totalBitCycles
+                ? 0
+                : result.totalBitCycles - used;
+    }
+
+    RegFileAvf result;
+
+  private:
+    std::vector<Window> windows;
+};
+
+} // namespace
+
+RegFileAvfResult
+computeRegFileAvf(const cpu::SimTrace &trace,
+                  const DeadnessResult &deadness)
+{
+    if (!trace.program)
+        SER_PANIC("computeRegFileAvf: trace has no program");
+    const isa::Program &program = *trace.program;
+
+    // Commit cycle of each oracle-order instruction, from its
+    // committed incarnation.
+    std::vector<std::uint32_t> commit_cycle(trace.commits.size(), 0);
+    for (const auto &inc : trace.incarnations) {
+        if ((inc.flags & cpu::incCommitted) &&
+            inc.oracleSeq != cpu::noSeq32 &&
+            inc.oracleSeq < commit_cycle.size())
+            commit_cycle[inc.oracleSeq] = inc.evictCycle;
+    }
+
+    FileAccum int_file(isa::numIntRegs, 64);
+    FileAccum fp_file(isa::numFpRegs, 64);
+    FileAccum pred_file(isa::numPredRegs, 1);
+
+    auto file_for = [&](isa::RegClass rc) -> FileAccum * {
+        switch (rc) {
+          case isa::RegClass::Int: return &int_file;
+          case isa::RegClass::Fp: return &fp_file;
+          case isa::RegClass::Pred: return &pred_file;
+          case isa::RegClass::None: return nullptr;
+        }
+        return nullptr;
+    };
+
+    for (std::size_t i = 0; i < trace.commits.size(); ++i) {
+        const auto &cr = trace.commits[i];
+        const isa::StaticInst &inst = program.inst(cr.staticIdx);
+        const isa::OpInfo &oi = inst.info();
+        std::uint64_t cycle = commit_cycle[i];
+
+        // Reads first (they consult the previous def).
+        if (inst.qp() != 0)
+            pred_file.read(inst.qp(), cycle);
+        if (cr.qpTrue) {
+            if (auto *f = file_for(oi.src1Class))
+                f->read(inst.src1(), cycle);
+            if (auto *f = file_for(oi.src2Class))
+                f->read(inst.src2(), cycle);
+            if (inst.hasDst()) {
+                if (auto *f = file_for(inst.dstClass())) {
+                    bool dead = deadness.isDead(i);
+                    f->def(inst.dst(), cycle, dead);
+                }
+            }
+        }
+    }
+
+    std::uint64_t window = trace.endCycle - trace.startCycle;
+    RegFileAvfResult out;
+    int_file.finish(trace.endCycle, window);
+    fp_file.finish(trace.endCycle, window);
+    pred_file.finish(trace.endCycle, window);
+    out.intFile = int_file.result;
+    out.fpFile = fp_file.result;
+    out.predFile = pred_file.result;
+    return out;
+}
+
+std::string
+RegFileAvfResult::summary() const
+{
+    std::ostringstream os;
+    auto line = [&](const char *name, const RegFileAvf &f) {
+        os << name << ": SDC AVF " << f.sdcAvf() * 100
+           << "%, ex-ACE " << f.frac(f.exAce) * 100
+           << "%, dead-value (pi-reg removable) "
+           << f.falseDueAvf() * 100 << "%, unwritten "
+           << f.frac(f.unwritten) * 100 << "%\n";
+    };
+    line("int  file", intFile);
+    line("fp   file", fpFile);
+    line("pred file", predFile);
+    return os.str();
+}
+
+} // namespace avf
+} // namespace ser

@@ -1,0 +1,44 @@
+#include "btb.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace branch
+{
+
+Btb::Btb(std::size_t entries, statistics::StatGroup *parent)
+    : StatGroup("btb", parent),
+      statLookups(this, "lookups", "target predictions requested"),
+      statHits(this, "hits", "lookups with a valid entry")
+{
+    if (entries == 0 || !std::has_single_bit(entries))
+        SER_FATAL("btb: table size {} not a power of two", entries);
+    _entries.assign(entries, Entry{});
+}
+
+std::optional<std::uint32_t>
+Btb::lookup(std::uint64_t pc)
+{
+    ++statLookups;
+    const Entry &e = _entries[index(pc)];
+    if (e.valid && e.tag == pc) {
+        ++statHits;
+        return e.target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(std::uint64_t pc, std::uint32_t target)
+{
+    Entry &e = _entries[index(pc)];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+}
+
+} // namespace branch
+} // namespace ser

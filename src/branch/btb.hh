@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Branch target buffer: predicts targets of indirect branches.
+ *
+ * Direct TIA64 branches carry their target in the immediate, so the
+ * BTB is only consulted for `bri` (indirect jumps); `ret` uses the
+ * return-address stack instead.
+ */
+
+#ifndef SER_BRANCH_BTB_HH
+#define SER_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ser
+{
+namespace branch
+{
+
+/** Direct-mapped, tagged target buffer (targets are inst indices). */
+class Btb : public statistics::StatGroup
+{
+  public:
+    explicit Btb(std::size_t entries,
+                 statistics::StatGroup *parent = nullptr);
+
+    /** Predicted target for the branch at 'pc', if any. */
+    std::optional<std::uint32_t> lookup(std::uint64_t pc);
+
+    /** Install/refresh the resolved target. */
+    void update(std::uint64_t pc, std::uint32_t target);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t target = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(std::uint64_t pc) const
+    {
+        return pc & (_entries.size() - 1);
+    }
+
+    std::vector<Entry> _entries;
+
+    statistics::Scalar statLookups;
+    statistics::Scalar statHits;
+};
+
+} // namespace branch
+} // namespace ser
+
+#endif // SER_BRANCH_BTB_HH

@@ -1,0 +1,70 @@
+#include "ras.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace branch
+{
+
+Ras::Ras(std::size_t entries, statistics::StatGroup *parent)
+    : StatGroup("ras", parent),
+      statPushes(this, "pushes", "return addresses pushed"),
+      statPops(this, "pops", "return targets popped"),
+      statEmptyPops(this, "empty_pops", "pops from an empty stack")
+{
+    if (entries == 0 || !std::has_single_bit(entries))
+        SER_FATAL("ras: depth {} not a power of two", entries);
+    _stack.assign(entries, 0);
+}
+
+RasCheckpoint
+Ras::checkpoint() const
+{
+    RasCheckpoint cp;
+    cp.top = _top;
+    cp.size = _size;
+    auto n = static_cast<std::uint32_t>(_stack.size());
+    cp.savedAtTop = _stack[_top % n];
+    cp.savedBelow = _stack[(_top + n - 1) % n];
+    return cp;
+}
+
+void
+Ras::restore(const RasCheckpoint &cp)
+{
+    _top = cp.top;
+    _size = cp.size;
+    auto n = static_cast<std::uint32_t>(_stack.size());
+    _stack[_top % n] = cp.savedAtTop;
+    _stack[(_top + n - 1) % n] = cp.savedBelow;
+}
+
+void
+Ras::push(std::uint32_t return_index)
+{
+    ++statPushes;
+    _stack[_top % _stack.size()] = return_index;
+    _top = (_top + 1) % static_cast<std::uint32_t>(_stack.size());
+    if (_size < _stack.size())
+        ++_size;
+}
+
+std::uint32_t
+Ras::pop()
+{
+    ++statPops;
+    if (_size == 0) {
+        ++statEmptyPops;
+        return 0;
+    }
+    _top = (_top + static_cast<std::uint32_t>(_stack.size()) - 1) %
+           static_cast<std::uint32_t>(_stack.size());
+    --_size;
+    return _stack[_top % _stack.size()];
+}
+
+} // namespace branch
+} // namespace ser

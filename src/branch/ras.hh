@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Return-address stack.
+ *
+ * Calls push the fall-through instruction index; returns pop it. The
+ * stack is updated speculatively at fetch, so the CPU snapshots
+ * (top-of-stack pointer + the entry it may clobber) with every
+ * control instruction and restores on squash.
+ */
+
+#ifndef SER_BRANCH_RAS_HH
+#define SER_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ser
+{
+namespace branch
+{
+
+/** Snapshot sufficient to undo shallow speculation: saves the slot
+ * a speculative push would clobber and the slot a speculative
+ * pop-then-push would clobber. Deeper speculative churn is repaired
+ * only approximately, as in real hardware. */
+struct RasCheckpoint
+{
+    std::uint32_t top = 0;         ///< stack pointer
+    std::uint32_t size = 0;        ///< valid-entry count
+    std::uint32_t savedAtTop = 0;  ///< value at slot 'top'
+    std::uint32_t savedBelow = 0;  ///< value at slot 'top - 1'
+};
+
+/** Circular-buffer return-address stack. */
+class Ras : public statistics::StatGroup
+{
+  public:
+    explicit Ras(std::size_t entries,
+                 statistics::StatGroup *parent = nullptr);
+
+    /** Snapshot before any speculative push/pop at fetch. */
+    RasCheckpoint checkpoint() const;
+
+    /** Restore after squashing the instructions since 'cp'. */
+    void restore(const RasCheckpoint &cp);
+
+    void push(std::uint32_t return_index);
+
+    /** Pop a predicted return target (0 if the stack is empty). */
+    std::uint32_t pop();
+
+    bool empty() const { return _size == 0; }
+
+  private:
+    std::vector<std::uint32_t> _stack;
+    std::uint32_t _top = 0;   ///< index of the next push slot
+    std::uint32_t _size = 0;  ///< valid entries (saturates at depth)
+
+    statistics::Scalar statPushes;
+    statistics::Scalar statPops;
+    statistics::Scalar statEmptyPops;
+};
+
+} // namespace branch
+} // namespace ser
+
+#endif // SER_BRANCH_RAS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * False-DUE coverage accounting across tracking levels (Figure 2).
+ *
+ * Starting from the AVF breakdown of a parity-protected instruction
+ * queue, computes how much of the false DUE AVF each cumulative
+ * tracking level eliminates: pi-to-commit removes wrong-path and
+ * predicated-false contributions, the anti-pi bit removes neutral
+ * instructions, the PET buffer removes the provably-dead slice of
+ * FDD-via-register exposure (weighted by residency, using each
+ * exposure's overwrite distance), the register-file pi bit removes
+ * all FDD via registers, the store-buffer pi removes TDD via
+ * registers, and pi-on-memory removes the rest.
+ */
+
+#ifndef SER_CORE_DUE_TRACKER_HH
+#define SER_CORE_DUE_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "avf/avf.hh"
+#include "core/tracking.hh"
+
+namespace ser
+{
+namespace core
+{
+
+/** Figure-2 style coverage results for one run. */
+struct FalseDueAnalysis
+{
+    /** False DUE AVF with plain parity (signal on detect). */
+    double baseFalseDueAvf = 0.0;
+
+    /** True DUE AVF (unchanged by the tracking mechanisms). */
+    double trueDueAvf = 0.0;
+
+    /** Residual false DUE AVF after each cumulative level. */
+    std::array<double, numTrackingLevels> residualFalseDue{};
+
+    /** Fraction of the base false DUE AVF removed by each level. */
+    double coveredFraction(TrackingLevel level) const
+    {
+        if (baseFalseDueAvf <= 0.0)
+            return 1.0;
+        return 1.0 -
+               residualFalseDue[static_cast<int>(level)] /
+                   baseFalseDueAvf;
+    }
+
+    /** Total DUE AVF at a level: true DUE + residual false DUE. */
+    double dueAvf(TrackingLevel level) const
+    {
+        return trueDueAvf +
+               residualFalseDue[static_cast<int>(level)];
+    }
+
+    std::string summary() const;
+};
+
+/** Bit-cycle-weighted PET coverage of FDD-via-register exposure. */
+std::uint64_t petCoveredBitCycles(const avf::AvfResult &avf,
+                                  std::uint32_t pet_size);
+
+/** Analyze false-DUE coverage for every tracking level. */
+FalseDueAnalysis analyzeFalseDue(const avf::AvfResult &avf,
+                                 std::uint32_t pet_size = 512);
+
+} // namespace core
+} // namespace ser
+
+#endif // SER_CORE_DUE_TRACKER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Operational pi-bit propagation (paper Sections 4.2 and 4.3).
+ *
+ * Given a committed-instruction stream and a single instruction whose
+ * queue entry suffered a detected-but-deferred error (its pi bit is
+ * set), PiMachine replays the stream forward and decides whether —
+ * and where — the configured tracking level finally raises the
+ * machine check:
+ *
+ *   PiToCommit     signal at the instruction's commit unless the
+ *                  retire unit can ignore it (predicated-false; the
+ *                  caller handles wrong-path, which never commits).
+ *   AntiPi         + neutral instructions never signal.
+ *   PetBuffer      + defer past commit into a PET buffer; signal only
+ *                  if the scan cannot prove the instruction FDD.
+ *   PiRegFile      + transfer pi to the destination register; signal
+ *                  when a poisoned register is read, suppress when it
+ *                  is overwritten first.
+ *   PiStoreBuffer  + propagate pi along register dependences; signal
+ *                  when a poisoned value reaches a store, an output,
+ *                  a control transfer, or a qualifying predicate.
+ *   PiMemory       + pi bits on memory words; signal only when a
+ *                  poisoned value reaches output (I/O) or goes out of
+ *                  scope (e.g. an address-poisoned store).
+ *
+ * The suppress/signal outcome at each level is, by construction, the
+ * operational mirror of the analytical deadness classification — the
+ * property tests check exactly that correspondence.
+ */
+
+#ifndef SER_CORE_PI_MACHINE_HH
+#define SER_CORE_PI_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/tracking.hh"
+#include "cpu/trace.hh"
+
+namespace ser
+{
+namespace core
+{
+
+/** Where a deferred error was finally signalled (or not). */
+enum class PiSignalPoint : std::uint8_t
+{
+    Suppressed,    ///< proven harmless; no machine check
+    AtDetection,   ///< plain parity (TrackingLevel::None)
+    AtCommit,
+    AtPetEviction,
+    AtRegisterRead,
+    AtStoreCommit,
+    AtControl,     ///< poisoned value steered control flow
+    AtPredicate,   ///< poisoned qualifying predicate consulted
+    AtOutput,      ///< poisoned value reached I/O
+    OutOfScope,    ///< pi could no longer be tracked; must signal
+};
+
+const char *piSignalPointName(PiSignalPoint point);
+
+/** Outcome of one deferred-error replay. */
+struct PiOutcome
+{
+    bool signalled = false;
+    PiSignalPoint point = PiSignalPoint::Suppressed;
+    /** Commit index at which the signal was raised (if any). */
+    std::uint64_t signalSeq = 0;
+};
+
+/** Replays deferred errors over a commit trace. */
+class PiMachine
+{
+  public:
+    PiMachine(const cpu::SimTrace &trace, TrackingLevel level,
+              std::size_t pet_size = 512);
+
+    /**
+     * The queue entry of commit-index 'poisoned_seq' had a detected
+     * error; replay forward and decide the outcome.
+     *
+     * 'dst_override': when the detected error may have corrupted
+     * the destination-specifier field, the pi bit follows the value
+     * to the register the instruction *actually* writes — pass that
+     * (corrupted) register number so suppression decisions track
+     * the real dataflow. Defaults to the architectural destination.
+     */
+    PiOutcome run(std::uint64_t poisoned_seq,
+                  int dst_override = -1) const;
+
+    TrackingLevel level() const { return _level; }
+
+  private:
+    PiOutcome runRegisterTracking(std::uint64_t seq,
+                                  bool with_memory,
+                                  int dst_override) const;
+    PiOutcome runPet(std::uint64_t seq, int dst_override) const;
+
+    const cpu::SimTrace &_trace;
+    TrackingLevel _level;
+    std::size_t _petSize;
+};
+
+} // namespace core
+} // namespace ser
+
+#endif // SER_CORE_PI_MACHINE_HH

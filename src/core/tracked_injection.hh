@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fault classification under pi-bit tracking (faults x core bridge).
+ *
+ * A parity-protected queue that defers via the pi machinery no
+ * longer signals at detection: the deferred error is re-classified
+ * by replaying the pi propagation. False DUEs whose deferral proves
+ * them harmless become benign (outcome 3); everything the machinery
+ * still signals remains a DUE. This is the operational version of
+ * the Figure 2 coverage numbers, usable directly in fault-injection
+ * campaigns.
+ */
+
+#ifndef SER_CORE_TRACKED_INJECTION_HH
+#define SER_CORE_TRACKED_INJECTION_HH
+
+#include "core/pi_machine.hh"
+#include "faults/campaign.hh"
+#include "faults/injector.hh"
+
+namespace ser
+{
+namespace core
+{
+
+/**
+ * Classify a fault on a parity-protected queue that defers errors
+ * at the given tracking level (instead of signalling on detection).
+ */
+faults::FaultResult
+classifyTracked(const faults::FaultInjector &injector,
+                const cpu::SimTrace &trace, const PiMachine &machine,
+                const faults::FaultSite &site);
+
+/** Monte-Carlo campaign under a tracking level. */
+faults::CampaignResult
+runTrackedCampaign(const faults::FaultInjector &injector,
+                   const cpu::SimTrace &trace,
+                   const PiMachine &machine,
+                   const faults::CampaignConfig &config);
+
+} // namespace core
+} // namespace ser
+
+#endif // SER_CORE_TRACKED_INJECTION_HH

@@ -1,0 +1,60 @@
+#include "tracking.hh"
+
+namespace ser
+{
+namespace core
+{
+
+const char *
+trackingLevelName(TrackingLevel level)
+{
+    switch (level) {
+      case TrackingLevel::None: return "parity-only";
+      case TrackingLevel::PiToCommit: return "pi-to-commit";
+      case TrackingLevel::AntiPi: return "+anti-pi";
+      case TrackingLevel::PetBuffer: return "+pet-buffer";
+      case TrackingLevel::PiRegFile: return "+pi-reg-file";
+      case TrackingLevel::PiStoreBuffer: return "+pi-store-buffer";
+      case TrackingLevel::PiMemory: return "+pi-memory";
+      case TrackingLevel::NumLevels: break;
+    }
+    return "?";
+}
+
+bool
+coversSource(TrackingLevel level, avf::UnAceSource source)
+{
+    using avf::UnAceSource;
+    auto at_least = [&](TrackingLevel needed) {
+        return static_cast<int>(level) >= static_cast<int>(needed);
+    };
+    switch (source) {
+      case UnAceSource::WrongPath:
+      case UnAceSource::PredFalse:
+        return at_least(TrackingLevel::PiToCommit);
+      case UnAceSource::Neutral:
+        return at_least(TrackingLevel::AntiPi);
+      case UnAceSource::FddReg:
+        // Fully covered only from PiRegFile on; the PET level's
+        // partial coverage is handled separately.
+        return at_least(TrackingLevel::PiRegFile);
+      case UnAceSource::TddReg:
+        return at_least(TrackingLevel::PiStoreBuffer);
+      case UnAceSource::FddMem:
+      case UnAceSource::TddMem:
+        return at_least(TrackingLevel::PiMemory);
+      case UnAceSource::NumSources:
+        break;
+    }
+    return false;
+}
+
+bool
+preciseAttribution(TrackingLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(TrackingLevel::PetBuffer);
+}
+
+} // namespace core
+} // namespace ser

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The cumulative false-DUE tracking levels of Section 4.3.
+ *
+ * Each level adds hardware (and coverage) on top of the previous:
+ *
+ *   PiToCommit    carry the pi bit to the retire unit; ignore it for
+ *                 wrong-path and predicated-false instructions.
+ *   AntiPi        + an anti-pi bit set at decode for neutral
+ *                 instruction types (no-ops, prefetches, hints).
+ *   PetBuffer     + a post-commit log proving a subset of FDD-via-
+ *                 register instructions dead (overwrite before read
+ *                 within the buffer window).
+ *   PiRegFile     + a pi bit per register: all FDD via registers.
+ *   PiStoreBuffer + pi propagated along dependences to the store
+ *                 buffer: adds TDD via registers.
+ *   PiMemory      + pi bits on caches/memory, signalling only at
+ *                 I/O: adds FDD/TDD via memory (100% coverage).
+ */
+
+#ifndef SER_CORE_TRACKING_HH
+#define SER_CORE_TRACKING_HH
+
+#include <cstdint>
+
+#include "avf/avf.hh"
+
+namespace ser
+{
+namespace core
+{
+
+/** Cumulative tracking levels, in the paper's Figure 2 order. */
+enum class TrackingLevel : std::uint8_t
+{
+    None,           ///< plain parity: signal on detection
+    PiToCommit,
+    AntiPi,
+    PetBuffer,
+    PiRegFile,
+    PiStoreBuffer,
+    PiMemory,
+    NumLevels
+};
+
+constexpr int numTrackingLevels =
+    static_cast<int>(TrackingLevel::NumLevels);
+
+const char *trackingLevelName(TrackingLevel level);
+
+/**
+ * Does 'level' fully cover false DUEs from the given un-ACE source?
+ * (FddReg at the PetBuffer level is only partially covered; that
+ * partial coverage is computed by DueTracker from the exposure
+ * records.)
+ */
+bool coversSource(TrackingLevel level, avf::UnAceSource source);
+
+/**
+ * Can the mechanism still name the exact instruction that suffered
+ * the error when it finally signals? (Paper Section 4.3.3: the PET
+ * buffer can, the pi-bit-everywhere schemes cannot.)
+ */
+bool preciseAttribution(TrackingLevel level);
+
+} // namespace core
+} // namespace ser
+
+#endif // SER_CORE_TRACKING_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DynInst: one in-flight instruction incarnation.
+ *
+ * The same dynamic (oracle) instruction can have several incarnations
+ * when squash-and-refetch policies are active: each fetch of it —
+ * original or replayed — is a distinct DynInst with its own queue
+ * residency, and each contributes its own exposure interval to the
+ * AVF analysis.
+ */
+
+#ifndef SER_CPU_DYN_INST_HH
+#define SER_CPU_DYN_INST_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+#include "isa/executor.hh"
+#include "isa/static_inst.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+constexpr std::uint64_t invalidCycle =
+    std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t invalidSeq =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** One in-flight incarnation of a fetched instruction. */
+struct DynInst
+{
+    /** Global fetch sequence number (monotone over incarnations and
+     * wrong-path fetches; defines age for squashing). */
+    std::uint64_t seq = invalidSeq;
+
+    /** Oracle step index (== commit order); invalidSeq if wrong-path. */
+    std::uint64_t oracleSeq = invalidSeq;
+
+    std::uint32_t pc = 0;  ///< instruction index fetched from
+    isa::StaticInst inst;
+
+    bool wrongPath = false;
+    /** Oracle outcome (valid only when !wrongPath). */
+    bool qpTrue = true;
+    bool actualTaken = false;
+    std::uint32_t actualNextPc = 0;
+    std::uint64_t memAddr = 0;
+
+    // Prediction state captured at fetch (control instructions).
+    bool predictedTaken = false;
+    std::uint32_t predictedTarget = 0;
+    bool mispredicted = false;
+    bool usedDirectionPredictor = false;
+    branch::Lookup predLookup;
+    branch::RasCheckpoint rasCp;
+    bool rasCheckpointed = false;
+
+    // Timing.
+    std::uint64_t fetchCycle = invalidCycle;
+    std::uint64_t enqueueCycle = invalidCycle;
+    std::uint64_t issueCycle = invalidCycle;
+    std::uint64_t completeCycle = invalidCycle;
+
+    /** Physical instruction-queue entry index (for fault mapping). */
+    std::uint16_t iqEntry = 0;
+
+    // Disposition.
+    bool squashedByTrigger = false;
+    bool squashedByMispredict = false;
+
+    bool issued() const { return issueCycle != invalidCycle; }
+    bool inQueue() const
+    {
+        return enqueueCycle != invalidCycle;
+    }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_DYN_INST_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Policy hooks the pipeline exposes to the soft-error library.
+ *
+ * The pipeline owns the *mechanisms* (squashing the queue, throttling
+ * fetch); src/core owns the *policies* (which cache-miss level
+ * triggers which action). This keeps the paper's trigger/action
+ * framework (Section 3.1) out of the machine model proper.
+ */
+
+#ifndef SER_CPU_HOOKS_HH
+#define SER_CPU_HOOKS_HH
+
+#include <cstdint>
+
+#include "memory/hierarchy.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+/** What the pipeline should do about a serviced load. */
+struct ExposureDecision
+{
+    /** Squash all not-yet-issued queue entries and refetch them. */
+    bool squash = false;
+
+    /** Stall fetch until the given cycle (0 = no throttle). */
+    std::uint64_t throttleUntilCycle = 0;
+};
+
+/** Decides trigger/action policy for exposure reduction. */
+class ExposurePolicy
+{
+  public:
+    virtual ~ExposurePolicy() = default;
+
+    /**
+     * Called once per correct-path demand load, at the cycle the
+     * pipeline learns which level serviced it (the "signal from the
+     * memory system" of Section 6.3).
+     *
+     * @param level the level that serviced the load
+     * @param detect_cycle the cycle the miss level became known
+     * @param fill_cycle the cycle the data returns
+     */
+    virtual ExposureDecision
+    onLoadServiced(memory::HitLevel level, std::uint64_t detect_cycle,
+                   std::uint64_t fill_cycle) = 0;
+};
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_HOOKS_HH

@@ -1,0 +1,724 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+unsigned
+PipelineParams::latencyFor(isa::OpClass oc) const
+{
+    using isa::OpClass;
+    switch (oc) {
+      case OpClass::Nop: return 1;
+      case OpClass::IntAlu: return latIntAlu;
+      case OpClass::IntMul: return latIntMul;
+      case OpClass::IntDiv: return latIntDiv;
+      case OpClass::FpAdd: return latFpAdd;
+      case OpClass::FpMul: return latFpMul;
+      case OpClass::FpDiv: return latFpDiv;
+      case OpClass::FpCvt: return latFpCvt;
+      case OpClass::Load: return 2;   // overridden by the dcache
+      case OpClass::Store: return 1;
+      case OpClass::Branch: return 1;
+      case OpClass::Other: return 1;
+    }
+    return 1;
+}
+
+InOrderPipeline::InOrderPipeline(const isa::Program &program,
+                                 const PipelineParams &params,
+                                 statistics::StatGroup *parent)
+    : StatGroup("cpu", parent), _program(program), _params(params),
+      _oracle(std::make_unique<isa::Executor>(program)),
+      _dcache(std::make_unique<memory::CacheHierarchy>(
+          params.hierarchy, this)),
+      _dirPred(branch::makeDirectionPredictor(
+          params.predictor, params.predictorEntries,
+          params.historyBits, this)),
+      _btb(std::make_unique<branch::Btb>(params.btbEntries, this)),
+      _ras(std::make_unique<branch::Ras>(params.rasEntries, this)),
+      statCycles(this, "cycles", "simulated cycles in the window"),
+      statCommitted(this, "committed",
+                    "instructions committed in the window"),
+      statFetched(this, "fetched", "instructions fetched (all paths)"),
+      statWrongPathFetched(this, "wrong_path_fetched",
+                           "wrong-path instructions fetched"),
+      statReplayFetched(this, "replay_fetched",
+                        "squashed instructions refetched"),
+      statMispredicts(this, "mispredicts",
+                      "branches resolved mispredicted"),
+      statTriggerSquashes(this, "trigger_squashes",
+                          "exposure-trigger squash events"),
+      statTriggerSquashedInsts(this, "trigger_squashed_insts",
+                               "queue entries squashed by triggers"),
+      statThrottleCycles(this, "throttle_cycles",
+                         "cycles fetch was throttled"),
+      statIqOccupancy(this, "iq_occupancy",
+                      "valid IQ entries per cycle"),
+      statIqValid(this, "iq_waiting",
+                  "not-yet-issued IQ entries per cycle"),
+      statIssueWidth(this, "issue_width",
+                     "instructions issued per cycle", 0,
+                     params.issueWidth + 1, 1),
+      statStallLoad(this, "stall_load",
+                    "issue cycles lost waiting on load data"),
+      statStallExec(this, "stall_exec",
+                    "issue cycles lost waiting on execution results"),
+      statStallEmpty(this, "stall_empty",
+                     "issue cycles with an empty (or fresh) queue")
+{
+    if (_params.iqEntries == 0 || _params.iqEntries > 0xffff)
+        SER_FATAL("pipeline: bad iq size {}", _params.iqEntries);
+    if (_params.branchResolveDelay >= _params.evictDelay)
+        SER_FATAL("pipeline: branchResolveDelay ({}) must be < "
+                  "evictDelay ({}) so branches resolve before their "
+                  "queue entry retires",
+                  _params.branchResolveDelay, _params.evictDelay);
+    _freeEntries.resize(_params.iqEntries);
+    for (unsigned i = 0; i < _params.iqEntries; ++i)
+        _freeEntries[i] = static_cast<std::uint16_t>(
+            _params.iqEntries - 1 - i);
+    _intReady.assign(isa::numIntRegs, 0);
+    _fpReady.assign(isa::numFpRegs, 0);
+    _predReady.assign(isa::numPredRegs, 0);
+    _intByLoad.assign(isa::numIntRegs, false);
+    _fpByLoad.assign(isa::numFpRegs, false);
+    _trace.program = &program;
+    _trace.iqEntries = _params.iqEntries;
+}
+
+InOrderPipeline::~InOrderPipeline() = default;
+
+unsigned
+InOrderPipeline::latencyOf(const isa::StaticInst &inst) const
+{
+    return _params.latencyFor(inst.opClass());
+}
+
+bool
+InOrderPipeline::drained() const
+{
+    return _doneFetching && _fePipe.empty() && _iq.empty() &&
+           _replay.empty() && _resolutions.empty() &&
+           _triggers.empty() && !_wrongPathMode;
+}
+
+SimTrace
+InOrderPipeline::run()
+{
+    std::uint64_t max_cycles =
+        _params.maxCycles
+            ? _params.maxCycles
+            : _params.maxInsts * 1000 + 1'000'000;
+    if (_warmupInsts == 0) {
+        _windowOpen = true;
+        _windowStart = 0;
+    }
+
+    while (!drained()) {
+        if (_cycle >= max_cycles)
+            SER_PANIC("pipeline: exceeded {} cycles without draining "
+                      "(committed {}, iq {}, fe {})",
+                      max_cycles, _committedTotal, _iq.size(),
+                      _fePipe.size());
+        evictAndCommit();
+        resolveBranches();
+        processTriggers();
+        issue();
+        enqueue();
+        fetch();
+        sampleOccupancy();
+        ++statCycles;
+        if (_cycle < _throttleUntil)
+            ++statThrottleCycles;
+        ++_cycle;
+        if (_cycle >= 0xffffffffULL)
+            SER_FATAL("pipeline: run exceeded 2^32 cycles; trace "
+                      "records use 32-bit cycles");
+    }
+
+    _trace.startCycle = _windowStart;
+    _trace.endCycle = _cycle;
+    return std::move(_trace);
+}
+
+void
+InOrderPipeline::sampleOccupancy()
+{
+    statIqOccupancy.sample(static_cast<double>(_iq.size()));
+    statIqValid.sample(
+        static_cast<double>(_iq.size() - _iqIssued));
+}
+
+void
+InOrderPipeline::finalizeIncarnation(const DynInst &di,
+                                     std::uint64_t evict_cycle,
+                                     std::uint8_t extra_flags)
+{
+    IncarnationRecord rec;
+    rec.staticIdx = di.pc;
+    rec.oracleSeq = di.wrongPath
+                        ? noSeq32
+                        : static_cast<std::uint32_t>(di.oracleSeq);
+    rec.enqueueCycle = static_cast<std::uint32_t>(di.enqueueCycle);
+    rec.issueCycle =
+        di.issued() ? static_cast<std::uint32_t>(di.issueCycle)
+                    : noCycle32;
+    rec.evictCycle = static_cast<std::uint32_t>(evict_cycle);
+    rec.iqEntry = di.iqEntry;
+    std::uint8_t flags = extra_flags;
+    if (di.wrongPath)
+        flags |= incWrongPath;
+    else if (!di.qpTrue)
+        flags |= incPredFalse;
+    rec.flags = flags;
+    _trace.incarnations.push_back(rec);
+}
+
+void
+InOrderPipeline::evictAndCommit()
+{
+    while (!_iq.empty()) {
+        const DynInstPtr &front = _iq.front();
+        if (!front->issued() || front->completeCycle > _cycle)
+            break;
+        if (front->wrongPath)
+            SER_PANIC("pipeline: wrong-path instruction reached "
+                      "commit (seq {})", front->seq);
+        finalizeIncarnation(*front, _cycle, incCommitted);
+        _freeEntries.push_back(front->iqEntry);
+        _iq.pop_front();
+        --_iqIssued;
+
+        ++_committedTotal;
+        if (_windowOpen) {
+            ++_trace.committedInsts;
+            ++statCommitted;
+        } else if (_committedTotal >= _warmupInsts) {
+            _windowOpen = true;
+            _windowStart = _cycle;
+            resetStats();
+        }
+    }
+}
+
+void
+InOrderPipeline::resolveBranches()
+{
+    while (!_resolutions.empty() &&
+           _resolutions.front().cycle <= _cycle) {
+        DynInstPtr branch = _resolutions.front().inst;
+        _resolutions.pop_front();
+
+        // Train the direction predictor and the BTB.
+        if (branch->usedDirectionPredictor) {
+            _dirPred->update(branch->pc, branch->actualTaken,
+                             branch->predLookup);
+            _dirPred->recordResolution(!branch->mispredicted);
+        }
+        if (branch->inst.opcode() == isa::Opcode::Bri &&
+            branch->actualTaken) {
+            _btb->update(branch->pc, branch->actualNextPc);
+        }
+
+        if (branch->mispredicted) {
+            ++statMispredicts;
+            doMispredictSquash(branch);
+        }
+    }
+}
+
+void
+InOrderPipeline::doMispredictSquash(const DynInstPtr &branch)
+{
+    // The branch is issued and still resident (resolve < evict), and
+    // the queue is seq-ordered, so everything after its position is
+    // younger and must go.
+    std::size_t bi = _iq.size();
+    for (std::size_t i = 0; i < _iq.size(); ++i) {
+        if (_iq[i]->seq == branch->seq) {
+            bi = i;
+            break;
+        }
+    }
+    if (bi == _iq.size())
+        SER_PANIC("pipeline: resolving branch seq {} not in queue",
+                  branch->seq);
+
+    for (std::size_t i = bi + 1; i < _iq.size(); ++i) {
+        const DynInstPtr &victim = _iq[i];
+        if (!victim->wrongPath)
+            SER_PANIC("pipeline: correct-path instruction younger "
+                      "than an unresolved mispredict (seq {})",
+                      victim->seq);
+        finalizeIncarnation(*victim, _cycle, incSquashMispredict);
+        _freeEntries.push_back(victim->iqEntry);
+    }
+    _iq.resize(bi + 1);
+    _iqIssued = std::min(_iqIssued, bi + 1);
+
+    // Everything in the front end is younger than the branch.
+    _fePipe.clear();
+
+    // Repair speculative predictor state: history as of just after
+    // this branch's actual outcome; RAS rewound, then replayed.
+    if (branch->usedDirectionPredictor)
+        _dirPred->restoreHistory(branch->predLookup,
+                                 branch->actualTaken);
+    if (branch->rasCheckpointed) {
+        _ras->restore(branch->rasCp);
+        if (branch->actualTaken && branch->inst.isCall())
+            _ras->push(branch->pc + 1);
+        else if (branch->actualTaken && branch->inst.isReturn())
+            _ras->pop();
+    }
+
+    _wrongPathMode = false;
+    _fetchResumeCycle = std::max(
+        _fetchResumeCycle, _cycle + _params.redirectDelay);
+}
+
+void
+InOrderPipeline::processTriggers()
+{
+    if (_triggers.empty())
+        return;
+    bool squash = false;
+    std::uint64_t throttle_until = 0;
+    auto it = _triggers.begin();
+    while (it != _triggers.end()) {
+        if (it->detectCycle > _cycle) {
+            ++it;
+            continue;
+        }
+        if (_policy) {
+            ExposureDecision d = _policy->onLoadServiced(
+                it->level, it->detectCycle, it->fillCycle);
+            squash = squash || d.squash;
+            throttle_until =
+                std::max(throttle_until, d.throttleUntilCycle);
+        }
+        it = _triggers.erase(it);
+    }
+    if (throttle_until > _throttleUntil)
+        _throttleUntil = throttle_until;
+    if (squash)
+        doTriggerSquash();
+}
+
+void
+InOrderPipeline::doTriggerSquash()
+{
+    // Victims: the not-yet-issued queue suffix plus the whole front
+    // end, oldest first. Correct-path victims are replayed through
+    // fetch; wrong-path victims just die (their mispredicted branch,
+    // if squashed too, is replayed and will re-predict).
+    std::vector<DynInstPtr> victims;
+    for (std::size_t i = _iqIssued; i < _iq.size(); ++i)
+        victims.push_back(_iq[i]);
+    std::size_t iq_victims = victims.size();
+    for (const auto &di : _fePipe)
+        victims.push_back(di);
+    if (victims.empty())
+        return;
+
+    ++statTriggerSquashes;
+    statTriggerSquashedInsts += static_cast<double>(iq_victims);
+
+    for (std::size_t i = 0; i < iq_victims; ++i) {
+        finalizeIncarnation(*victims[i], _cycle, incSquashTrigger);
+        _freeEntries.push_back(victims[i]->iqEntry);
+    }
+    _iq.resize(_iqIssued);
+    _fePipe.clear();
+
+    // Rewind speculative predictor state to before the oldest victim
+    // that touched it; every victim will re-predict at refetch.
+    for (const auto &victim : victims) {
+        if (victim->usedDirectionPredictor) {
+            _dirPred->rewindHistory(victim->predLookup);
+        }
+        if (victim->rasCheckpointed) {
+            _ras->restore(victim->rasCp);
+        }
+        if (victim->usedDirectionPredictor || victim->rasCheckpointed)
+            break;
+    }
+
+    // If the branch whose misprediction put fetch on the wrong path
+    // is itself squashed, that misprediction evaporates: it will be
+    // re-predicted at replay.
+    std::deque<ReplayItem> replaced;
+    for (const auto &victim : victims) {
+        if (victim->wrongPath)
+            continue;
+        if (victim->mispredicted)
+            _wrongPathMode = false;
+        ReplayItem item;
+        item.oracleSeq = victim->oracleSeq;
+        item.pc = victim->pc;
+        item.inst = victim->inst;
+        item.qpTrue = victim->qpTrue;
+        item.actualTaken = victim->actualTaken;
+        item.actualNextPc = victim->actualNextPc;
+        item.memAddr = victim->memAddr;
+        replaced.push_back(item);
+    }
+    // New victims are older than anything already awaiting replay.
+    for (auto it = replaced.rbegin(); it != replaced.rend(); ++it)
+        _replay.push_front(*it);
+}
+
+bool
+InOrderPipeline::operandsReady(const DynInst &di) const
+{
+    const isa::StaticInst &inst = di.inst;
+    if (_predReady[inst.qp()] > _cycle)
+        return false;
+    // A nullified instruction consumes only its predicate.
+    bool needs_sources = di.wrongPath || di.qpTrue;
+    if (!needs_sources)
+        return true;
+    const isa::OpInfo &oi = inst.info();
+    using isa::RegClass;
+    auto ready = [&](RegClass rc, std::uint8_t reg) {
+        switch (rc) {
+          case RegClass::Int: return _intReady[reg] <= _cycle;
+          case RegClass::Fp: return _fpReady[reg] <= _cycle;
+          case RegClass::Pred: return _predReady[reg] <= _cycle;
+          case RegClass::None: return true;
+        }
+        return true;
+    };
+    if (!ready(oi.src1Class, inst.src1()))
+        return false;
+    if (!ready(oi.src2Class, inst.src2()))
+        return false;
+    return true;
+}
+
+void
+InOrderPipeline::issueOne(DynInst &di)
+{
+    di.issueCycle = _cycle;
+    di.completeCycle = _cycle + _params.evictDelay;
+
+    const isa::StaticInst &inst = di.inst;
+    bool executes = !di.wrongPath && di.qpTrue;
+
+    if (executes && inst.isLoad()) {
+        memory::AccessResult r = _dcache->access(di.memAddr, _cycle);
+        std::uint64_t fill = _cycle + r.latency;
+        std::uint8_t dst = inst.dst();
+        if (inst.writesIntReg() && dst != 0) {
+            _intReady[dst] = fill;
+            _intByLoad[dst] = true;
+        } else if (inst.writesFpReg() && dst > 1) {
+            _fpReady[dst] = fill;
+            _fpByLoad[dst] = true;
+        }
+        if (r.level != memory::HitLevel::L0) {
+            // The memory system's miss signal arrives once the next
+            // level's lookup fails; for a secondary (MSHR) miss the
+            // outstanding request is found at the L0 lookup.
+            unsigned detect = 0;
+            if (r.secondary) {
+                detect = _params.hierarchy.l0.hitLatency;
+            } else {
+                switch (r.level) {
+                  case memory::HitLevel::L1:
+                    detect = _params.hierarchy.l0.hitLatency;
+                    break;
+                  case memory::HitLevel::L2:
+                    detect = _params.hierarchy.l1.hitLatency;
+                    break;
+                  case memory::HitLevel::Memory:
+                    detect = _params.hierarchy.l2.hitLatency;
+                    break;
+                  case memory::HitLevel::L0:
+                    break;
+                }
+            }
+            _triggers.push_back(
+                {_cycle + detect, fill, r.level});
+        }
+    } else if (executes && inst.isStore()) {
+        _dcache->access(di.memAddr, _cycle);
+    } else if (executes && inst.isPrefetch()) {
+        _dcache->prefetch(di.memAddr, _cycle);
+    } else if (executes && inst.hasDst()) {
+        std::uint64_t ready = _cycle + latencyOf(inst);
+        std::uint8_t dst = inst.dst();
+        if (inst.writesIntReg() && dst != 0) {
+            _intReady[dst] = ready;
+            _intByLoad[dst] = false;
+        } else if (inst.writesFpReg() && dst > 1) {
+            _fpReady[dst] = ready;
+            _fpByLoad[dst] = false;
+        } else if (inst.writesPredReg() && dst != 0) {
+            _predReady[dst] = ready;
+        }
+    }
+
+    if (inst.isBranch() && !di.wrongPath) {
+        // Correct-path control resolves (and possibly redirects)
+        // after the resolve delay; wrong-path control never
+        // resolves — it dies with its mispredicted ancestor.
+        _resolutions.push_back(
+            {_cycle + _params.branchResolveDelay, nullptr});
+    }
+}
+
+/** Why the oldest non-issued instruction cannot issue (stats). */
+void
+InOrderPipeline::recordStallReason()
+{
+    if (_iqIssued >= _iq.size()) {
+        ++statStallEmpty;
+        return;
+    }
+    const DynInst &di = *_iq[_iqIssued];
+    if (di.enqueueCycle >= _cycle) {
+        ++statStallEmpty;
+        return;
+    }
+    const isa::StaticInst &inst = di.inst;
+    const isa::OpInfo &oi = inst.info();
+    bool on_load = false;
+    auto check = [&](isa::RegClass rc, std::uint8_t reg) {
+        if (rc == isa::RegClass::Int && _intReady[reg] > _cycle &&
+            _intByLoad[reg])
+            on_load = true;
+        if (rc == isa::RegClass::Fp && _fpReady[reg] > _cycle &&
+            _fpByLoad[reg])
+            on_load = true;
+    };
+    check(oi.src1Class, inst.src1());
+    check(oi.src2Class, inst.src2());
+    if (on_load)
+        ++statStallLoad;
+    else
+        ++statStallExec;
+}
+
+void
+InOrderPipeline::issue()
+{
+    unsigned budget = _params.issueWidth;
+    unsigned issued = 0;
+    while (budget > 0 && _iqIssued < _iq.size()) {
+        DynInstPtr &di = _iq[_iqIssued];
+        if (di->enqueueCycle >= _cycle)
+            break;  // entered the queue this cycle
+        if (!operandsReady(*di))
+            break;  // strict in-order issue
+        issueOne(*di);
+        if (di->inst.isBranch() && !di->wrongPath)
+            _resolutions.back().inst = di;
+        ++_iqIssued;
+        --budget;
+        ++issued;
+    }
+    if (budget > 0)
+        recordStallReason();
+    statIssueWidth.sample(static_cast<double>(issued));
+}
+
+void
+InOrderPipeline::enqueue()
+{
+    unsigned budget = _params.enqueueWidth;
+    while (budget > 0 && !_fePipe.empty() && !_freeEntries.empty()) {
+        DynInstPtr di = _fePipe.front();
+        if (di->fetchCycle + _params.frontEndDepth > _cycle)
+            break;
+        _fePipe.pop_front();
+        di->iqEntry = _freeEntries.back();
+        _freeEntries.pop_back();
+        di->enqueueCycle = _cycle;
+        _iq.push_back(di);
+        --budget;
+    }
+}
+
+void
+InOrderPipeline::handleControlPrediction(DynInstPtr &di,
+                                         bool &taken_break)
+{
+    const isa::StaticInst &inst = di->inst;
+    if (!inst.isBranch())
+        return;
+
+    di->rasCp = _ras->checkpoint();
+    di->rasCheckpointed = true;
+
+    bool pred_taken;
+    if (inst.qp() == 0) {
+        pred_taken = true;
+    } else {
+        di->predLookup = _dirPred->predict(di->pc);
+        di->usedDirectionPredictor = true;
+        pred_taken = di->predLookup.taken;
+    }
+
+    std::uint32_t pred_target = di->pc + 1;
+    if (pred_taken) {
+        if (inst.isDirectBranch()) {
+            pred_target = static_cast<std::uint32_t>(
+                static_cast<std::uint32_t>(inst.imm()));
+        } else if (inst.isReturn()) {
+            pred_target = _ras->pop();
+        } else {  // bri
+            pred_target =
+                _btb->lookup(di->pc).value_or(di->pc + 1);
+        }
+        if (inst.isCall())
+            _ras->push(di->pc + 1);
+    }
+    di->predictedTaken = pred_taken;
+    di->predictedTarget = pred_target;
+
+    if (di->wrongPath) {
+        // No oracle outcome: fetch simply follows the prediction.
+        _wrongPc = pred_taken ? pred_target : di->pc + 1;
+    } else {
+        di->mispredicted =
+            pred_taken != di->actualTaken ||
+            (di->actualTaken && pred_target != di->actualNextPc);
+        if (di->mispredicted) {
+            _wrongPathMode = true;
+            _wrongPc = pred_taken ? pred_target : di->pc + 1;
+        }
+    }
+    if (pred_taken)
+        taken_break = true;
+}
+
+DynInstPtr
+InOrderPipeline::fetchOracle(bool &taken_break)
+{
+    isa::StepInfo si;
+    isa::Termination term = _oracle->step(&si);
+    if (term == isa::Termination::Trap)
+        SER_FATAL("pipeline: program trapped at pc {} after {} "
+                  "instructions", _oracle->pc(), _oracle->steps());
+
+    auto di = std::make_shared<DynInst>();
+    di->seq = _nextSeq++;
+    di->oracleSeq = si.seq;
+    di->pc = si.pc;
+    di->inst = si.inst;
+    di->qpTrue = si.qpTrue;
+    di->actualTaken = si.taken;
+    di->actualNextPc = si.nextPc;
+    di->memAddr = si.memAddr;
+    di->fetchCycle = _cycle;
+
+    CommitRecord cr;
+    cr.staticIdx = si.pc;
+    cr.qpTrue = si.qpTrue ? 1 : 0;
+    cr.memAddr = (si.qpTrue && si.inst.isMem() &&
+                  !si.inst.isPrefetch())
+                     ? si.memAddr
+                     : 0;
+    _trace.commits.push_back(cr);
+
+    if (term == isa::Termination::Halted) {
+        _doneFetching = true;
+        _trace.programHalted = true;
+    } else {
+        handleControlPrediction(di, taken_break);
+    }
+    return di;
+}
+
+DynInstPtr
+InOrderPipeline::fetchReplay(bool &taken_break)
+{
+    ReplayItem item = _replay.front();
+    _replay.pop_front();
+
+    auto di = std::make_shared<DynInst>();
+    di->seq = _nextSeq++;
+    di->oracleSeq = item.oracleSeq;
+    di->pc = item.pc;
+    di->inst = item.inst;
+    di->qpTrue = item.qpTrue;
+    di->actualTaken = item.actualTaken;
+    di->actualNextPc = item.actualNextPc;
+    di->memAddr = item.memAddr;
+    di->fetchCycle = _cycle;
+
+    if (!di->inst.isHalt())
+        handleControlPrediction(di, taken_break);
+    ++statReplayFetched;
+    return di;
+}
+
+DynInstPtr
+InOrderPipeline::fetchWrongPath(bool &taken_break)
+{
+    auto di = std::make_shared<DynInst>();
+    di->seq = _nextSeq++;
+    di->pc = _wrongPc;
+    di->inst = _program.inst(_wrongPc);
+    di->wrongPath = true;
+    di->fetchCycle = _cycle;
+
+    _wrongPc = _wrongPc + 1;  // default; prediction may redirect
+    if (di->inst.isBranch())
+        handleControlPrediction(di, taken_break);
+    ++statWrongPathFetched;
+    return di;
+}
+
+void
+InOrderPipeline::fetch()
+{
+    if (_cycle < _fetchResumeCycle || _cycle < _throttleUntil)
+        return;
+
+    const std::size_t fe_cap =
+        static_cast<std::size_t>(_params.frontEndDepth) *
+        _params.enqueueWidth;
+    unsigned budget = _params.fetchWidth;
+    while (budget > 0 && _fePipe.size() < fe_cap) {
+        bool taken_break = false;
+        DynInstPtr di;
+        if (_wrongPathMode) {
+            if (_wrongPc >= _program.size())
+                break;  // ran off the image; wait for resolution
+            di = fetchWrongPath(taken_break);
+        } else if (!_replay.empty()) {
+            di = fetchReplay(taken_break);
+        } else {
+            if (_doneFetching ||
+                _trace.commits.size() >= _params.maxInsts) {
+                _doneFetching = true;
+                break;
+            }
+            di = fetchOracle(taken_break);
+        }
+        _fePipe.push_back(di);
+        ++statFetched;
+        --budget;
+        if (taken_break) {
+            // The fetch group ends at a predicted-taken branch and
+            // the front end pays a redirect bubble.
+            _fetchResumeCycle = std::max(
+                _fetchResumeCycle,
+                _cycle + 1 + _params.takenBranchBubble);
+            break;
+        }
+        if (_doneFetching)
+            break;
+    }
+}
+
+} // namespace cpu
+} // namespace ser

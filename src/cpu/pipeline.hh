@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The in-order pipeline model.
+ *
+ * An Itanium(R)2-like in-order machine: fetch (with real wrong-path
+ * fetching driven by the branch predictor), a front-end delay pipe,
+ * a 64-entry instruction queue with strict in-order issue, scoreboard
+ * interlocks with full bypass, per-class execution latencies, and
+ * in-order eviction/commit.
+ *
+ * The timing model is execute-at-fetch: a functional Executor oracle
+ * is stepped once per correct-path fetch, providing branch outcomes
+ * and effective addresses. Wrong-path instructions are decoded from
+ * the real program image at the (wrong) predicted pc and occupy the
+ * queue until the mispredicted branch resolves, but have no
+ * functional effects (matching the paper's methodology, which fetches
+ * wrong paths without correct memory addresses).
+ *
+ * Exposure-reduction support (the paper's Section 3): an attached
+ * ExposurePolicy is consulted when a load's service level becomes
+ * known; it can squash all not-yet-issued queue entries (which are
+ * replayed through the front end from a replay queue, preserving the
+ * oracle stream) and/or throttle fetch.
+ *
+ * The run leaves behind a SimTrace of per-incarnation queue
+ * residencies and the committed stream for post-hoc AVF analysis.
+ */
+
+#ifndef SER_CPU_PIPELINE_HH
+#define SER_CPU_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/hooks.hh"
+#include "cpu/params.hh"
+#include "cpu/trace.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+#include "sim/stats.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+/** The in-order core. One instance simulates one program run. */
+class InOrderPipeline : public statistics::StatGroup
+{
+  public:
+    InOrderPipeline(const isa::Program &program,
+                    const PipelineParams &params,
+                    statistics::StatGroup *parent = nullptr);
+    ~InOrderPipeline() override;
+
+    /** Attach the exposure trigger/action policy (may be null). */
+    void setExposurePolicy(ExposurePolicy *policy)
+    {
+        _policy = policy;
+    }
+
+    /**
+     * Commit this many instructions before opening the measurement
+     * window (stats are reset and the AVF window starts there).
+     */
+    void setWarmupInsts(std::uint64_t insts) { _warmupInsts = insts; }
+
+    /** Run to completion and return the analysis trace. */
+    SimTrace run();
+
+    std::uint64_t cycle() const { return _cycle; }
+    std::uint64_t committed() const { return _committedTotal; }
+    const memory::CacheHierarchy &dcache() const { return *_dcache; }
+    const branch::DirectionPredictor &predictor() const
+    {
+        return *_dirPred;
+    }
+    const isa::ArchState &archState() const
+    {
+        return _oracle->state();
+    }
+
+  private:
+    /** A squashed correct-path instruction awaiting refetch. */
+    struct ReplayItem
+    {
+        std::uint64_t oracleSeq;
+        std::uint32_t pc;
+        isa::StaticInst inst;
+        bool qpTrue;
+        bool actualTaken;
+        std::uint32_t actualNextPc;
+        std::uint64_t memAddr;
+    };
+
+    /** A load whose service level is about to become known. */
+    struct TriggerEvent
+    {
+        std::uint64_t detectCycle;
+        std::uint64_t fillCycle;
+        memory::HitLevel level;
+    };
+
+    /** A correct-path control instruction awaiting resolution. */
+    struct Resolution
+    {
+        std::uint64_t cycle;
+        DynInstPtr inst;
+    };
+
+    // --- per-cycle phases, in reverse pipeline order ---
+    void evictAndCommit();
+    void resolveBranches();
+    void processTriggers();
+    void issue();
+    void enqueue();
+    void fetch();
+
+    // --- helpers ---
+    bool operandsReady(const DynInst &di) const;
+    void recordStallReason();
+    void issueOne(DynInst &di);
+    void handleControlPrediction(DynInstPtr &di, bool &taken_break);
+    DynInstPtr fetchOracle(bool &taken_break);
+    DynInstPtr fetchReplay(bool &taken_break);
+    DynInstPtr fetchWrongPath(bool &taken_break);
+    void doMispredictSquash(const DynInstPtr &branch);
+    void doTriggerSquash();
+    void finalizeIncarnation(const DynInst &di,
+                             std::uint64_t evict_cycle,
+                             std::uint8_t extra_flags);
+    void sampleOccupancy();
+    bool drained() const;
+
+    unsigned latencyOf(const isa::StaticInst &inst) const;
+
+    // --- configuration and structure ---
+    const isa::Program &_program;
+    PipelineParams _params;
+    ExposurePolicy *_policy = nullptr;
+    std::uint64_t _warmupInsts = 0;
+
+    std::unique_ptr<isa::Executor> _oracle;
+    std::unique_ptr<memory::CacheHierarchy> _dcache;
+    std::unique_ptr<branch::DirectionPredictor> _dirPred;
+    std::unique_ptr<branch::Btb> _btb;
+    std::unique_ptr<branch::Ras> _ras;
+
+    // --- machine state ---
+    std::uint64_t _cycle = 0;
+    std::uint64_t _nextSeq = 0;
+
+    std::deque<DynInstPtr> _fePipe;  ///< fetched, not yet in the IQ
+    std::deque<DynInstPtr> _iq;      ///< program order; issued prefix
+    std::size_t _iqIssued = 0;       ///< length of the issued prefix
+    std::vector<std::uint16_t> _freeEntries;
+
+    std::deque<ReplayItem> _replay;
+    std::vector<TriggerEvent> _triggers;
+    std::deque<Resolution> _resolutions;
+
+    bool _wrongPathMode = false;
+    std::uint32_t _wrongPc = 0;
+    bool _doneFetching = false;
+    bool _oracleHalted = false;
+    std::uint64_t _fetchResumeCycle = 0;
+    std::uint64_t _throttleUntil = 0;
+
+    // Scoreboard: cycle each architectural register becomes ready,
+    // plus whether the pending writer is a load (stall accounting).
+    std::vector<std::uint64_t> _intReady;
+    std::vector<std::uint64_t> _fpReady;
+    std::vector<std::uint64_t> _predReady;
+    std::vector<bool> _intByLoad;
+    std::vector<bool> _fpByLoad;
+
+    // --- results ---
+    SimTrace _trace;
+    std::uint64_t _committedTotal = 0;
+    std::uint64_t _windowStart = 0;
+    bool _windowOpen = false;
+
+    // --- statistics ---
+    statistics::Scalar statCycles;
+    statistics::Scalar statCommitted;
+    statistics::Scalar statFetched;
+    statistics::Scalar statWrongPathFetched;
+    statistics::Scalar statReplayFetched;
+    statistics::Scalar statMispredicts;
+    statistics::Scalar statTriggerSquashes;
+    statistics::Scalar statTriggerSquashedInsts;
+    statistics::Scalar statThrottleCycles;
+    statistics::Average statIqOccupancy;
+    statistics::Average statIqValid;
+    statistics::Distribution statIssueWidth;
+    statistics::Scalar statStallLoad;   ///< cycles stalled on a load
+    statistics::Scalar statStallExec;   ///< cycles stalled on an ALU/fp op
+    statistics::Scalar statStallEmpty;  ///< cycles with nothing to issue
+};
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_PIPELINE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Post-run analysis records produced by the timing model.
+ *
+ * The AVF analysis (src/avf) and the fault injector (src/faults) are
+ * post-hoc: the pipeline records, per dynamic instruction, what
+ * happened and when, and the analyses classify those records after
+ * the run, once register/memory deadness is computable from the full
+ * committed stream. This mirrors the ACE methodology of the paper's
+ * reference [18].
+ *
+ * Records are packed structs: a multi-million-instruction run keeps
+ * tens of MB of trace, so every byte matters.
+ */
+
+#ifndef SER_CPU_TRACE_HH
+#define SER_CPU_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+/** Disposition flags of one incarnation. */
+enum IncarnationFlags : std::uint8_t
+{
+    incWrongPath = 1 << 0,   ///< fetched down a mispredicted path
+    incPredFalse = 1 << 1,   ///< correct path, qualifying pred false
+    incSquashTrigger = 1 << 2,   ///< squashed by an exposure trigger
+    incSquashMispredict = 1 << 3,///< squashed by branch resolution
+    incCommitted = 1 << 4,   ///< reached commit
+};
+
+/**
+ * One instruction-queue residency of one incarnation.
+ * All cycle fields are 32-bit; runs are bounded well below 2^32
+ * cycles (the pipeline enforces this).
+ */
+struct IncarnationRecord
+{
+    std::uint32_t staticIdx;   ///< index into the Program
+    std::uint32_t oracleSeq;   ///< commit-order seq; ~0u if wrong-path
+    std::uint32_t enqueueCycle;
+    std::uint32_t issueCycle;  ///< ~0u if never issued (squashed)
+    std::uint32_t evictCycle;
+    std::uint16_t iqEntry;     ///< physical entry occupied
+    std::uint8_t flags;        ///< IncarnationFlags
+};
+
+static constexpr std::uint32_t noCycle32 = ~0u;
+static constexpr std::uint32_t noSeq32 = ~0u;
+
+/** One committed (oracle-order) instruction. */
+struct CommitRecord
+{
+    std::uint32_t staticIdx;
+    std::uint8_t qpTrue;
+    std::uint64_t memAddr;  ///< loads/stores with qpTrue; else 0
+};
+
+/** Everything a run leaves behind for analysis. */
+struct SimTrace
+{
+    const isa::Program *program = nullptr;
+
+    std::vector<CommitRecord> commits;
+    std::vector<IncarnationRecord> incarnations;
+
+    /** AVF measurement window [startCycle, endCycle). */
+    std::uint64_t startCycle = 0;
+    std::uint64_t endCycle = 0;
+
+    /** Committed instructions inside the window. */
+    std::uint64_t committedInsts = 0;
+
+    /** True if the commit stream ends at a halt (deadness at the end
+     * of the trace is then exact; otherwise tail defs are treated as
+     * live, the conservative ACE assumption). */
+    bool programHalted = false;
+
+    std::uint32_t iqEntries = 64;
+
+    double ipc() const
+    {
+        std::uint64_t cycles = endCycle - startCycle;
+        return cycles ? static_cast<double>(committedInsts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_TRACE_HH

@@ -1,0 +1,65 @@
+#include "campaign.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace ser
+{
+namespace faults
+{
+
+Interval
+wilson(std::uint64_t k, std::uint64_t n)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    const double z = 1.959964;  // 95%
+    double nn = static_cast<double>(n);
+    double p = static_cast<double>(k) / nn;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / nn;
+    double centre = p + z2 / (2.0 * nn);
+    double spread =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    return {(centre - spread) / denom, (centre + spread) / denom};
+}
+
+CampaignResult
+runCampaign(const FaultInjector &injector, const cpu::SimTrace &trace,
+            const CampaignConfig &config)
+{
+    Rng rng(config.seed);
+    CampaignResult result;
+    result.samples = config.samples;
+
+    std::uint64_t window = trace.endCycle - trace.startCycle;
+    for (std::uint64_t i = 0; i < config.samples; ++i) {
+        FaultSite site;
+        site.entry = static_cast<std::uint16_t>(
+            rng.range(trace.iqEntries));
+        site.bit = static_cast<std::uint8_t>(
+            rng.range(config.payloadOnly ? payloadBits : entryBits));
+        site.cycle = trace.startCycle + rng.range(window);
+        FaultResult fr = injector.classify(site, config.protection);
+        ++result.counts[static_cast<std::size_t>(fr.outcome)];
+    }
+    return result;
+}
+
+std::string
+CampaignResult::summary() const
+{
+    std::ostringstream os;
+    os << "samples " << samples << "\n";
+    for (int o = 0; o < numOutcomes; ++o) {
+        auto oc = static_cast<Outcome>(o);
+        Interval ci = interval(oc);
+        os << "  " << outcomeName(oc) << " " << count(oc) << " ("
+           << rate(oc) * 100 << "%, 95% CI [" << ci.lo * 100 << ", "
+           << ci.hi * 100 << "])\n";
+    }
+    return os.str();
+}
+
+} // namespace faults
+} // namespace ser

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection campaigns.
+ *
+ * Samples fault sites uniformly over (entry, bit, cycle) within a
+ * run's measurement window, classifies each with the FaultInjector,
+ * and tallies the Figure-1 outcome distribution with binomial
+ * confidence intervals. Restricting sampling to payload bits makes
+ * the SDC rate an unbiased estimator of the analytical SDC AVF (and
+ * likewise DUE rate vs DUE AVF), which the tests exploit to
+ * cross-validate the ACE analysis.
+ */
+
+#ifndef SER_FAULTS_CAMPAIGN_HH
+#define SER_FAULTS_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "faults/injector.hh"
+#include "sim/rng.hh"
+
+namespace ser
+{
+namespace faults
+{
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    std::uint64_t samples = 1000;
+    std::uint64_t seed = 0xFA117;
+    bool payloadOnly = true;  ///< sample bits 0..63 only
+    Protection protection = Protection::Parity;
+};
+
+/** A two-sided Wilson confidence interval. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** 95% Wilson score interval for k successes out of n. */
+Interval wilson(std::uint64_t k, std::uint64_t n);
+
+/** Tallied campaign outcomes. */
+struct CampaignResult
+{
+    std::uint64_t samples = 0;
+    std::array<std::uint64_t, numOutcomes> counts{};  ///< by Outcome
+
+    std::uint64_t count(Outcome o) const
+    {
+        return counts[static_cast<std::size_t>(o)];
+    }
+    double rate(Outcome o) const
+    {
+        return samples ? static_cast<double>(count(o)) /
+                             static_cast<double>(samples)
+                       : 0.0;
+    }
+    Interval interval(Outcome o) const
+    {
+        return wilson(count(o), samples);
+    }
+
+    /** SDC-rate estimate (== SDC AVF for payload-only sampling). */
+    double sdcRate() const { return rate(Outcome::Sdc); }
+    /** DUE-rate estimate (true + false). */
+    double dueRate() const
+    {
+        return rate(Outcome::TrueDue) + rate(Outcome::FalseDue);
+    }
+
+    std::string summary() const;
+};
+
+/** Run a campaign against a finished run. */
+CampaignResult runCampaign(const FaultInjector &injector,
+                           const cpu::SimTrace &trace,
+                           const CampaignConfig &config);
+
+} // namespace faults
+} // namespace ser
+
+#endif // SER_FAULTS_CAMPAIGN_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fault-site definitions for single-bit upsets in the IQ.
+ *
+ * A fault site is (physical queue entry, bit, cycle). Bits 0..63 are
+ * the instruction payload (see isa/encoding.hh for the field map);
+ * the metadata bits model the entry's valid bit, its parity bit, and
+ * the pi bit the paper adds — the paper notes that a strike on the
+ * pi bit itself is a false DUE event.
+ */
+
+#ifndef SER_FAULTS_FAULT_HH
+#define SER_FAULTS_FAULT_HH
+
+#include <cstdint>
+
+namespace ser
+{
+namespace faults
+{
+
+/** Bit indices of an instruction-queue entry. */
+constexpr int payloadBits = 64;
+constexpr int validBit = 64;
+constexpr int parityBit = 65;
+constexpr int piBit = 66;
+constexpr int entryBits = 67;  ///< payload + valid + parity + pi
+
+/** One single-bit upset. */
+struct FaultSite
+{
+    std::uint16_t entry;  ///< physical queue entry
+    std::uint8_t bit;     ///< 0..66
+    std::uint64_t cycle;  ///< when the strike lands
+
+    bool isPayload() const { return bit < payloadBits; }
+};
+
+/** Protection configured on the queue. */
+enum class Protection : std::uint8_t
+{
+    None,    ///< unprotected: strikes can cause SDC
+    Parity,  ///< detect-only: strikes on read state become DUE
+    Ecc,     ///< detect-and-correct: single-bit strikes are benign
+};
+
+/** The paper's Figure 1 outcome taxonomy. */
+enum class Outcome : std::uint8_t
+{
+    BenignNoBit,      ///< 1: fault-free entry state (idle/unread)
+    BenignNotRead,    ///< 2a: bit read-protected by squash/eviction
+    Corrected,        ///< 2b: bit affected, corrected (ECC)
+    BenignNoError,    ///< 3: read, but does not matter (un-ACE)
+    Sdc,              ///< 4: silent data corruption
+    FalseDue,         ///< 5: detected, but would not have mattered
+    TrueDue,          ///< 6: detected, and would have mattered
+    NumOutcomes
+};
+
+constexpr int numOutcomes = static_cast<int>(Outcome::NumOutcomes);
+
+const char *outcomeName(Outcome outcome);
+
+/** Is the outcome an error the user observes? */
+inline bool
+isErrorOutcome(Outcome o)
+{
+    return o == Outcome::Sdc || o == Outcome::FalseDue ||
+           o == Outcome::TrueDue;
+}
+
+} // namespace faults
+} // namespace ser
+
+#endif // SER_FAULTS_FAULT_HH

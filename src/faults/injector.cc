@@ -1,0 +1,176 @@
+#include "injector.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace faults
+{
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::BenignNoBit: return "benign-no-bit";
+      case Outcome::BenignNotRead: return "benign-not-read";
+      case Outcome::Corrected: return "corrected";
+      case Outcome::BenignNoError: return "benign-no-error";
+      case Outcome::Sdc: return "sdc";
+      case Outcome::FalseDue: return "false-due";
+      case Outcome::TrueDue: return "true-due";
+      case Outcome::NumOutcomes: break;
+    }
+    return "?";
+}
+
+ResidencyIndex::ResidencyIndex(const cpu::SimTrace &trace)
+    : _byEntry(trace.iqEntries)
+{
+    for (const auto &rec : trace.incarnations) {
+        if (rec.iqEntry < _byEntry.size())
+            _byEntry[rec.iqEntry].push_back(&rec);
+    }
+    for (auto &vec : _byEntry) {
+        std::sort(vec.begin(), vec.end(),
+                  [](const cpu::IncarnationRecord *a,
+                     const cpu::IncarnationRecord *b) {
+                      return a->enqueueCycle < b->enqueueCycle;
+                  });
+    }
+}
+
+const cpu::IncarnationRecord *
+ResidencyIndex::find(std::uint16_t entry, std::uint64_t cycle) const
+{
+    if (entry >= _byEntry.size())
+        return nullptr;
+    const auto &vec = _byEntry[entry];
+    // Last residency with enqueueCycle <= cycle.
+    auto it = std::upper_bound(
+        vec.begin(), vec.end(), cycle,
+        [](std::uint64_t c, const cpu::IncarnationRecord *r) {
+            return c < r->enqueueCycle;
+        });
+    if (it == vec.begin())
+        return nullptr;
+    const cpu::IncarnationRecord *rec = *(it - 1);
+    return cycle < rec->evictCycle ? rec : nullptr;
+}
+
+FaultInjector::FaultInjector(const isa::Program &program,
+                             const cpu::SimTrace &trace,
+                             std::vector<std::uint64_t> golden_output,
+                             std::uint64_t rerun_budget)
+    : _program(program), _trace(trace),
+      _golden(std::move(golden_output)),
+      _rerunBudget(rerun_budget
+                       ? rerun_budget
+                       : trace.commits.size() * 2 + 10000),
+      _index(trace)
+{
+}
+
+bool
+FaultInjector::corruptionChangesOutput(std::uint64_t oracle_seq,
+                                       int bit) const
+{
+    isa::Executor executor(_program);
+    executor.setCorruption(oracle_seq, 1ULL << bit);
+    isa::Termination term = executor.run(_rerunBudget);
+    if (term == isa::Termination::Trap ||
+        term == isa::Termination::MaxSteps)
+        return true;  // divergence: trapped or failed to terminate
+    return executor.state().output() != _golden;
+}
+
+FaultResult
+FaultInjector::classify(const FaultSite &site,
+                        Protection protection) const
+{
+    FaultResult result{Outcome::BenignNoBit, -1, false, false};
+
+    const cpu::IncarnationRecord *rec =
+        _index.find(site.entry, site.cycle);
+    if (!rec)
+        return result;  // idle entry: outcome 1
+
+    result.incarnationIndex = rec - _trace.incarnations.data();
+    const bool issued = rec->issueCycle != cpu::noCycle32;
+    const bool read_after = issued && site.cycle < rec->issueCycle;
+    const bool wrong_path = rec->flags & cpu::incWrongPath;
+    const bool committed = rec->flags & cpu::incCommitted;
+
+    if (protection == Protection::Ecc) {
+        // SECDED corrects any single-bit upset in the protected
+        // block on read (the check bits included): outcome 2.
+        result.outcome = read_after ? Outcome::Corrected
+                                    : Outcome::BenignNotRead;
+        return result;
+    }
+
+    if (site.bit == piBit) {
+        // A spuriously set pi bit is examined only if the
+        // instruction reaches the retire unit on the correct path;
+        // there it signals a false error (Section 4.2).
+        result.outcome =
+            committed ? Outcome::FalseDue : Outcome::BenignNotRead;
+        return result;
+    }
+    if (site.bit == parityBit) {
+        if (protection != Protection::Parity) {
+            result.outcome = Outcome::BenignNoBit;
+        } else if (read_after) {
+            // Detected on read; the payload is actually fine.
+            result.outcome = Outcome::FalseDue;
+        } else {
+            result.outcome = Outcome::BenignNotRead;
+        }
+        return result;
+    }
+    if (site.bit == validBit) {
+        // Losing the valid bit of a correct-path instruction that
+        // had yet to issue drops it from the program: SDC. Any
+        // other case just frees (or resurrects-to-garbage) an entry
+        // whose content no longer matters for the committed stream.
+        if (read_after && committed && !wrong_path)
+            result.outcome = Outcome::Sdc;
+        else
+            result.outcome = Outcome::BenignNotRead;
+        return result;
+    }
+
+    // Payload bit.
+    if (!read_after) {
+        // Struck after the last read (Ex-ACE) or in a residency
+        // that was squashed before issue: the refetch or eviction
+        // wipes the strike. Outcome 2.
+        result.outcome = Outcome::BenignNotRead;
+        return result;
+    }
+    if (wrong_path) {
+        // The corrupted instruction issues but its results never
+        // commit.
+        result.outcome = protection == Protection::Parity
+                             ? Outcome::FalseDue
+                             : Outcome::BenignNoError;
+        return result;
+    }
+
+    result.reRan = true;
+    result.outputChanged =
+        corruptionChangesOutput(rec->oracleSeq, site.bit);
+    if (protection == Protection::Parity) {
+        result.outcome = result.outputChanged ? Outcome::TrueDue
+                                              : Outcome::FalseDue;
+    } else {
+        result.outcome = result.outputChanged
+                             ? Outcome::Sdc
+                             : Outcome::BenignNoError;
+    }
+    return result;
+}
+
+} // namespace faults
+} // namespace ser

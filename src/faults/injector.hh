@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Single-bit fault injection and outcome classification.
+ *
+ * The injector classifies a fault site against a finished timing run:
+ * it maps (entry, cycle) to the incarnation that occupied the entry,
+ * decides whether the struck bit was ever read afterwards, and — for
+ * read payload bits — answers "would the program output have
+ * changed" by *functionally re-running the program with that dynamic
+ * instruction's encoding XORed at the struck bit* and comparing the
+ * output stream against the golden run. This is the statistical
+ * fault-injection methodology of the related work (Kim & Somani;
+ * Wang et al.) that the paper cites as the alternative to ACE
+ * analysis, and it lets the test suite cross-validate the analytical
+ * AVF numbers.
+ */
+
+#ifndef SER_FAULTS_INJECTOR_HH
+#define SER_FAULTS_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "faults/fault.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace faults
+{
+
+/** Maps (entry, cycle) -> incarnation record. */
+class ResidencyIndex
+{
+  public:
+    explicit ResidencyIndex(const cpu::SimTrace &trace);
+
+    /** The incarnation occupying 'entry' at 'cycle', or nullptr. */
+    const cpu::IncarnationRecord *find(std::uint16_t entry,
+                                       std::uint64_t cycle) const;
+
+  private:
+    /** Per entry, residencies sorted by enqueue cycle. */
+    std::vector<std::vector<const cpu::IncarnationRecord *>> _byEntry;
+};
+
+/** Detail of a classified fault. */
+struct FaultResult
+{
+    Outcome outcome;
+    /** The incarnation hit, if any (-1 otherwise). */
+    std::int64_t incarnationIndex = -1;
+    /** Whether a functional re-run was needed. */
+    bool reRan = false;
+    /** Whether the re-run changed the program output. */
+    bool outputChanged = false;
+};
+
+/** Classifies faults against one finished run. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param program the program that was run
+     * @param trace the finished timing trace
+     * @param golden_output the fault-free program output
+     * @param rerun_budget max instructions for a corrupted re-run
+     *        (defaults to 2x the golden dynamic length)
+     */
+    FaultInjector(const isa::Program &program,
+                  const cpu::SimTrace &trace,
+                  std::vector<std::uint64_t> golden_output,
+                  std::uint64_t rerun_budget = 0);
+
+    /** Classify one fault site under the given protection. */
+    FaultResult classify(const FaultSite &site,
+                         Protection protection) const;
+
+    /**
+     * Counterfactual: would corrupting the given bit of the given
+     * committed (oracle-order) instruction change the program
+     * output? Runs the functional executor with the corruption.
+     */
+    bool corruptionChangesOutput(std::uint64_t oracle_seq,
+                                 int bit) const;
+
+    const ResidencyIndex &residency() const { return _index; }
+
+  private:
+    const isa::Program &_program;
+    const cpu::SimTrace &_trace;
+    std::vector<std::uint64_t> _golden;
+    std::uint64_t _rerunBudget;
+    ResidencyIndex _index;
+};
+
+} // namespace faults
+} // namespace ser
+
+#endif // SER_FAULTS_INJECTOR_HH

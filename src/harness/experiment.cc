@@ -1,0 +1,62 @@
+#include "experiment.hh"
+
+#include <sstream>
+
+#include "core/trigger.hh"
+#include "cpu/pipeline.hh"
+#include "workloads/suite.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+RunArtifacts
+runProgram(const isa::Program &program,
+           const ExperimentConfig &config, const std::string &name)
+{
+    RunArtifacts out;
+    out.benchmark = name;
+    out.program = std::make_shared<isa::Program>(program);
+
+    cpu::PipelineParams params = config.pipeline;
+    if (params.maxInsts < config.dynamicTarget * 2)
+        params.maxInsts = config.dynamicTarget * 2;
+
+    cpu::InOrderPipeline pipeline(*out.program, params);
+    auto policy = core::makeTriggerPolicy(config.triggerLevel,
+                                          config.triggerAction);
+    pipeline.setExposurePolicy(policy.get());
+    pipeline.setWarmupInsts(config.warmupInsts);
+
+    out.trace = pipeline.run();
+    out.ipc = out.trace.ipc();
+
+    std::ostringstream stats;
+    pipeline.dumpStats(stats);
+    policy->dumpStats(stats);
+    out.statsDump = stats.str();
+
+    out.deadness = avf::analyzeDeadness(out.trace);
+    out.avf = avf::computeAvf(out.trace, out.deadness);
+    out.falseDue = core::analyzeFalseDue(out.avf, config.petSize);
+    return out;
+}
+
+RunArtifacts
+runBenchmark(const workloads::BenchmarkProfile &profile,
+             const ExperimentConfig &config)
+{
+    isa::Program program =
+        workloads::buildBenchmark(profile, config.dynamicTarget);
+    return runProgram(program, config, profile.name);
+}
+
+RunArtifacts
+runBenchmark(const std::string &name, const ExperimentConfig &config)
+{
+    return runBenchmark(workloads::findProfile(name), config);
+}
+
+} // namespace harness
+} // namespace ser

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The experiment driver: benchmark x configuration -> results.
+ *
+ * Wraps the whole flow the benches and examples share: build (or
+ * accept) a program, run the timing model with the configured
+ * trigger/action policy, run the deadness analysis and the AVF fold,
+ * and derive the false-DUE coverage. Heavyweight artifacts (trace,
+ * deadness labels) are returned so callers like the PET-sweep bench
+ * can do further analysis before dropping them.
+ */
+
+#ifndef SER_HARNESS_EXPERIMENT_HH
+#define SER_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "core/due_tracker.hh"
+#include "cpu/params.hh"
+#include "cpu/trace.hh"
+#include "isa/program.hh"
+#include "workloads/profile.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+/** One experiment's configuration. */
+struct ExperimentConfig
+{
+    /** Dynamic instructions the generated workload targets. */
+    std::uint64_t dynamicTarget = 1'000'000;
+
+    /** Commits before the measurement window opens. */
+    std::uint64_t warmupInsts = 50'000;
+
+    /** Exposure trigger: "none", "l0", "l1", "l2". */
+    std::string triggerLevel = "none";
+
+    /** Action when it fires: "squash", "throttle", "both". */
+    std::string triggerAction = "squash";
+
+    /** PET-buffer size for the false-DUE analysis. */
+    std::uint32_t petSize = 512;
+
+    cpu::PipelineParams pipeline;
+};
+
+/** Everything one run produces. */
+struct RunArtifacts
+{
+    std::string benchmark;
+    double ipc = 0.0;
+
+    /** The artifacts own the program so trace.program stays valid
+     * for post-hoc analyses after the caller's copy is gone. */
+    std::shared_ptr<isa::Program> program;
+
+    cpu::SimTrace trace;
+    avf::DeadnessResult deadness;
+    avf::AvfResult avf;
+    core::FalseDueAnalysis falseDue;
+
+    /** Stats dump of the pipeline tree (cache, predictor, ...). */
+    std::string statsDump;
+};
+
+/** Run one program under one configuration. */
+RunArtifacts runProgram(const isa::Program &program,
+                        const ExperimentConfig &config,
+                        const std::string &name = "program");
+
+/** Build the named surrogate and run it. */
+RunArtifacts runBenchmark(const std::string &name,
+                          const ExperimentConfig &config);
+
+/** Build a surrogate from a profile and run it. */
+RunArtifacts runBenchmark(const workloads::BenchmarkProfile &profile,
+                          const ExperimentConfig &config);
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_EXPERIMENT_HH

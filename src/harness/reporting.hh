@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Paper-style table and CSV reporting.
+ *
+ * Every bench binary prints its results as an aligned text table
+ * (the rows the paper's tables/figures report) and optionally as
+ * CSV for plotting.
+ */
+
+#ifndef SER_HARNESS_REPORTING_HH
+#define SER_HARNESS_REPORTING_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ser
+{
+namespace harness
+{
+
+/** A simple aligned text table with a CSV mode. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add a row; cell counts must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Fixed-precision numeric formatting helpers. */
+    static std::string fmt(double value, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** A titled section separator for bench output. */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_REPORTING_HH

@@ -1,0 +1,155 @@
+#include "arch_state.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(std::uint64_t addr) const
+{
+    auto it = _pages.find(addr / pageBytes);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(std::uint64_t addr)
+{
+    auto [it, inserted] = _pages.try_emplace(addr / pageBytes);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+std::uint8_t
+SparseMemory::readByte(std::uint64_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % pageBytes] : 0;
+}
+
+void
+SparseMemory::writeByte(std::uint64_t addr, std::uint8_t value)
+{
+    getPage(addr)[addr % pageBytes] = value;
+}
+
+std::uint64_t
+SparseMemory::readWord(std::uint64_t addr) const
+{
+    // Fast path: the whole word lives in one page.
+    if (addr % pageBytes <= pageBytes - 8) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t v = 0;
+        std::uint64_t off = addr % pageBytes;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | (*page)[off + static_cast<std::uint64_t>(i)];
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | readByte(addr + static_cast<std::uint64_t>(i));
+    return v;
+}
+
+void
+SparseMemory::writeWord(std::uint64_t addr, std::uint64_t value)
+{
+    if (addr % pageBytes <= pageBytes - 8) {
+        Page &page = getPage(addr);
+        std::uint64_t off = addr % pageBytes;
+        for (int i = 0; i < 8; ++i) {
+            page[off + static_cast<std::uint64_t>(i)] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        }
+        return;
+    }
+    for (int i = 0; i < 8; ++i) {
+        writeByte(addr + static_cast<std::uint64_t>(i),
+                  static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+ArchState::ArchState()
+{
+    _fpRegs[1] = std::bit_cast<std::uint64_t>(1.0);
+    _predRegs[0] = true;
+}
+
+void
+ArchState::reset(const Program &program)
+{
+    _intRegs.fill(0);
+    _fpRegs.fill(0);
+    _fpRegs[1] = std::bit_cast<std::uint64_t>(1.0);
+    _predRegs.fill(false);
+    _predRegs[0] = true;
+    _mem.clear();
+    _output.clear();
+    for (const auto &init : program.dataInits())
+        _mem.writeWord(init.addr, init.value);
+}
+
+std::uint64_t
+ArchState::readInt(int reg) const
+{
+    return reg == 0 ? 0 : _intRegs[static_cast<std::size_t>(reg)];
+}
+
+void
+ArchState::writeInt(int reg, std::uint64_t value)
+{
+    if (reg != 0)
+        _intRegs[static_cast<std::size_t>(reg)] = value;
+}
+
+double
+ArchState::readFp(int reg) const
+{
+    return std::bit_cast<double>(readFpBits(reg));
+}
+
+void
+ArchState::writeFp(int reg, double value)
+{
+    writeFpBits(reg, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t
+ArchState::readFpBits(int reg) const
+{
+    if (reg == 0)
+        return 0;
+    if (reg == 1)
+        return std::bit_cast<std::uint64_t>(1.0);
+    return _fpRegs[static_cast<std::size_t>(reg)];
+}
+
+void
+ArchState::writeFpBits(int reg, std::uint64_t bits)
+{
+    if (reg > 1)
+        _fpRegs[static_cast<std::size_t>(reg)] = bits;
+}
+
+bool
+ArchState::readPred(int reg) const
+{
+    return reg == 0 ? true : _predRegs[static_cast<std::size_t>(reg)];
+}
+
+void
+ArchState::writePred(int reg, bool value)
+{
+    if (reg != 0)
+        _predRegs[static_cast<std::size_t>(reg)] = value;
+}
+
+} // namespace isa
+} // namespace ser

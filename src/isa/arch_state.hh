@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ArchState: the full architectural state of a TIA64 machine.
+ *
+ * Registers (with the hardwired r0/f0/f1/p0 conventions), a sparse
+ * paged 64-bit byte-addressable memory, and the program output stream
+ * (the ACE sink — the only state an observer of the program can see).
+ */
+
+#ifndef SER_ISA_ARCH_STATE_HH
+#define SER_ISA_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+/** Sparse byte-addressable memory backed by 4 KiB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    std::uint8_t readByte(std::uint64_t addr) const;
+    void writeByte(std::uint64_t addr, std::uint8_t value);
+
+    /** Little-endian 8-byte accesses; unaligned accesses allowed. */
+    std::uint64_t readWord(std::uint64_t addr) const;
+    void writeWord(std::uint64_t addr, std::uint64_t value);
+
+    /** Number of pages ever touched (for footprint statistics). */
+    std::size_t numPages() const { return _pages.size(); }
+
+    void clear() { _pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    const Page *findPage(std::uint64_t addr) const;
+    Page &getPage(std::uint64_t addr);
+
+    std::unordered_map<std::uint64_t, Page> _pages;
+};
+
+/** Registers + memory + output stream. */
+class ArchState
+{
+  public:
+    ArchState();
+
+    /** Reset registers/memory/output and load a program's data. */
+    void reset(const Program &program);
+
+    // Register accessors enforce the hardwired conventions.
+    std::uint64_t readInt(int reg) const;
+    void writeInt(int reg, std::uint64_t value);
+    double readFp(int reg) const;
+    void writeFp(int reg, double value);
+    bool readPred(int reg) const;
+    void writePred(int reg, bool value);
+
+    /** Raw fp bits (for fst/fout and state comparison). */
+    std::uint64_t readFpBits(int reg) const;
+    void writeFpBits(int reg, std::uint64_t bits);
+
+    SparseMemory &memory() { return _mem; }
+    const SparseMemory &memory() const { return _mem; }
+
+    void appendOutput(std::uint64_t value)
+    {
+        _output.push_back(value);
+    }
+    const std::vector<std::uint64_t> &output() const { return _output; }
+
+  private:
+    std::array<std::uint64_t, numIntRegs> _intRegs{};
+    std::array<std::uint64_t, numFpRegs> _fpRegs{};
+    std::array<bool, numPredRegs> _predRegs{};
+    SparseMemory _mem;
+    std::vector<std::uint64_t> _output;
+};
+
+} // namespace isa
+} // namespace ser
+
+#endif // SER_ISA_ARCH_STATE_HH

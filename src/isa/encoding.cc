@@ -1,0 +1,115 @@
+#include "encoding.hh"
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+using namespace encoding;
+
+std::uint8_t
+encQp(std::uint64_t word)
+{
+    return static_cast<std::uint8_t>(extract(word, qpShift, qpBits));
+}
+
+std::uint8_t
+encOpcodeRaw(std::uint64_t word)
+{
+    return static_cast<std::uint8_t>(
+        extract(word, opcodeShift, opcodeBits));
+}
+
+std::uint8_t
+encDst(std::uint64_t word)
+{
+    return static_cast<std::uint8_t>(extract(word, dstShift, dstBits));
+}
+
+std::uint8_t
+encSrc1(std::uint64_t word)
+{
+    return static_cast<std::uint8_t>(
+        extract(word, src1Shift, src1Bits));
+}
+
+std::uint8_t
+encSrc2(std::uint64_t word)
+{
+    return static_cast<std::uint8_t>(
+        extract(word, src2Shift, src2Bits));
+}
+
+std::int32_t
+encImm(std::uint64_t word)
+{
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(extract(word, immShift, immBits)));
+}
+
+std::uint64_t
+encodeWord(std::uint8_t qp, Opcode op, std::uint8_t dst,
+           std::uint8_t src1, std::uint8_t src2, std::int32_t imm)
+{
+    std::uint64_t w = 0;
+    w = insert(w, qpShift, qpBits, qp);
+    w = insert(w, opcodeShift, opcodeBits,
+               static_cast<std::uint64_t>(op));
+    w = insert(w, dstShift, dstBits, dst);
+    w = insert(w, src1Shift, src1Bits, src1);
+    w = insert(w, src2Shift, src2Bits, src2);
+    w = insert(w, immShift, immBits,
+               static_cast<std::uint32_t>(imm));
+    return w;
+}
+
+Field
+fieldForBit(int bit)
+{
+    if (bit < 0 || bit >= payloadBits)
+        SER_PANIC("fieldForBit: bit {} out of range", bit);
+    if (bit < src2Shift)
+        return Field::Imm;
+    if (bit < src1Shift)
+        return Field::Src2;
+    if (bit < dstShift)
+        return Field::Src1;
+    if (bit < opcodeShift)
+        return Field::Dst;
+    if (bit < qpShift)
+        return Field::Opcode;
+    return Field::Qp;
+}
+
+int
+fieldWidth(Field f)
+{
+    switch (f) {
+      case Field::Qp: return qpBits;
+      case Field::Opcode: return opcodeBits;
+      case Field::Dst: return dstBits;
+      case Field::Src1: return src1Bits;
+      case Field::Src2: return src2Bits;
+      case Field::Imm: return immBits;
+    }
+    SER_PANIC("fieldWidth: bad field");
+}
+
+std::string_view
+fieldName(Field f)
+{
+    switch (f) {
+      case Field::Qp: return "qp";
+      case Field::Opcode: return "opcode";
+      case Field::Dst: return "dst";
+      case Field::Src1: return "src1";
+      case Field::Src2: return "src2";
+      case Field::Imm: return "imm";
+    }
+    SER_PANIC("fieldName: bad field");
+}
+
+} // namespace isa
+} // namespace ser

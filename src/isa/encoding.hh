@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The fixed 64-bit TIA64 instruction encoding.
+ *
+ * Layout (bit 63 is the MSB):
+ *
+ *     63      58 57      50 49   44 43   38 37   32 31         0
+ *     +---------+----------+-------+-------+-------+------------+
+ *     |   qp    |  opcode  |  dst  | src1  | src2  |    imm     |
+ *     |  6 bits |  8 bits  | 6 bits| 6 bits| 6 bits|  32 bits   |
+ *     +---------+----------+-------+-------+-------+------------+
+ *
+ * The per-bit field map (fieldForBit) is what lets the AVF analysis
+ * apply the paper's field-sensitive un-ACE rules — e.g. "a strike on
+ * any bit of a dynamically dead instruction, except the destination
+ * register specifier bits, will not change the final outcome"
+ * (Section 4.1) — and lets the fault injector name the field it hit.
+ */
+
+#ifndef SER_ISA_ENCODING_HH
+#define SER_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/isa.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+/** The named fields of the 64-bit encoding. */
+enum class Field : std::uint8_t
+{
+    Qp,
+    Opcode,
+    Dst,
+    Src1,
+    Src2,
+    Imm,
+};
+
+/** Bit positions (LSB index of each field). */
+namespace encoding
+{
+constexpr int immShift = 0;
+constexpr int immBits = 32;
+constexpr int src2Shift = 32;
+constexpr int src2Bits = 6;
+constexpr int src1Shift = 38;
+constexpr int src1Bits = 6;
+constexpr int dstShift = 44;
+constexpr int dstBits = 6;
+constexpr int opcodeShift = 50;
+constexpr int opcodeBits = 8;
+constexpr int qpShift = 58;
+constexpr int qpBits = 6;
+
+constexpr int payloadBits = 64;
+
+/** Extract an unsigned field. */
+constexpr std::uint64_t
+extract(std::uint64_t word, int shift, int bits)
+{
+    return (word >> shift) & ((1ULL << bits) - 1);
+}
+
+/** Insert an unsigned field (value is masked to width). */
+constexpr std::uint64_t
+insert(std::uint64_t word, int shift, int bits, std::uint64_t value)
+{
+    std::uint64_t mask = ((1ULL << bits) - 1) << shift;
+    return (word & ~mask) | ((value << shift) & mask);
+}
+
+} // namespace encoding
+
+/** Field accessors over a raw encoding word. */
+std::uint8_t encQp(std::uint64_t word);
+std::uint8_t encOpcodeRaw(std::uint64_t word);
+std::uint8_t encDst(std::uint64_t word);
+std::uint8_t encSrc1(std::uint64_t word);
+std::uint8_t encSrc2(std::uint64_t word);
+std::int32_t encImm(std::uint64_t word);
+
+/** Build an encoding word from field values. */
+std::uint64_t encodeWord(std::uint8_t qp, Opcode op, std::uint8_t dst,
+                         std::uint8_t src1, std::uint8_t src2,
+                         std::int32_t imm);
+
+/** The field that payload bit 'bit' (0 = LSB) belongs to. */
+Field fieldForBit(int bit);
+
+/** Number of bits in a field. */
+int fieldWidth(Field f);
+
+/** Human-readable field name. */
+std::string_view fieldName(Field f);
+
+} // namespace isa
+} // namespace ser
+
+#endif // SER_ISA_ENCODING_HH

@@ -1,0 +1,109 @@
+#include "isa.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+namespace
+{
+
+using RC = RegClass;
+using OC = OpClass;
+
+/** One row per opcode, indexed by the opcode's numeric value. */
+constexpr std::array<OpInfo, numOpcodes> opTable = {{
+    // mnemonic   class       dst       src1      src2      imm   neut  mem   ctrl  out
+    {"nop",       OC::Nop,    RC::None, RC::None, RC::None, false, true,  false, false, false},
+    {"prefetch",  OC::Load,   RC::None, RC::Int,  RC::None, true,  true,  true,  false, false},
+    {"hint",      OC::Nop,    RC::None, RC::None, RC::None, false, true,  false, false, false},
+
+    {"halt",      OC::Other,  RC::None, RC::None, RC::None, false, false, false, true,  false},
+    {"out",       OC::Other,  RC::None, RC::Int,  RC::None, false, false, false, false, true},
+    {"fout",      OC::Other,  RC::None, RC::Fp,   RC::None, false, false, false, false, true},
+
+    {"add",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"sub",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"mul",       OC::IntMul, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"divq",      OC::IntDiv, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"remq",      OC::IntDiv, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"and",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"or",        OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"xor",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"andc",      OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"shl",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"shr",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+    {"sar",       OC::IntAlu, RC::Int,  RC::Int,  RC::Int,  false, false, false, false, false},
+
+    {"addi",      OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+    {"andi",      OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+    {"ori",       OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+    {"xori",      OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+    {"shli",      OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+    {"shri",      OC::IntAlu, RC::Int,  RC::Int,  RC::None, true,  false, false, false, false},
+
+    {"movi",      OC::IntAlu, RC::Int,  RC::None, RC::None, true,  false, false, false, false},
+
+    {"cmpeq",     OC::IntAlu, RC::Pred, RC::Int,  RC::Int,  false, false, false, false, false},
+    {"cmpne",     OC::IntAlu, RC::Pred, RC::Int,  RC::Int,  false, false, false, false, false},
+    {"cmplt",     OC::IntAlu, RC::Pred, RC::Int,  RC::Int,  false, false, false, false, false},
+    {"cmple",     OC::IntAlu, RC::Pred, RC::Int,  RC::Int,  false, false, false, false, false},
+    {"cmpltu",    OC::IntAlu, RC::Pred, RC::Int,  RC::Int,  false, false, false, false, false},
+    {"cmpieq",    OC::IntAlu, RC::Pred, RC::Int,  RC::None, true,  false, false, false, false},
+    {"cmpilt",    OC::IntAlu, RC::Pred, RC::Int,  RC::None, true,  false, false, false, false},
+
+    {"fadd",      OC::FpAdd,  RC::Fp,   RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"fsub",      OC::FpAdd,  RC::Fp,   RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"fmul",      OC::FpMul,  RC::Fp,   RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"fdiv",      OC::FpDiv,  RC::Fp,   RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"fcmplt",    OC::FpAdd,  RC::Pred, RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"fcmpeq",    OC::FpAdd,  RC::Pred, RC::Fp,   RC::Fp,   false, false, false, false, false},
+    {"i2f",       OC::FpCvt,  RC::Fp,   RC::Int,  RC::None, false, false, false, false, false},
+    {"f2i",       OC::FpCvt,  RC::Int,  RC::Fp,   RC::None, false, false, false, false, false},
+
+    {"ld8",       OC::Load,   RC::Int,  RC::Int,  RC::None, true,  false, true,  false, false},
+    {"st8",       OC::Store,  RC::None, RC::Int,  RC::Int,  true,  false, true,  false, false},
+    {"fld",       OC::Load,   RC::Fp,   RC::Int,  RC::None, true,  false, true,  false, false},
+    {"fst",       OC::Store,  RC::None, RC::Int,  RC::Fp,   true,  false, true,  false, false},
+
+    {"br",        OC::Branch, RC::None, RC::None, RC::None, true,  false, false, true,  false},
+    {"bri",       OC::Branch, RC::None, RC::Int,  RC::None, false, false, false, true,  false},
+    {"call",      OC::Branch, RC::Int,  RC::None, RC::None, true,  false, false, true,  false},
+    {"ret",       OC::Branch, RC::None, RC::Int,  RC::None, false, false, false, true,  false},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= opTable.size())
+        SER_PANIC("opInfo: invalid opcode {}", idx);
+    return opTable[idx];
+}
+
+bool
+opcodeValid(std::uint8_t raw)
+{
+    return raw < numOpcodes;
+}
+
+bool
+opcodeFromMnemonic(std::string_view mnemonic, Opcode &op)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        if (opTable[static_cast<std::size_t>(i)].mnemonic == mnemonic) {
+            op = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace isa
+} // namespace ser

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Core definitions of the TIA64 mini-ISA.
+ *
+ * TIA64 is a small, fully predicated, IA64-flavoured 64-bit ISA built
+ * for this reproduction. Every instruction carries a qualifying
+ * predicate (like Itanium), there are large int/fp/predicate register
+ * files, and the instruction set includes the "neutral" instruction
+ * types the paper cares about (no-ops, prefetches, branch hints) as
+ * well as an explicit output instruction that defines the ACE
+ * endpoint of a program.
+ *
+ * The fixed 64-bit encoding (see encoding.hh) gives every instruction
+ * bit a defined meaning, which the AVF analysis and the fault
+ * injector rely on.
+ */
+
+#ifndef SER_ISA_ISA_HH
+#define SER_ISA_ISA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ser
+{
+namespace isa
+{
+
+/** Architectural register-file sizes. */
+constexpr int numIntRegs = 64;   ///< r0 is hardwired to zero.
+constexpr int numFpRegs = 64;    ///< f0 == 0.0, f1 == 1.0 (hardwired).
+constexpr int numPredRegs = 64;  ///< p0 is hardwired to true.
+
+/** Code layout: instruction i lives at codeBase + i * instBytes. */
+constexpr std::uint64_t codeBase = 0x1000;
+constexpr std::uint64_t instBytes = 8;
+
+/** Default base of generated programs' data segments. */
+constexpr std::uint64_t dataBase = 0x100000;
+
+/** Which register file an operand names. */
+enum class RegClass : std::uint8_t
+{
+    None,  ///< operand slot unused by this opcode
+    Int,
+    Fp,
+    Pred,
+};
+
+/**
+ * TIA64 opcodes. The numeric values are the 8-bit opcode field of the
+ * encoding and must stay dense from 0 so decode can table-index.
+ */
+enum class Opcode : std::uint8_t
+{
+    // Neutral instruction types (paper Section 4.1).
+    Nop = 0,
+    Prefetch,  ///< touch dcache at [src1 + imm]; no architectural effect
+    Hint,      ///< branch-predict hint; no architectural effect
+
+    // Program control of the simulation itself.
+    Halt,      ///< stop the program
+    Out,       ///< append int src1 to the program output (the ACE sink)
+    FOut,      ///< append fp src1 (raw bits) to the program output
+
+    // Integer ALU, register forms: dst = src1 op src2.
+    Add, Sub, Mul, Divq, Remq,
+    And, Or, Xor, Andc,
+    Shl, Shr, Sar,
+
+    // Integer ALU, immediate forms: dst = src1 op imm.
+    Addi, Andi, Ori, Xori, Shli, Shri,
+
+    // dst = sign-extended 32-bit immediate.
+    Movi,
+
+    // Compares write a predicate register: pdst = src1 op src2.
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpLtu,
+    CmpiEq, CmpiLt,  ///< immediate compare: pdst = src1 op imm
+
+    // Floating point: dst = src1 op src2 (doubles).
+    Fadd, Fsub, Fmul, Fdiv,
+    FcmpLt, FcmpEq,  ///< pdst = fsrc1 op fsrc2
+    I2f,             ///< fdst = double(int src1)
+    F2i,             ///< dst = int64(fp src1)
+
+    // Memory: 8-byte accesses at [src1 + imm].
+    Ld8,   ///< dst = mem[src1 + imm]
+    St8,   ///< mem[src1 + imm] = src2
+    Fld,   ///< fdst = mem[src1 + imm]
+    Fst,   ///< mem[src1 + imm] = fsrc2
+
+    // Control transfer. All branches are predicated on qp.
+    Br,    ///< pc = imm (instruction index) if qp
+    Bri,   ///< pc = index(src1) if qp (indirect)
+    Call,  ///< dst = link address; pc = imm; pushes call depth
+    Ret,   ///< pc = index(src1); pops call depth
+
+    NumOpcodes
+};
+
+constexpr int numOpcodes = static_cast<int>(Opcode::NumOpcodes);
+
+/** Functional-unit class; determines execution latency. */
+enum class OpClass : std::uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    FpCvt,
+    Load,
+    Store,
+    Branch,
+    Other,
+};
+
+/**
+ * Static properties of one opcode. A single table (opInfo) drives the
+ * decoder, the assembler, the functional executor and the AVF
+ * classifier so they can never disagree.
+ */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    OpClass opClass;
+    RegClass dstClass;   ///< RegClass::None if no destination
+    RegClass src1Class;
+    RegClass src2Class;
+    bool usesImm;
+    bool isNeutral;      ///< no-op / prefetch / hint (paper Section 4.1)
+    bool isMem;          ///< accesses data memory (incl. prefetch)
+    bool isControl;      ///< may redirect the pc
+    bool isOutput;       ///< writes the program output (ACE sink)
+};
+
+/** Metadata for an opcode; valid for raw values < numOpcodes. */
+const OpInfo &opInfo(Opcode op);
+
+/** True if the raw 8-bit opcode field names a defined opcode. */
+bool opcodeValid(std::uint8_t raw);
+
+/** Mnemonic lookup used by the assembler; returns false if unknown. */
+bool opcodeFromMnemonic(std::string_view mnemonic, Opcode &op);
+
+} // namespace isa
+} // namespace ser
+
+#endif // SER_ISA_ISA_HH

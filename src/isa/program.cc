@@ -1,0 +1,100 @@
+#include "program.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+std::size_t
+Program::append(const StaticInst &inst)
+{
+    _insts.push_back(inst);
+    return _insts.size() - 1;
+}
+
+void
+Program::defineLabel(const std::string &name, std::size_t index)
+{
+    auto [it, inserted] = _labels.emplace(name, index);
+    if (!inserted)
+        SER_FATAL("program: duplicate label '{}'", name);
+}
+
+std::size_t
+Program::labelIndex(const std::string &name) const
+{
+    auto it = _labels.find(name);
+    if (it == _labels.end())
+        SER_FATAL("program: undefined label '{}'", name);
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return _labels.count(name) > 0;
+}
+
+void
+Program::addData(std::uint64_t addr, std::uint64_t value)
+{
+    _data.push_back({addr, value});
+}
+
+const StaticInst &
+Program::inst(std::size_t index) const
+{
+    if (index >= _insts.size())
+        SER_PANIC("program: instruction index {} out of range ({})",
+                  index, _insts.size());
+    return _insts[index];
+}
+
+StaticInst &
+Program::inst(std::size_t index)
+{
+    if (index >= _insts.size())
+        SER_PANIC("program: instruction index {} out of range ({})",
+                  index, _insts.size());
+    return _insts[index];
+}
+
+bool
+Program::addrInCode(std::uint64_t addr, std::size_t num_insts)
+{
+    return addr >= codeBase && addr % instBytes == 0 &&
+           (addr - codeBase) / instBytes < num_insts;
+}
+
+std::size_t
+Program::addrToIndex(std::uint64_t addr)
+{
+    return (addr - codeBase) / instBytes;
+}
+
+std::string
+Program::disassemble() const
+{
+    // Invert the label map for printing.
+    std::map<std::size_t, std::vector<std::string>> by_index;
+    for (const auto &[name, index] : _labels)
+        by_index[index].push_back(name);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < _insts.size(); ++i) {
+        auto it = by_index.find(i);
+        if (it != by_index.end()) {
+            for (const auto &name : it->second)
+                os << name << ":\n";
+        }
+        os << "    " << _insts[i].toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace isa
+} // namespace ser

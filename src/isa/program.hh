@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Program: a TIA64 executable image.
+ *
+ * Holds the static instruction sequence (instruction i lives at
+ * address codeBase + i * instBytes), named labels, and the initial
+ * contents of the data segment. Programs are produced either by the
+ * assembler (from text) or directly by the workload builder.
+ */
+
+#ifndef SER_ISA_PROGRAM_HH
+#define SER_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/static_inst.hh"
+
+namespace ser
+{
+namespace isa
+{
+
+/** One 8-byte initialised data word. */
+struct DataInit
+{
+    std::uint64_t addr;
+    std::uint64_t value;
+};
+
+/** An executable TIA64 image. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Append an instruction; returns its instruction index. */
+    std::size_t append(const StaticInst &inst);
+
+    /** Define a label at the given instruction index. */
+    void defineLabel(const std::string &name, std::size_t index);
+
+    /** Look up a label; fatal error if undefined. */
+    std::size_t labelIndex(const std::string &name) const;
+    bool hasLabel(const std::string &name) const;
+
+    /** Add an initial data word. */
+    void addData(std::uint64_t addr, std::uint64_t value);
+
+    std::size_t size() const { return _insts.size(); }
+    bool empty() const { return _insts.empty(); }
+
+    const StaticInst &inst(std::size_t index) const;
+    StaticInst &inst(std::size_t index);
+
+    const std::vector<StaticInst> &instructions() const
+    {
+        return _insts;
+    }
+    const std::vector<DataInit> &dataInits() const { return _data; }
+    const std::map<std::string, std::size_t> &labels() const
+    {
+        return _labels;
+    }
+
+    /** Entry point (instruction index); defaults to 0. */
+    std::size_t entry() const { return _entry; }
+    void setEntry(std::size_t index) { _entry = index; }
+
+    /** Address <-> instruction-index mapping. */
+    static std::uint64_t indexToAddr(std::size_t index)
+    {
+        return codeBase + index * instBytes;
+    }
+    static bool addrInCode(std::uint64_t addr, std::size_t num_insts);
+    static std::size_t addrToIndex(std::uint64_t addr);
+
+    /** Full text disassembly (with labels). */
+    std::string disassemble() const;
+
+  private:
+    std::vector<StaticInst> _insts;
+    std::map<std::string, std::size_t> _labels;
+    std::vector<DataInit> _data;
+    std::size_t _entry = 0;
+};
+
+} // namespace isa
+} // namespace ser
+
+#endif // SER_ISA_PROGRAM_HH

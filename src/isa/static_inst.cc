@@ -1,0 +1,103 @@
+#include "static_inst.hh"
+
+#include <sstream>
+
+namespace ser
+{
+namespace isa
+{
+
+StaticInst::StaticInst(Opcode op, std::uint8_t qp, std::uint8_t dst,
+                       std::uint8_t src1, std::uint8_t src2,
+                       std::int32_t imm)
+    : _op(op), _qp(qp & 0x3f), _dst(dst & 0x3f), _src1(src1 & 0x3f),
+      _src2(src2 & 0x3f), _imm(imm)
+{
+}
+
+bool
+StaticInst::decode(std::uint64_t word, StaticInst &inst)
+{
+    std::uint8_t raw = encOpcodeRaw(word);
+    if (!opcodeValid(raw)) {
+        inst = StaticInst();
+        return false;
+    }
+    inst = StaticInst(static_cast<Opcode>(raw), encQp(word),
+                      encDst(word), encSrc1(word), encSrc2(word),
+                      encImm(word));
+    return true;
+}
+
+std::uint64_t
+StaticInst::encode() const
+{
+    return encodeWord(_qp, _op, _dst, _src1, _src2, _imm);
+}
+
+namespace
+{
+
+char
+regPrefix(RegClass rc)
+{
+    switch (rc) {
+      case RegClass::Int: return 'r';
+      case RegClass::Fp: return 'f';
+      case RegClass::Pred: return 'p';
+      case RegClass::None: return '?';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+StaticInst::toString() const
+{
+    std::ostringstream os;
+    const OpInfo &oi = info();
+    if (_qp != 0)
+        os << "(p" << int(_qp) << ") ";
+    os << oi.mnemonic;
+
+    bool mem_form = isMem() && !isPrefetch();
+    if (mem_form) {
+        if (isLoad()) {
+            os << " " << regPrefix(oi.dstClass) << int(_dst) << " = ["
+               << "r" << int(_src1) << ", " << _imm << "]";
+        } else {
+            os << " [r" << int(_src1) << ", " << _imm << "] = "
+               << regPrefix(oi.src2Class) << int(_src2);
+        }
+        return os.str();
+    }
+    if (isPrefetch()) {
+        os << " [r" << int(_src1) << ", " << _imm << "]";
+        return os.str();
+    }
+
+    bool first = true;
+    if (oi.dstClass != RegClass::None) {
+        os << " " << regPrefix(oi.dstClass) << int(_dst) << " =";
+        first = true;
+    }
+    auto emit_operand = [&](const std::string &text) {
+        os << (first ? " " : ", ") << text;
+        first = false;
+    };
+    if (oi.src1Class != RegClass::None) {
+        emit_operand(std::string(1, regPrefix(oi.src1Class)) +
+                     std::to_string(int(_src1)));
+    }
+    if (oi.src2Class != RegClass::None) {
+        emit_operand(std::string(1, regPrefix(oi.src2Class)) +
+                     std::to_string(int(_src2)));
+    }
+    if (oi.usesImm)
+        emit_operand(std::to_string(_imm));
+    return os.str();
+}
+
+} // namespace isa
+} // namespace ser

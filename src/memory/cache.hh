@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A set-associative cache model with true-LRU replacement.
+ *
+ * Timing-only: the cache tracks tags, not data (the functional
+ * executor owns the data). The pipeline asks the CacheHierarchy for
+ * an access latency; individual Cache objects answer hit/miss and
+ * maintain replacement state.
+ */
+
+#ifndef SER_MEMORY_CACHE_HH
+#define SER_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ser
+{
+namespace memory
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 8 * 1024;
+    std::uint64_t lineBytes = 64;
+    unsigned assoc = 4;
+    unsigned hitLatency = 2;  ///< cycles, load-to-use at this level
+};
+
+/** One level of tag storage with LRU replacement. */
+class Cache : public statistics::StatGroup
+{
+  public:
+    Cache(const CacheParams &params,
+          statistics::StatGroup *parent = nullptr);
+
+    /**
+     * Look up 'addr'; on a hit, refresh LRU state. Does not allocate
+     * on a miss — call fill() for that (the hierarchy decides fill
+     * policy). Returns true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Tag check with no side effects (no LRU update, no stats). */
+    bool probe(std::uint64_t addr) const;
+
+    /** Insert the line holding 'addr', evicting the LRU way. */
+    void fill(std::uint64_t addr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    const CacheParams &params() const { return _params; }
+    std::uint64_t numSets() const { return _numSets; }
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(statHits.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(statMisses.value());
+    }
+    double missRate() const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const
+    {
+        return addr / _params.lineBytes;
+    }
+    std::uint64_t setIndex(std::uint64_t addr) const
+    {
+        return lineAddr(addr) % _numSets;
+    }
+    std::uint64_t tagOf(std::uint64_t addr) const
+    {
+        return lineAddr(addr) / _numSets;
+    }
+
+    CacheParams _params;
+    std::uint64_t _numSets;
+    std::vector<Line> _lines;  ///< numSets * assoc, set-major
+    std::uint64_t _stamp = 0;
+
+    statistics::Scalar statHits;
+    statistics::Scalar statMisses;
+    statistics::Scalar statFills;
+};
+
+} // namespace memory
+} // namespace ser
+
+#endif // SER_MEMORY_CACHE_HH

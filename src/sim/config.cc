@@ -1,0 +1,114 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace ser
+{
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (!parseAssignment(token))
+            _positional.push_back(token);
+    }
+}
+
+bool
+Config::parseAssignment(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(token.substr(0, eq), token.substr(eq + 1));
+    return true;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    _values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return _values.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = _values.find(key);
+    return it == _values.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (!end || *end != '\0')
+        SER_FATAL("config: {} = '{}' is not an integer", key,
+                  it->second);
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (!end || *end != '\0')
+        SER_FATAL("config: {} = '{}' is not an unsigned integer", key,
+                  it->second);
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (!end || *end != '\0')
+        SER_FATAL("config: {} = '{}' is not a number", key, it->second);
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    SER_FATAL("config: {} = '{}' is not a boolean", key, it->second);
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::items() const
+{
+    return {_values.begin(), _values.end()};
+}
+
+} // namespace ser

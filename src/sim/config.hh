@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A tiny key=value configuration/parameter store.
+ *
+ * Used by examples and benches to override simulator parameters from
+ * the command line without a heavyweight options library. Keys are
+ * dotted strings ("cpu.iq_entries"); values are parsed on demand.
+ */
+
+#ifndef SER_SIM_CONFIG_HH
+#define SER_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ser
+{
+
+/** String-keyed parameter store with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key=value" tokens (e.g. from argv); tokens without '='
+     * are collected as positional arguments. */
+    void parseArgs(int argc, char **argv);
+
+    /** Parse a single "key=value" string; returns false if malformed. */
+    bool parseAssignment(const std::string &token);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal error on unparsable values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+    /** All key=value pairs, sorted by key (for reproducibility logs). */
+    std::vector<std::pair<std::string, std::string>> items() const;
+
+  private:
+    std::map<std::string, std::string> _values;
+    std::vector<std::string> _positional;
+};
+
+} // namespace ser
+
+#endif // SER_SIM_CONFIG_HH

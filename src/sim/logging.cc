@@ -1,0 +1,49 @@
+#include "logging.hh"
+
+namespace ser
+{
+
+namespace logging_detail
+{
+
+bool quiet = false;
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+
+void
+setLogQuiet(bool quiet)
+{
+    logging_detail::quiet = quiet;
+}
+
+} // namespace ser

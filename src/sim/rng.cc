@@ -1,0 +1,117 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ser
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    if (bound == 0)
+        SER_PANIC("Rng::range with zero bound");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::rangeInclusive(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        SER_PANIC("Rng::rangeInclusive with lo {} > hi {}", lo, hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(range(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits into a double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::skewed(std::uint64_t n, double decay)
+{
+    if (n == 0)
+        SER_PANIC("Rng::skewed with zero n");
+    if (decay <= 0.0 || decay >= 1.0)
+        return range(n);
+    // Inverse-CDF sampling of a truncated geometric distribution.
+    double u = uniform();
+    double denom = 1.0 - std::pow(decay, static_cast<double>(n));
+    double val = std::log(1.0 - u * denom) / std::log(decay);
+    auto idx = static_cast<std::uint64_t>(val);
+    return idx >= n ? n - 1 : idx;
+}
+
+} // namespace ser

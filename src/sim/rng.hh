@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Everything stochastic in the simulator draws from an explicitly
+ * seeded Rng so that every experiment is exactly reproducible. The
+ * generator is xoshiro256** (Blackman & Vigna), which is fast, has a
+ * 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef SER_SIM_RNG_HH
+#define SER_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ser
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * used with standard <random> distributions if needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound), bias-free; bound must be > 0. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t rangeInclusive(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Geometric-ish pick: index in [0, n) biased toward 0 with the
+     * given decay in (0, 1); used for skewed workload choices. */
+    std::uint64_t skewed(std::uint64_t n, double decay);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace ser
+
+#endif // SER_SIM_RNG_HH

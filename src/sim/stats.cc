@@ -1,0 +1,207 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ser
+{
+namespace statistics
+{
+
+StatBase::StatBase(StatGroup *parent, std::string name,
+                   std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+StatBase::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << _name << " " << value() << " # " << _desc << "\n";
+}
+
+void
+Average::sample(double v)
+{
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    ++_count;
+}
+
+double
+Average::value() const
+{
+    return _count ? _sum / static_cast<double>(_count) : 0.0;
+}
+
+void
+Average::reset()
+{
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+    _count = 0;
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::mean " << value() << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::count " << _count << "\n";
+    if (_count) {
+        os << prefix << name() << "::min " << _min << "\n";
+        os << prefix << name() << "::max " << _max << "\n";
+    }
+}
+
+Distribution::Distribution(StatGroup *parent, std::string name,
+                           std::string desc, double min, double max,
+                           double bucket_size)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _min(min), _max(max), _bucketSize(bucket_size)
+{
+    if (bucket_size <= 0.0 || max <= min)
+        SER_PANIC("Distribution {}: bad bucket spec [{}, {}) / {}",
+                  this->name(), min, max, bucket_size);
+    auto n = static_cast<std::size_t>(
+        std::ceil((max - min) / bucket_size));
+    _buckets.assign(n, 0);
+}
+
+void
+Distribution::sample(double v, std::uint64_t weight)
+{
+    _count += weight;
+    _sum += v * static_cast<double>(weight);
+    if (v < _min) {
+        _underflow += weight;
+    } else if (v >= _max) {
+        _overflow += weight;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _min) / _bucketSize);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        _buckets[idx] += weight;
+    }
+}
+
+double
+Distribution::value() const
+{
+    return _count ? _sum / static_cast<double>(_count) : 0.0;
+}
+
+std::uint64_t
+Distribution::bucketCount(std::size_t i) const
+{
+    if (i >= _buckets.size())
+        SER_PANIC("Distribution {}: bucket {} out of range", name(), i);
+    return _buckets[i];
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = 0.0;
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::mean " << value() << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::count " << _count << "\n";
+    if (_underflow)
+        os << prefix << name() << "::underflows " << _underflow << "\n";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (!_buckets[i])
+            continue;
+        double lo = _min + static_cast<double>(i) * _bucketSize;
+        os << prefix << name() << "::[" << lo << ","
+           << lo + _bucketSize << ") " << _buckets[i] << "\n";
+    }
+    if (_overflow)
+        os << prefix << name() << "::overflows " << _overflow << "\n";
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      _fn(std::move(fn))
+{
+    if (!_fn)
+        SER_PANIC("Formula {} constructed with empty function",
+                  this->name());
+}
+
+double
+Formula::value() const
+{
+    return _fn();
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), _parent(parent)
+{
+    if (_parent)
+        _parent->_children.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (_parent) {
+        auto &sibs = _parent->_children;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this),
+                   sibs.end());
+    }
+}
+
+void
+StatGroup::addStat(StatBase *stat)
+{
+    _stats.push_back(stat);
+}
+
+void
+StatGroup::dumpStats(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    if (!full.empty())
+        full += ".";
+    for (const auto *stat : _stats)
+        stat->print(os, full);
+    std::string child_prefix =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto *child : _children)
+        child->dumpStats(os, child_prefix);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (auto *stat : _stats)
+        stat->reset();
+    for (auto *child : _children)
+        child->resetStats();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const auto *stat : _stats) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+} // namespace statistics
+} // namespace ser

@@ -1,0 +1,665 @@
+#include "kernels.hh"
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace workloads
+{
+
+namespace
+{
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::uint64_t
+fpBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/**
+ * Wraps an AsmBuilder with the profile's decorations: every emitted
+ * body instruction may be followed by bundle-padding no-ops, and
+ * finish() sprinkles the iteration's dead code and predicated arms.
+ */
+class Body
+{
+  public:
+    Body(AsmBuilder &b, KernelContext &ctx)
+        : _b(b), _ctx(ctx), _count(0)
+    {
+    }
+
+    void
+    op(const std::string &text)
+    {
+        _b.op(text);
+        ++_count;
+        _b.maybeNoop(_ctx.profile.noopDensity);
+    }
+
+    void
+    pred(int p, const std::string &text)
+    {
+        _b.pred(p, text);
+        ++_count;
+        _b.maybeNoop(_ctx.profile.noopDensity);
+    }
+
+    /** An in-program LCG step leaving random bits in r8. */
+    void
+    lcgStep()
+    {
+        op("mul r61 = r61, r30");
+        op("add r61 = r61, r31");
+        op("shri r8 = r61, 16");
+    }
+
+    /** A data-dependent conditional branch keyed on 'src'. */
+    void
+    entropyBranch(const std::string &src)
+    {
+        unsigned e = _ctx.profile.entropyBits;
+        if (e == 0)
+            return;
+        // Mostly-taken with a data-dependent miss rate of about
+        // e*16/256: real compiled loops take branches every few
+        // bundles, which is what keeps fetch (and hence queue
+        // occupancy) honest.
+        unsigned threshold = 256 - std::min(255u, e * 16);
+        std::string skip = _b.newLabel("ebr");
+        op("andi r38 = " + src + ", 255");
+        op("cmpilt p6 = r38, " + num(threshold));
+        pred(6, "br " + skip);
+        op("addi r63 = r63, 1");
+        op("xori r37 = r63, 27");
+        op("add r63 = r63, r37");
+        _b.label(skip);
+    }
+
+    /** Maybe prefetch near the given address register. */
+    void
+    maybePrefetch(const std::string &addr_reg, int offset)
+    {
+        if (_b.rng().chance(_ctx.profile.prefetchDensity)) {
+            op("prefetch [" + addr_reg + ", " +
+               std::to_string(offset) + "]");
+        }
+    }
+
+    /** Apply the per-iteration dead-code / predication quota. */
+    void
+    finish()
+    {
+        const BenchmarkProfile &p = _ctx.profile;
+        double dead = p.deadPerIter;
+        while (dead >= 1.0 || _b.rng().chance(dead)) {
+            double roll = _b.rng().uniform();
+            bool transitive = roll < 0.28;
+            bool via_store = !transitive && roll < 0.62;
+            _b.deadCode(transitive, via_store, _ctx.scratchBase);
+            _count += transitive || via_store ? 2 : 1;
+            dead -= 1.0;
+            if (dead < 0.0)
+                break;
+        }
+        if (_b.rng().chance(p.predPerIter)) {
+            _b.predicatedArms(10, _ctx.hotReg, 36);
+            _count += 5;
+            if (_b.rng().chance(0.5)) {
+                op("xor r63 = r63, r36");
+            }
+        }
+        if (_b.rng().chance(0.5)) {
+            _b.rareDeadWrite(_ctx.hotReg);
+            _count += 3;
+        }
+    }
+
+    std::uint64_t count() const { return _count; }
+
+  private:
+    AsmBuilder &_b;
+    KernelContext &_ctx;
+    std::uint64_t _count;
+};
+
+/** Fill [base, base + words*8) with pseudo-random integer words. */
+void
+fillRandomWords(KernelContext &ctx, std::uint64_t base,
+                std::uint64_t words)
+{
+    for (std::uint64_t i = 0; i < words; ++i)
+        ctx.data.push_back({base + i * 8, ctx.dataRng.next()});
+}
+
+/** Fill with random doubles in [0, 1000). */
+void
+fillRandomDoubles(KernelContext &ctx, std::uint64_t base,
+                  std::uint64_t words)
+{
+    for (std::uint64_t i = 0; i < words; ++i) {
+        double v = ctx.dataRng.uniform() * 1000.0;
+        ctx.data.push_back({base + i * 8, fpBits(v)});
+    }
+}
+
+// ---------------------------------------------------------------
+// Per-kernel prologues and bodies.
+// ---------------------------------------------------------------
+
+std::uint64_t
+prologPointerChase(AsmBuilder &b, KernelContext &ctx)
+{
+    // Nodes are 16 bytes: [next, payload]. The chase runs through
+    // short sequential clusters (spatial locality) joined by jumps
+    // that mostly stay in a hot region and occasionally go cold —
+    // mimicking mcf/ammp's mix of resident and memory-bound
+    // traversal.
+    std::uint64_t nodes = ctx.profile.wsWords / 2;
+    if (nodes < 64)
+        nodes = 64;
+
+    auto node_addr = [&](std::uint64_t n) {
+        return ctx.arrayA + 16 * n;
+    };
+    // Sequential ring pointers give the short spatially-local runs;
+    // the body's LCG-computed jumps supply the hot/cold reuse mix
+    // (a fixed pointer graph would collapse onto a short orbit and
+    // cache completely).
+    for (std::uint64_t n = 0; n < nodes; ++n) {
+        ctx.data.push_back(
+            {node_addr(n), node_addr((n + 1) & (nodes - 1))});
+        ctx.data.push_back({node_addr(n) + 8, ctx.dataRng.next()});
+    }
+    b.op("movi r51 = " + num(ctx.arrayA));
+    ctx.hotReg = 5;
+    return 1;
+}
+
+std::uint64_t
+bodyPointerChase(AsmBuilder &raw, KernelContext &ctx)
+{
+    // The chase itself is serial (that is the point of mcf/ammp),
+    // but the payload work is phased one copy behind so only the
+    // pointer loads gate progress.
+    Body b(raw, ctx);
+    int o = ctx.phase ? 8 : 0;
+    int q = ctx.phase ? 0 : 8;
+    int acc = ctx.phase ? 21 : 20;
+    std::string pay_o = ctx.phase ? "r25" : "r5";
+    std::string pay_q = ctx.phase ? "r5" : "r25";
+    ctx.phase ^= 1;
+
+    b.op("ld8 " + pay_o + " = [r51, 8]");
+    std::uint64_t nodes =
+        std::max<std::uint64_t>(ctx.profile.wsWords / 2, 64);
+    // mcf/ammp's hot region deliberately exceeds the 256KB L1, so
+    // their stall shadows come from L2 and memory — which is what
+    // makes squash-on-L1-miss so profitable for them (the paper's
+    // ammp outlier).
+    std::uint64_t hot =
+        std::min<std::uint64_t>(nodes / 4, 65536) - 1;
+    if (raw.rng().chance(0.25)) {
+        // A computed jump: mostly into the hot region, sometimes
+        // anywhere — genuine temporal reuse plus cold misses.
+        std::uint64_t mask =
+            raw.rng().chance(0.8) ? hot : nodes - 1;
+        b.lcgStep();
+        b.op("andi r12 = r8, " + num(mask));
+        b.op("shli r13 = r12, 4");
+        b.op("add r51 = r50, r13");
+    } else {
+        b.op("ld8 r51 = [r51, 0]");  // follow the (sequential) ring
+    }
+    b.maybePrefetch("r51", 64);
+    b.op("xor r63 = r63, " + pay_q);
+    b.op("shri r6 = " + pay_q + ", 7");
+    b.op("add r63 = r63, r6");
+    if (ctx.profile.floatingPoint) {
+        // MD-flavoured fp work on the payload, phased like the fp
+        // stream kernels; the accumulators fold into the checksum
+        // so the fp chain stays live.
+        b.op("i2f f" + num(4 + o) + " = r6");
+        b.op("fmul f" + num(5 + o) + " = f" + num(4 + q) + ", f2");
+        b.op("fadd f" + num(acc) + " = f" + num(acc) + ", f" +
+             num(5 + q));
+        b.op("f2i r7 = f" + num(acc == 20 ? 21 : 20));
+        b.op("xor r63 = r63, r7");
+    }
+    b.entropyBranch(pay_q);
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologStream(AsmBuilder &b, KernelContext &ctx)
+{
+    fillRandomDoubles(ctx, ctx.arrayA, ctx.profile.wsWords);
+    b.op("movi r9 = 0");
+    b.op("movi r53 = " + num(ctx.arrayB));
+    ctx.hotReg = 11;
+    return 2;
+}
+
+std::uint64_t
+bodyStream(AsmBuilder &raw, KernelContext &ctx)
+{
+    // Two-stage software pipeline: this copy loads into one register
+    // set while consuming the values the previous copy loaded, so
+    // the 4-cycle fp chain never stalls in-order issue.
+    Body b(raw, ctx);
+    unsigned step = 2 * ctx.profile.strideWords;
+    int o = ctx.phase ? 8 : 0;       // this copy's fp set
+    int q = ctx.phase ? 0 : 8;       // the previous copy's fp set
+    std::string a51 = ctx.phase ? "r54" : "r51";
+    std::string a52 = ctx.phase ? "r55" : "r52";
+    std::string p51 = ctx.phase ? "r51" : "r54";
+    std::string p52 = ctx.phase ? "r52" : "r55";
+    ctx.phase ^= 1;
+
+    // Stage 1: address and loads for this copy.
+    b.op("shli r10 = r9, 3");
+    b.op("add " + a51 + " = r50, r10");
+    b.op("add " + a52 + " = r53, r10");
+    b.op("fld f" + num(4 + o) + " = [" + a51 + ", 0]");
+    b.op("fld f" + num(5 + o) + " = [" + a51 + ", 8]");
+    b.maybePrefetch(a51, 2048);
+    b.op("addi r9 = r9, " + num(step));
+    b.op("andi r9 = r9, " + num(ctx.profile.wsWords - 1));
+
+    // Stage 2: each consumer reads values produced a whole copy ago
+    // (the producing phase alternates), so the fp latencies overlap
+    // with independent work instead of stalling in-order issue.
+    b.op("fmul f" + num(6 + q) + " = f" + num(4 + q) + ", f2");
+    b.op("fadd f" + num(7 + o) + " = f" + num(6 + o) + ", f" +
+         num(5 + o));
+    b.op("fst [" + p52 + ", 0] = f" + num(7 + q));
+    // Consume an earlier store so the output array stays live.
+    b.op("fld f" + num(16 + o) + " = [" + a52 + ", " +
+         std::to_string(-(int)(step * 16)) + "]");
+    b.op("fadd f" + num(17 + q) + " = f" + num(7 + q) + ", f" +
+         num(16 + q));
+    b.op("f2i r11 = f" + num(17 + o));
+    b.op("xor r63 = r63, r11");
+    b.entropyBranch("r11");
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologStencil(AsmBuilder &b, KernelContext &ctx)
+{
+    fillRandomDoubles(ctx, ctx.arrayA, ctx.profile.wsWords);
+    b.op("movi r9 = 0");
+    b.op("movi r53 = " + num(ctx.arrayB));
+    ctx.hotReg = 11;
+    return 2;
+}
+
+std::uint64_t
+bodyStencil(AsmBuilder &raw, KernelContext &ctx)
+{
+    // Software-pipelined like bodyStream: gather this point's
+    // neighbours, combine the previous point's.
+    Body b(raw, ctx);
+    int o = ctx.phase ? 8 : 0;
+    int q = ctx.phase ? 0 : 8;
+    std::string a51 = ctx.phase ? "r54" : "r51";
+    std::string a52 = ctx.phase ? "r55" : "r52";
+    std::string p52 = ctx.phase ? "r52" : "r55";
+    ctx.phase ^= 1;
+
+    b.op("shli r10 = r9, 3");
+    b.op("add " + a51 + " = r50, r10");
+    b.op("add " + a52 + " = r53, r10");
+    b.op("fld f" + num(4 + o) + " = [" + a51 + ", -8]");
+    b.op("fld f" + num(5 + o) + " = [" + a51 + ", 0]");
+    b.op("fld f" + num(6 + o) + " = [" + a51 + ", 8]");
+    b.maybePrefetch(a51, 2048);
+    b.op("addi r9 = r9, " + num(ctx.profile.strideWords));
+    b.op("andi r9 = r9, " + num(ctx.profile.wsWords - 1));
+
+    // Consumers read across phases (one copy of distance) so fp
+    // latencies never stall in-order issue.
+    b.op("fadd f" + num(7 + q) + " = f" + num(4 + q) + ", f" +
+         num(6 + q));
+    b.op("fmul f" + num(16 + o) + " = f" + num(7 + o) + ", f2");
+    b.op("fadd f" + num(17 + q) + " = f" + num(16 + q) + ", f" +
+         num(5 + q));
+    b.op("fst [" + p52 + ", 0] = f" + num(17 + o));
+    b.op("fld f" + num(18 + o) + " = [" + a52 + ", -8]");
+    b.op("fadd f" + num(19 + o) + " = f" + num(17 + o) + ", f" +
+         num(18 + o));
+    b.op("f2i r11 = f" + num(19 + q));
+    b.op("xor r63 = r63, r11");
+    b.entropyBranch("r11");
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologMatMul(AsmBuilder &b, KernelContext &ctx)
+{
+    fillRandomDoubles(ctx, ctx.arrayA, ctx.profile.wsWords);
+    fillRandomDoubles(ctx, ctx.arrayB, ctx.profile.wsWords);
+    b.op("movi r9 = 0");
+    b.op("movi r53 = " + num(ctx.arrayB));
+    ctx.hotReg = 11;
+    return 2;
+}
+
+std::uint64_t
+bodyMatMul(AsmBuilder &raw, KernelContext &ctx)
+{
+    // Software-pipelined dot-product step with per-phase
+    // accumulators (the rotating-register trick of IA64 compilers).
+    Body b(raw, ctx);
+    int o = ctx.phase ? 8 : 0;
+    int q = ctx.phase ? 0 : 8;
+    int acc = ctx.phase ? 22 : 20;  // previous phase's accumulators
+    std::string a51 = ctx.phase ? "r54" : "r51";
+    std::string a52 = ctx.phase ? "r55" : "r52";
+    ctx.phase ^= 1;
+
+    b.op("shli r10 = r9, 3");
+    b.op("add " + a51 + " = r50, r10");
+    b.op("add " + a52 + " = r53, r10");
+    b.op("fld f" + num(4 + o) + " = [" + a51 + ", 0]");
+    b.op("fld f" + num(5 + o) + " = [" + a52 + ", 0]");
+    b.op("fld f" + num(6 + o) + " = [" + a51 + ", 8]");
+    b.op("fld f" + num(7 + o) + " = [" + a52 + ", 8]");
+    b.maybePrefetch(a51, 1024);
+    b.op("addi r9 = r9, 2");
+    b.op("andi r9 = r9, " + num(ctx.profile.wsWords - 1));
+
+    b.op("fmul f" + num(16 + q) + " = f" + num(4 + q) + ", f" +
+         num(5 + q));
+    b.op("fmul f" + num(17 + q) + " = f" + num(6 + q) + ", f" +
+         num(7 + q));
+    // Accumulate the other phase's products (one copy old) so the
+    // fmul latency is hidden.
+    b.op("fadd f" + num(acc) + " = f" + num(acc) + ", f" +
+         num(16 + o));
+    b.op("fadd f" + num(acc + 1) + " = f" + num(acc + 1) + ", f" +
+         num(17 + o));
+    // Checksum the *other* phase's accumulator (written a full body
+    // ago) so the read never stalls on the fadd latency.
+    b.op("f2i r11 = f" + num(acc == 20 ? 22 : 20));
+    b.op("xor r63 = r63, r11");
+    b.entropyBranch("r11");
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologHash(AsmBuilder &b, KernelContext &ctx)
+{
+    fillRandomWords(ctx, ctx.arrayA, ctx.profile.wsWords);
+    ctx.hotReg = 10;
+    (void)b;
+    return 0;
+}
+
+/** Pick this copy's index mask: mostly a small hot region (temporal
+ * locality, keeping the L0 useful), occasionally the full table. */
+std::uint64_t
+localityMask(AsmBuilder &b, const KernelContext &ctx)
+{
+    std::uint64_t full = ctx.profile.wsWords - 1;
+    std::uint64_t hot = std::min<std::uint64_t>(full, 511);
+    return b.rng().chance(0.85) ? hot : full;
+}
+
+std::uint64_t
+bodyHash(AsmBuilder &raw, KernelContext &ctx)
+{
+    Body b(raw, ctx);
+    std::string skip = raw.newLabel("hins");
+    b.lcgStep();
+    b.op("andi r12 = r8, " + num(localityMask(raw, ctx)));
+    b.op("shli r13 = r12, 3");
+    b.op("add r14 = r50, r13");
+    b.op("ld8 r10 = [r14, 0]");
+    b.op("andi r15 = r10, 255");
+    b.op("cmpilt p4 = r15, 128");
+    b.pred(4, "br " + skip);
+    b.op("st8 [r14, 0] = r8");  // insert; read by later probes
+    b.op("addi r63 = r63, 1");
+    raw.label(skip);
+    b.op("xor r63 = r63, r10");
+    b.entropyBranch("r10");
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologCompress(AsmBuilder &b, KernelContext &ctx)
+{
+    fillRandomWords(ctx, ctx.arrayA, ctx.profile.wsWords);
+    b.op("movi r19 = 0");   // previous byte
+    b.op("movi r21 = 0");   // match run length
+    ctx.hotReg = 10;
+    return 2;
+}
+
+std::uint64_t
+bodyCompress(AsmBuilder &raw, KernelContext &ctx)
+{
+    Body b(raw, ctx);
+    std::string match = raw.newLabel("cmatch");
+    std::string done = raw.newLabel("cdone");
+    b.lcgStep();
+    b.op("andi r12 = r8, " + num(localityMask(raw, ctx)));
+    b.op("shli r13 = r12, 3");
+    b.op("add r14 = r50, r13");
+    b.op("ld8 r10 = [r14, 0]");
+    b.op("shri r15 = r10, 8");
+    b.op("xor r16 = r15, r10");
+    b.op("andi r17 = r16, 255");
+    b.op("cmpeq p4 = r17, r19");
+    b.pred(4, "br " + match);
+    b.op("shli r20 = r17, 1");
+    b.op("add r63 = r63, r20");
+    b.op("movi r21 = 0");
+    b.op("br " + done);
+    raw.label(match);
+    b.op("addi r21 = r21, 1");
+    b.op("xor r63 = r63, r21");
+    raw.label(done);
+    b.op("add r19 = r17, r0");
+    b.entropyBranch("r10");
+    b.finish();
+    return b.count();
+}
+
+std::uint64_t
+prologCallTree(AsmBuilder &b, KernelContext &ctx)
+{
+    // Compiler-like codes chase symbol tables and IR nodes; tfunc
+    // probes this table with the usual hot/cold mix.
+    fillRandomWords(ctx, ctx.arrayA, ctx.profile.wsWords);
+    b.op("movi r58 = " + num(ctx.stackBase));
+    ctx.hotReg = 11;
+    return 1;
+}
+
+std::uint64_t
+bodyCallTree(AsmBuilder &raw, KernelContext &ctx)
+{
+    Body b(raw, ctx);
+    b.op("movi r10 = " + num(ctx.profile.callDepth));
+    b.op("call r62 = tfunc");
+    b.op("xor r63 = r63, r11");
+    b.entropyBranch("r11");
+    b.finish();
+    // Dynamic cost: the body itself plus callDepth+1 invocations of
+    // tfunc (~16 instructions each).
+    return b.count() +
+           (ctx.profile.callDepth + 1) * 16;
+}
+
+std::uint64_t
+prologSparse(AsmBuilder &b, KernelContext &ctx)
+{
+    // Index array at A, value array at B; indices pre-masked, with
+    // temporal locality: most point into a small hot region.
+    std::uint64_t full = ctx.profile.wsWords - 1;
+    std::uint64_t hot = std::min<std::uint64_t>(full, 511);
+    for (std::uint64_t i = 0; i < ctx.profile.wsWords; ++i) {
+        std::uint64_t mask = ctx.dataRng.chance(0.85) ? hot : full;
+        ctx.data.push_back(
+            {ctx.arrayA + i * 8, ctx.dataRng.next() & mask});
+    }
+    fillRandomDoubles(ctx, ctx.arrayB, ctx.profile.wsWords);
+    b.op("movi r9 = 0");
+    b.op("movi r53 = " + num(ctx.arrayB));
+    ctx.hotReg = 8;
+    return 2;
+}
+
+std::uint64_t
+bodySparse(AsmBuilder &raw, KernelContext &ctx)
+{
+    // Software-pipelined gather/scatter: load this copy's index,
+    // translate and gather the previous copy's, consume the value
+    // gathered a copy before that.
+    Body b(raw, ctx);
+    int o = ctx.phase ? 8 : 0;
+    int q = ctx.phase ? 0 : 8;
+    int acc = ctx.phase ? 22 : 20;
+    std::string idx_o = ctx.phase ? "r28" : "r8";
+    std::string idx_q = ctx.phase ? "r8" : "r28";
+    std::string addr_q = ctx.phase ? "r14" : "r26";
+    ctx.phase ^= 1;
+
+    b.op("shli r10 = r9, 3");
+    b.op("add r51 = r50, r10");
+    b.op("ld8 " + idx_o + " = [r51, 0]");
+    b.op("addi r9 = r9, 1");
+    b.op("andi r9 = r9, " + num(ctx.profile.wsWords - 1));
+
+    b.op("shli r13 = " + idx_q + ", 3");
+    b.op("add " + addr_q + " = r53, r13");
+    b.op("fld f" + num(4 + q) + " = [" + addr_q + ", 0]");
+    b.maybePrefetch(addr_q, 1024);
+
+    b.op("fmul f" + num(5 + o) + " = f" + num(4 + o) + ", f2");
+    // Accumulate and scatter the other phase's (ready) product;
+    // later gathers of the same slot read the scatter, keeping most
+    // of them live.
+    b.op("fadd f" + num(acc) + " = f" + num(acc) + ", f" +
+         num(5 + q));
+    b.op("fst [" + addr_q + ", 0] = f" + num(5 + q));
+    b.op("f2i r11 = f" + num(acc == 20 ? 22 : 20));
+    b.op("xor r63 = r63, r11");
+    b.entropyBranch(idx_q);
+    b.finish();
+    return b.count();
+}
+
+} // namespace
+
+std::uint64_t
+emitKernelProlog(AsmBuilder &b, KernelContext &ctx)
+{
+    switch (ctx.profile.kernel) {
+      case Kernel::PointerChase: return prologPointerChase(b, ctx);
+      case Kernel::Stream: return prologStream(b, ctx);
+      case Kernel::Stencil: return prologStencil(b, ctx);
+      case Kernel::MatMul: return prologMatMul(b, ctx);
+      case Kernel::Hash: return prologHash(b, ctx);
+      case Kernel::Compress: return prologCompress(b, ctx);
+      case Kernel::CallTree: return prologCallTree(b, ctx);
+      case Kernel::Sparse: return prologSparse(b, ctx);
+    }
+    SER_PANIC("emitKernelProlog: bad kernel");
+}
+
+std::uint64_t
+emitKernelBody(AsmBuilder &b, KernelContext &ctx)
+{
+    switch (ctx.profile.kernel) {
+      case Kernel::PointerChase: return bodyPointerChase(b, ctx);
+      case Kernel::Stream: return bodyStream(b, ctx);
+      case Kernel::Stencil: return bodyStencil(b, ctx);
+      case Kernel::MatMul: return bodyMatMul(b, ctx);
+      case Kernel::Hash: return bodyHash(b, ctx);
+      case Kernel::Compress: return bodyCompress(b, ctx);
+      case Kernel::CallTree: return bodyCallTree(b, ctx);
+      case Kernel::Sparse: return bodySparse(b, ctx);
+    }
+    SER_PANIC("emitKernelBody: bad kernel");
+}
+
+void
+emitKernelFunctions(AsmBuilder &b, KernelContext &ctx)
+{
+    if (ctx.profile.kernel != Kernel::CallTree)
+        return;
+    std::uint64_t full = ctx.profile.wsWords - 1;
+    std::uint64_t hot = std::min<std::uint64_t>(full, 511);
+    std::string leaf = b.newLabel("tleaf");
+    b.label("tfunc");
+    b.op("st8 [r58, 0] = r62");
+    b.op("addi r58 = r58, 8");
+    b.op("addi r11 = r10, 7");
+    b.op("mul r11 = r11, r11");
+    b.op("xor r63 = r63, r11");
+    // Symbol-table probes: one hot per call, plus an occasional
+    // (if-converted) probe anywhere in the table, at addresses that
+    // keep wandering (LCG-driven) so the cold probes stay cold.
+    b.op("mul r61 = r61, r30");
+    b.op("add r61 = r61, r31");
+    b.op("shri r16 = r61, 16");
+    b.op("andi r12 = r16, " + num(hot));
+    b.op("shli r13 = r12, 3");
+    b.op("add r14 = r50, r13");
+    b.op("ld8 r15 = [r14, 0]");
+    b.op("andi r23 = r16, 7");
+    b.op("cmpieq p7 = r23, 0");
+    b.op("andi r24 = r16, " + num(full));
+    b.op("shli r25 = r24, 3");
+    b.op("add r26 = r50, r25");
+    b.pred(7, "ld8 r27 = [r26, 0]");
+    b.op("xor r63 = r63, r15");
+    b.pred(7, "xor r63 = r63, r27");
+    // Compiler-like codes are mispredict-heavy: a data-dependent
+    // branch per call.
+    {
+        std::string skip = b.newLabel("tbr");
+        b.op("andi r38 = r15, 255");
+        b.op("cmpilt p6 = r38, 176");
+        b.pred(6, "br " + skip);
+        b.op("addi r63 = r63, 5");
+        b.op("xori r37 = r63, 51");
+        b.op("add r63 = r63, r37");
+        b.label(skip);
+    }
+    b.op("cmpilt p5 = r10, 1");
+    b.pred(5, "br " + leaf);
+    b.op("addi r10 = r10, -1");
+    b.op("call r62 = tfunc");
+    b.label(leaf);
+    // Frame-local dead writes, placed just before the return so
+    // their overwrite (the caller frame's same writes) happens after
+    // this frame exits: return-established FDDs (Figure 3).
+    b.op("add r20 = r11, r10");
+    b.op("add r21 = r63, r11");
+    b.op("shli r22 = r11, 2");
+    b.op("addi r58 = r58, -8");
+    b.op("ld8 r62 = [r58, 0]");
+    b.op("ret r62");
+}
+
+} // namespace workloads
+} // namespace ser

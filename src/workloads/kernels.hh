@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Kernel generators for the SPEC CPU2000 surrogate suite.
+ *
+ * Each kernel family emits (a) register setup into the program
+ * prologue, (b) one loop-iteration body, and (c) any out-of-line
+ * procedures, and fills in the initial data image (built directly as
+ * DataInit records rather than .word directives so multi-megabyte
+ * working sets stay cheap to assemble).
+ */
+
+#ifndef SER_WORKLOADS_KERNELS_HH
+#define SER_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/rng.hh"
+#include "workloads/builder.hh"
+#include "workloads/profile.hh"
+
+namespace ser
+{
+namespace workloads
+{
+
+/** Shared state between the suite framework and a kernel. */
+struct KernelContext
+{
+    const BenchmarkProfile &profile;
+
+    /** Initial memory image, applied after assembly. */
+    std::vector<isa::DataInit> data;
+
+    /** Memory layout. */
+    std::uint64_t scratchBase = 0x80000;  ///< dead-store pool
+    std::uint64_t stackBase = 0x90000;    ///< calltree stack
+    std::uint64_t arrayA = isa::dataBase;
+    std::uint64_t arrayB = 0;  ///< set from the working-set size
+
+    /** Deterministic stream for C++-side data initialisation. */
+    Rng dataRng;
+
+    explicit KernelContext(const BenchmarkProfile &p)
+        : profile(p), dataRng(p.seed ^ 0xD0D0D0D0ULL)
+    {
+        arrayB = arrayA + p.wsWords * 8 + 4096;
+    }
+
+    /** The register holding "hot" varying data after the body runs
+     * (used to feed predication arms and checksums). */
+    int hotReg = 5;
+
+    /** Software-pipelining phase: fp kernel bodies alternate between
+     * two register sets, loading into one while consuming the other,
+     * so in-order issue never stalls on the fp latency chain — the
+     * effect IA64 compilers achieve with rotating registers. */
+    int phase = 0;
+};
+
+/**
+ * Emit the kernel's prologue (register setup + data image).
+ * @return estimated dynamic instructions executed by the prologue
+ */
+std::uint64_t emitKernelProlog(AsmBuilder &b, KernelContext &ctx);
+
+/**
+ * Emit one loop-iteration body (with the profile's decorations).
+ * @return estimated dynamic instructions per iteration
+ */
+std::uint64_t emitKernelBody(AsmBuilder &b, KernelContext &ctx);
+
+/** Emit out-of-line procedures (after the main halt). */
+void emitKernelFunctions(AsmBuilder &b, KernelContext &ctx);
+
+} // namespace workloads
+} // namespace ser
+
+#endif // SER_WORKLOADS_KERNELS_HH

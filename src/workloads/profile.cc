@@ -1,0 +1,128 @@
+#include "profile.hh"
+
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace workloads
+{
+
+const char *
+kernelName(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::PointerChase: return "pointer-chase";
+      case Kernel::Stream: return "stream";
+      case Kernel::Stencil: return "stencil";
+      case Kernel::MatMul: return "matmul";
+      case Kernel::Hash: return "hash";
+      case Kernel::Compress: return "compress";
+      case Kernel::CallTree: return "calltree";
+      case Kernel::Sparse: return "sparse";
+    }
+    return "?";
+}
+
+namespace
+{
+
+using K = Kernel;
+
+BenchmarkProfile
+mk(const char *name, bool fp, Kernel kernel, std::uint64_t ws_words,
+   double noop, double prefetch, double dead, double pred,
+   unsigned entropy, unsigned call_depth, unsigned stride,
+   std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.floatingPoint = fp;
+    p.kernel = kernel;
+    p.wsWords = ws_words;
+    p.noopDensity = noop;
+    p.prefetchDensity = prefetch;
+    p.deadPerIter = dead;
+    p.predPerIter = pred;
+    p.entropyBits = entropy;
+    p.callDepth = call_depth;
+    p.strideWords = stride;
+    p.seed = seed;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildSuite()
+{
+    std::vector<BenchmarkProfile> s;
+
+    // --- integer benchmarks (paper Table 2, left column) ---
+    // Integer codes: modest no-op padding, heavier predication and
+    // branch entropy (more wrong-path and predicated-false state),
+    // pointer/branch-dominated kernels.
+    //            name      fp     kernel           ws-words  noop  pref  dead  pred  ent cd  st  seed
+    s.push_back(mk("bzip2",  false, K::Compress,     1 << 16, 0.16, 0.02, 2.25, 0.80, 4, 0,  1, 0xb21b2));
+    s.push_back(mk("cc",     false, K::CallTree,     1 << 15, 0.18, 0.00, 2.62, 1.00, 6, 9,  1, 0xcc001));
+    s.push_back(mk("crafty", false, K::Compress,     1 << 13, 0.15, 0.00, 2.25, 1.10, 5, 0,  1, 0xc4af1));
+    s.push_back(mk("eon",    false, K::Sparse,       1 << 13, 0.22, 0.15, 1.88, 0.70, 4, 0,  1, 0xe0e0e));
+    s.push_back(mk("gap",    false, K::Hash, 1 << 16, 0.17, 0.00, 2.10, 0.80, 5, 0,  1, 0x9a9a0));
+    s.push_back(mk("gzip",   false, K::Compress,     1 << 15, 0.16, 0.02, 2.10, 0.70, 5, 0,  1, 0x971f0));
+    s.push_back(mk("mcf",    false, K::PointerChase, 1 << 21, 0.15, 0.00, 1.65, 0.60, 3, 0,  1, 0x3cf00));
+    s.push_back(mk("parser", false, K::CallTree,     1 << 14, 0.17, 0.00, 2.40, 0.90, 6, 12, 1, 0xa45e4));
+    s.push_back(mk("perlbmk",false, K::Hash, 1 << 16, 0.18, 0.00, 2.25, 0.90, 6, 0,  1, 0x9e410));
+    s.push_back(mk("twolf",  false, K::Hash, 1 << 14, 0.16, 0.00, 2.10, 0.80, 5, 0,  1, 0x2a01f));
+    s.push_back(mk("vortex", false, K::PointerChase, 1 << 17, 0.18, 0.00, 2.25, 0.70, 4, 0,  1, 0x0a7e1));
+    s.push_back(mk("vpr",    false, K::Sparse, 1 << 17, 0.17, 0.15, 1.88, 0.80, 5, 0,  1, 0x0b990));
+
+    // --- floating-point benchmarks (Table 2, right column) ---
+    // FP codes: heavy bundle padding (no-ops/hints), software
+    // prefetch, regular loops with low branch entropy. ammp is the
+    // paper's outlier: a memory-bound pointer-chasing MD code whose
+    // queue fills behind a few critical misses.
+    //            name       fp    kernel           ws-words  noop  pref  dead  pred  ent cd  st  seed
+    s.push_back(mk("ammp",    true, K::PointerChase, 1 << 22, 0.30, 0.10, 1.50, 0.25, 1, 0,  1, 0xa3390));
+    s.push_back(mk("applu",   true, K::Stencil,      1 << 18, 0.34, 0.50, 1.65, 0.25, 1, 0,  1, 0xa9910));
+    s.push_back(mk("apsi",    true, K::Stencil, 1 << 17, 0.32, 0.45, 1.80, 0.30, 2, 0,  1, 0xa9510));
+    s.push_back(mk("art",     true, K::Stream,       1 << 12, 0.30, 0.50, 1.35, 0.20, 1, 0,  1, 0xa4700));
+    s.push_back(mk("equake",  true, K::Sparse,       1 << 19, 0.30, 0.35, 1.50, 0.25, 2, 0,  1, 0xe90a0));
+    s.push_back(mk("facerec", true, K::Sparse, 1 << 17, 0.32, 0.40, 1.65, 0.30, 2, 0,  1, 0xface0));
+    s.push_back(mk("fma3d",   true, K::Sparse,       1 << 17, 0.34, 0.35, 1.50, 0.25, 2, 0,  1, 0xf3a3d));
+    s.push_back(mk("galgel",  true, K::MatMul, 1 << 15, 0.36, 0.40, 1.65, 0.20, 1, 0,  1, 0x9a19e));
+    s.push_back(mk("lucas",   true, K::Stream,       1 << 20, 0.34, 0.50, 1.50, 0.15, 1, 0,  2, 0x10ca5));
+    s.push_back(mk("mesa",    true, K::MatMul,       1 << 13, 0.28, 0.30, 1.88, 0.50, 3, 0,  1, 0x3e5a0));
+    s.push_back(mk("mgrid",   true, K::Stencil,      1 << 19, 0.36, 0.50, 1.50, 0.15, 1, 0,  1, 0x39c1d));
+    s.push_back(mk("sixtrack",true, K::MatMul,       1 << 12, 0.30, 0.35, 1.65, 0.35, 2, 0,  1, 0x51c74));
+    s.push_back(mk("swim",    true, K::Stream,       1 << 21, 0.36, 0.55, 1.50, 0.15, 1, 0,  1, 0x5a130));
+    s.push_back(mk("wupwise", true, K::MatMul, 1 << 16, 0.32, 0.40, 1.65, 0.25, 2, 0,  1, 0x3a9b1));
+    return s;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+specSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &profile : specSuite()) {
+        if (profile.name == name)
+            return profile;
+    }
+    SER_FATAL("unknown benchmark '{}'", name);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : specSuite())
+        names.push_back(profile.name);
+    return names;
+}
+
+} // namespace workloads
+} // namespace ser

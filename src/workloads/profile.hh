@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-benchmark profiles of the SPEC CPU2000 surrogate suite.
+ *
+ * The paper evaluates 12 integer and 14 floating-point CPU2000
+ * benchmarks (its Table 2). We cannot run IA64 SPEC binaries, so
+ * each benchmark is replaced by a generated surrogate program whose
+ * dynamic character — working-set size (and hence cache miss
+ * profile), instruction mix, bundle-padding no-op density, branch
+ * predictability, predication usage, call behaviour and
+ * dynamically-dead-code density — is parameterised to mimic the
+ * published character of that benchmark. See DESIGN.md for why this
+ * substitution preserves the AVF behaviour under study.
+ */
+
+#ifndef SER_WORKLOADS_PROFILE_HH
+#define SER_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ser
+{
+namespace workloads
+{
+
+/** The generator kernel families. */
+enum class Kernel : std::uint8_t
+{
+    PointerChase,  ///< dependent loads over a shuffled chain
+    Stream,        ///< strided array sweep, fp multiply-add
+    Stencil,       ///< neighbour gather/compute/scatter
+    MatMul,        ///< register-blocked dense fp kernel
+    Hash,          ///< randomized table probe/insert, branchy
+    Compress,      ///< shift/mask/compare byte crunching, branchy
+    CallTree,      ///< recursive calls with frame-local dead writes
+    Sparse,        ///< index-array indirection into fp data
+};
+
+const char *kernelName(Kernel kernel);
+
+/** Everything that shapes one surrogate benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    bool floatingPoint = false;
+    Kernel kernel = Kernel::Stream;
+
+    /** Working set in 8-byte words (power of two). Drives where in
+     * the L0/L1/L2/memory hierarchy the benchmark lives. */
+    std::uint64_t wsWords = 1 << 14;
+
+    /** Probability of a padding no-op/hint after a body
+     * instruction (IA64 bundle padding; higher for fp codes). */
+    double noopDensity = 0.2;
+
+    /** Probability of a software prefetch per body iteration. */
+    double prefetchDensity = 0.0;
+
+    /** Dead-code patterns per body iteration (expected count). */
+    double deadPerIter = 0.5;
+
+    /** If-converted (predicated) arm pairs per body iteration. */
+    double predPerIter = 0.3;
+
+    /** Data-dependent branch entropy in bits: the branch condition
+     * keys on this many low bits of loaded data; more bits means
+     * closer to a coin flip and more wrong-path fetch. 0 disables
+     * the entropy branch. */
+    unsigned entropyBits = 0;
+
+    /** Recursion depth (CallTree) / call frequency flavour. */
+    unsigned callDepth = 0;
+
+    /** Access stride in words (Stream/Stencil). */
+    unsigned strideWords = 1;
+
+    /** Generator seed (distinct per benchmark). */
+    std::uint64_t seed = 1;
+};
+
+/** The 26-entry surrogate roster, paper Table 2 order. */
+const std::vector<BenchmarkProfile> &specSuite();
+
+/** Profile lookup by name; fatal if unknown. */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+/** All surrogate names, integer benchmarks first. */
+std::vector<std::string> suiteNames();
+
+} // namespace workloads
+} // namespace ser
+
+#endif // SER_WORKLOADS_PROFILE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Random valid TIA64 programs for property-based tests.
+ *
+ * Programs are random by construction but guaranteed to terminate:
+ * straight-line random instructions, forward-only data-dependent
+ * branches inside a single counted loop, memory confined to an
+ * aligned scratch window, and a final out + halt. Useful for fuzzing
+ * the assembler/executor/pipeline agreement and the deadness/pi-bit
+ * equivalence properties.
+ */
+
+#ifndef SER_WORKLOADS_RANDOM_PROGRAM_HH
+#define SER_WORKLOADS_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace workloads
+{
+
+/** Shape knobs for random programs. */
+struct RandomProgramOptions
+{
+    unsigned loopIterations = 50;
+    unsigned bodyInstructions = 60;
+    double predicatedFraction = 0.2;
+    double memFraction = 0.2;
+    double branchFraction = 0.08;
+    double fpFraction = 0.2;
+    double outFraction = 0.03;
+};
+
+/** Generate a random, always-terminating program. */
+isa::Program randomProgram(std::uint64_t seed,
+                           const RandomProgramOptions &opts = {});
+
+} // namespace workloads
+} // namespace ser
+
+#endif // SER_WORKLOADS_RANDOM_PROGRAM_HH

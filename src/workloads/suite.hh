@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Assembly of complete surrogate benchmarks.
+ *
+ * buildBenchmark() wraps a kernel in the common program frame:
+ *
+ *     main:   common register setup (bases, LCG, fp constants)
+ *             kernel prologue
+ *             movi r1 = iterations        // sized to dynamic_target
+ *     loop:   kernel body (+ decorations)
+ *             counter decrement + back-branch
+ *             out r63                      // checksum = ACE sink
+ *             halt
+ *             out-of-line procedures (calltree)
+ *
+ * The trip count is derived from the kernel's dynamic-cost estimate
+ * so the program halts near (a little under) the requested dynamic
+ * instruction count — completing naturally, which makes end-of-trace
+ * deadness exact.
+ */
+
+#ifndef SER_WORKLOADS_SUITE_HH
+#define SER_WORKLOADS_SUITE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+#include "workloads/profile.hh"
+
+namespace ser
+{
+namespace workloads
+{
+
+/** Build the surrogate for a profile, sized to about
+ * 'dynamic_target' dynamic instructions. */
+isa::Program buildBenchmark(const BenchmarkProfile &profile,
+                            std::uint64_t dynamic_target);
+
+/** Build by suite name ("mcf", "ammp", ...). */
+isa::Program buildBenchmark(const std::string &name,
+                            std::uint64_t dynamic_target);
+
+/** The generated assembler text (for inspection / examples). */
+std::string benchmarkSource(const BenchmarkProfile &profile,
+                            std::uint64_t dynamic_target);
+
+} // namespace workloads
+} // namespace ser
+
+#endif // SER_WORKLOADS_SUITE_HH

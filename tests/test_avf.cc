@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the AVF machinery: the deadness (dynamically-dead)
+ * analysis on hand-written cases, the per-bit AVF fold on synthetic
+ * traces with hand-computed expectations, the MITF math (including
+ * the paper's own worked example), and the range-min utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "avf/mitf.hh"
+#include "avf/range_min.hh"
+#include "cpu/pipeline.hh"
+#include "isa/assembler.hh"
+#include "sim/rng.hh"
+
+using namespace ser;
+using namespace ser::avf;
+
+namespace
+{
+
+/** Run a program on the pipeline and analyze deadness. */
+struct Analyzed
+{
+    isa::Program program;
+    cpu::SimTrace trace;
+    DeadnessResult deadness;
+};
+
+Analyzed
+analyze(const std::string &src)
+{
+    Analyzed a;
+    a.program = isa::assembleOrDie(src);
+    cpu::PipelineParams params;
+    params.maxInsts = 1000000;
+    cpu::InOrderPipeline pipe(a.program, params);
+    a.trace = pipe.run();
+    a.trace.program = &a.program;
+    a.deadness = analyzeDeadness(a.trace);
+    return a;
+}
+
+/** Find the commit indices of a given static instruction index. */
+std::vector<std::size_t>
+commitsOf(const cpu::SimTrace &trace, std::size_t static_idx)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < trace.commits.size(); ++i)
+        if (trace.commits[i].staticIdx == static_idx)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+TEST(Deadness, FddRegOverwrittenBeforeRead)
+{
+    // inst 0 writes r4, inst 1 overwrites it unread.
+    auto a = analyze(R"(
+        movi r4 = 1
+        movi r4 = 2
+        out r4
+        halt
+    )");
+    auto idx = commitsOf(a.trace, 0);
+    ASSERT_EQ(idx.size(), 1u);
+    EXPECT_EQ(a.deadness.kind[idx[0]], DeadKind::FddReg);
+    EXPECT_EQ(a.deadness.overwriteDist[idx[0]], 1u);
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 1)[0]],
+              DeadKind::Live);
+    EXPECT_EQ(a.deadness.numFddReg, 1u);
+}
+
+TEST(Deadness, TddRegChain)
+{
+    // r4's only reader is the def of r5, which is itself dead.
+    auto a = analyze(R"(
+        movi r4 = 1
+        addi r5 = r4, 1
+        movi r5 = 7
+        out r5
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 0)[0]],
+              DeadKind::TddReg);
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 1)[0]],
+              DeadKind::FddReg);
+}
+
+TEST(Deadness, DeadAtProgramEndIsFddWhenHalted)
+{
+    auto a = analyze(R"(
+        movi r4 = 1
+        out r0
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 0)[0]],
+              DeadKind::FddReg);
+    EXPECT_EQ(a.deadness.overwriteDist[commitsOf(a.trace, 0)[0]],
+              noOverwrite);
+}
+
+TEST(Deadness, FddMemStoreOverwritten)
+{
+    auto a = analyze(R"(
+        movi r5 = 0x4000
+        movi r4 = 1
+        st8 [r5, 0] = r4
+        movi r6 = 2
+        st8 [r5, 0] = r6
+        ld8 r7 = [r5, 0]
+        out r7
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 2)[0]],
+              DeadKind::FddMem);
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 4)[0]],
+              DeadKind::Live);
+}
+
+TEST(Deadness, RegDefFeedingDeadStoreIsTddMem)
+{
+    // r4 is read only by a store whose word is overwritten unread:
+    // dead, but only provably so with memory tracking.
+    auto a = analyze(R"(
+        movi r5 = 0x4000
+        movi r4 = 123
+        st8 [r5, 0] = r4
+        st8 [r5, 0] = r0
+        ld8 r7 = [r5, 0]
+        out r7
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 1)[0]],
+              DeadKind::TddMem);
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 2)[0]],
+              DeadKind::FddMem);
+}
+
+TEST(Deadness, QualifyingPredicateReadsKeepCompareLive)
+{
+    // p2's only "reader" is the qp of a nullified instruction; the
+    // conservative rule keeps the compare live.
+    auto a = analyze(R"(
+        movi r4 = 5
+        cmpieq p2 = r4, 99
+        (p2) addi r6 = r6, 1
+        out r6
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 1)[0]],
+              DeadKind::Live);
+}
+
+TEST(Deadness, StoreAddressIsALiveUse)
+{
+    // r5 feeds only a store's address; even though the store's data
+    // ends up dead, the address must stay correct, so r5's def is
+    // live.
+    auto a = analyze(R"(
+        movi r5 = 0x4000
+        movi r4 = 1
+        st8 [r5, 0] = r4
+        st8 [r0, 0x4000] = r0
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 0)[0]],
+              DeadKind::Live);
+}
+
+TEST(Deadness, ReturnFddDetected)
+{
+    // fn writes r20 and never reads it; the overwrite happens on the
+    // *next call*, after the frame exited: a return-established FDD.
+    auto a = analyze(R"(
+        .entry main
+        main:
+            movi r4 = 3
+        again:
+            call r62 = fn
+            addi r4 = r4, -1
+            cmplt p2 = r0, r4
+            (p2) br again
+            out r7
+            halt
+        fn:
+            addi r7 = r7, 1
+            add r20 = r7, r4
+            ret r62
+    )");
+    EXPECT_GE(a.deadness.numReturnFdd, 2u);
+    // The r20 writes are FDD via registers.
+    std::size_t fn_add = a.program.labelIndex("fn") + 1;
+    auto idx = commitsOf(a.trace, fn_add);
+    ASSERT_GE(idx.size(), 2u);
+    EXPECT_EQ(a.deadness.kind[idx[0]], DeadKind::FddReg);
+    EXPECT_TRUE(a.deadness.returnFdd[idx[0]]);
+}
+
+TEST(Deadness, NeutralInstructionsAreNotDefs)
+{
+    auto a = analyze(R"(
+        movi r5 = 0x4000
+        prefetch [r5, 0]
+        nop
+        hint
+        out r5
+        halt
+    )");
+    EXPECT_EQ(a.deadness.numDead(), 0u);
+    EXPECT_EQ(a.deadness.numDefs, 1u);  // only the movi
+}
+
+TEST(Deadness, TruncatedTraceIsConservative)
+{
+    // No halt within the instruction budget: tail defs without a
+    // subsequent overwrite must be treated as live.
+    isa::Program program = isa::assembleOrDie(R"(
+        loop:
+        movi r4 = 1
+        addi r5 = r5, 1
+        br loop
+    )");
+    cpu::PipelineParams params;
+    params.maxInsts = 3000;
+    cpu::InOrderPipeline pipe(program, params);
+    cpu::SimTrace trace = pipe.run();
+    trace.program = &program;
+    EXPECT_FALSE(trace.programHalted);
+    DeadnessResult d = analyzeDeadness(trace);
+    // Every movi r4 except (possibly) the last is FDD; the last has
+    // no overwrite in the truncated trace and must be Live.
+    auto idx = commitsOf(trace, 0);
+    ASSERT_GT(idx.size(), 2u);
+    EXPECT_EQ(d.kind[idx.front()], DeadKind::FddReg);
+    EXPECT_EQ(d.kind[idx.back()], DeadKind::Live);
+}
+
+TEST(Deadness, WritesToHardwiredRegistersAreDead)
+{
+    auto a = analyze(R"(
+        movi r2 = 5
+        add r0 = r2, r2
+        out r2
+        halt
+    )");
+    EXPECT_EQ(a.deadness.kind[commitsOf(a.trace, 1)[0]],
+              DeadKind::FddReg);
+}
+
+// ---------------------------------------------------------------
+
+TEST(Avf, SyntheticTraceHandComputed)
+{
+    // One committed ACE instruction resident [10, 20) read at 20,
+    // evicted at 24, in a 2-entry queue over 100 cycles.
+    isa::Program program = isa::assembleOrDie("add r4 = r5, r6\n");
+    cpu::SimTrace trace;
+    trace.program = &program;
+    trace.iqEntries = 2;
+    trace.startCycle = 0;
+    trace.endCycle = 100;
+    trace.programHalted = true;
+    trace.commits.push_back({0, 1, 0});
+    trace.incarnations.push_back(
+        {0, 0, 10, 20, 24, 0, cpu::incCommitted});
+
+    DeadnessResult dead = analyzeDeadness(trace);
+    // r4 never read again but the trace halts... actually this
+    // program has no halt record; the single commit's def has no
+    // future access and complete trace => FDD.
+    AvfResult avf = computeAvf(trace, dead);
+
+    std::uint64_t total = 2ULL * 64 * 100;
+    EXPECT_EQ(avf.totalBitCycles, total);
+    // Pre-read residency: 10 cycles. FDD: dst bits (6) ACE, 58
+    // un-ACE. Post-read: 4 cycles of Ex-ACE.
+    EXPECT_EQ(avf.ace, 10u * 6);
+    EXPECT_EQ(avf.unAceRead[static_cast<int>(UnAceSource::FddReg)],
+              10u * 58);
+    EXPECT_EQ(avf.exAce, 4u * 64);
+    EXPECT_EQ(avf.idle, total - 14u * 64);
+    EXPECT_DOUBLE_EQ(avf.sdcAvf(), 60.0 / total);
+    EXPECT_DOUBLE_EQ(avf.dueAvf(),
+                     (10.0 * 64) / total);
+}
+
+TEST(Avf, SquashedResidencyIsUnreadAndUndetectable)
+{
+    isa::Program program = isa::assembleOrDie("add r4 = r5, r6\n");
+    cpu::SimTrace trace;
+    trace.program = &program;
+    trace.iqEntries = 1;
+    trace.endCycle = 50;
+    trace.programHalted = true;
+    trace.commits.push_back({0, 1, 0});
+    // A squashed (never-read) residency plus the committed one.
+    trace.incarnations.push_back(
+        {0, 0, 5, cpu::noCycle32, 15, 0, cpu::incSquashTrigger});
+    trace.incarnations.push_back(
+        {0, 0, 30, 35, 40, 0, cpu::incCommitted});
+
+    DeadnessResult dead = analyzeDeadness(trace);
+    AvfResult avf = computeAvf(trace, dead);
+    EXPECT_EQ(avf.squashedUnread, 10u * 64);
+    // Squashed bit-cycles contribute to neither SDC nor DUE.
+    EXPECT_DOUBLE_EQ(avf.dueAvf() * avf.totalBitCycles, 5.0 * 64);
+}
+
+TEST(Avf, WrongPathAndNeutralClassification)
+{
+    isa::Program program =
+        isa::assembleOrDie("nop\nadd r4 = r5, r6\n");
+    cpu::SimTrace trace;
+    trace.program = &program;
+    trace.iqEntries = 4;
+    trace.endCycle = 100;
+    trace.programHalted = true;
+    trace.commits.push_back({0, 1, 0});  // the nop commits
+    // Wrong-path residency of the add (read then squashed).
+    trace.incarnations.push_back(
+        {1, cpu::noSeq32, 10, 18, 20, 0,
+         static_cast<std::uint8_t>(cpu::incWrongPath |
+                                   cpu::incSquashMispredict)});
+    // The neutral nop, committed.
+    trace.incarnations.push_back(
+        {0, 0, 10, 16, 20, 1, cpu::incCommitted});
+
+    DeadnessResult dead = analyzeDeadness(trace);
+    AvfResult avf = computeAvf(trace, dead);
+    EXPECT_EQ(avf.unAceRead[static_cast<int>(UnAceSource::WrongPath)],
+              8u * 64);
+    EXPECT_EQ(avf.unAceRead[static_cast<int>(UnAceSource::Neutral)],
+              6u * 56);
+    EXPECT_EQ(avf.ace, 6u * 8);  // nop opcode bits stay ACE
+}
+
+TEST(Avf, DecodeAtRetireAddsExAce)
+{
+    isa::Program program = isa::assembleOrDie("nop\n");
+    cpu::SimTrace trace;
+    trace.program = &program;
+    trace.iqEntries = 1;
+    trace.endCycle = 100;
+    trace.programHalted = true;
+    trace.commits.push_back({0, 1, 0});
+    trace.incarnations.push_back(
+        {0, 0, 0, 10, 30, 0, cpu::incCommitted});
+    DeadnessResult dead = analyzeDeadness(trace);
+    AvfResult avf = computeAvf(trace, dead);
+    EXPECT_GT(avf.falseDueAvfDecodeAtRetire(), avf.falseDueAvf());
+    EXPECT_NEAR(avf.falseDueAvfDecodeAtRetire() - avf.falseDueAvf(),
+                avf.exAceFraction(), 1e-12);
+}
+
+TEST(Avf, WindowClippingIgnoresOutOfWindowExposure)
+{
+    isa::Program program = isa::assembleOrDie("add r4 = r5, r6\n");
+    cpu::SimTrace trace;
+    trace.program = &program;
+    trace.iqEntries = 1;
+    trace.startCycle = 100;
+    trace.endCycle = 200;
+    trace.programHalted = true;
+    trace.commits.push_back({0, 1, 0});
+    // Residency entirely before the window.
+    trace.incarnations.push_back(
+        {0, 0, 10, 50, 60, 0, cpu::incCommitted});
+    DeadnessResult dead = analyzeDeadness(trace);
+    AvfResult avf = computeAvf(trace, dead);
+    EXPECT_EQ(avf.ace, 0u);
+    EXPECT_EQ(avf.idle, avf.totalBitCycles);
+}
+
+// ---------------------------------------------------------------
+
+TEST(Mitf, PaperWorkedExample)
+{
+    // "a processor running at 2 GHz with an average IPC of 2 and DUE
+    // MTTF of 10 years would have a DUE MITF of 1.3e18."
+    double v = mitf(2.0, 2.0, 10.0);
+    EXPECT_NEAR(v / 1e18, 1.26, 0.05);
+}
+
+TEST(Mitf, FitMttfInverses)
+{
+    EXPECT_NEAR(mttfYearsToFit(1.0), 114155.0, 1.0);
+    EXPECT_NEAR(fitToMttfYears(114155.0), 1.0, 1e-3);
+    EXPECT_NEAR(fitToMttfYears(mttfYearsToFit(7.5)), 7.5, 1e-9);
+}
+
+TEST(Mitf, StructureFitScalesWithAvfAndBits)
+{
+    ErrorRateModel model;
+    model.rawMilliFitPerBit = 2.0;
+    model.alphaFraction = 0.0;
+    double fit = structureFit(model, 64 * 64, 0.25);
+    EXPECT_NEAR(fit, 0.002 * 4096 * 0.25, 1e-9);
+    // Alpha adds a flux-independent component.
+    model.alphaFraction = 0.5;
+    EXPECT_NEAR(structureFit(model, 64 * 64, 0.25), fit * 1.5,
+                1e-9);
+}
+
+TEST(Mitf, AltitudeScalesNeutronFlux)
+{
+    ErrorRateModel sea;
+    ErrorRateModel denver;
+    denver.altitudeKm = 1.5;  // the paper's example
+    double factor =
+        denver.neutronFluxFactor() / sea.neutronFluxFactor();
+    EXPECT_GT(factor, 3.0);  // paper: 3x to 5x the sea-level flux
+    EXPECT_LT(factor, 5.0);
+    EXPECT_GT(denver.rawFitPerBit(), sea.rawFitPerBit());
+}
+
+TEST(Mitf, RatioMatchesIpcOverAvf)
+{
+    // Paper Table 1: IPC 1.21->1.19, SDC AVF 29%->22% gives
+    // IPC/AVF 4.1->5.6, a ~1.3x MITF gain.
+    double ratio = mitfRatio(1.21, 0.29, 1.19, 0.22);
+    EXPECT_NEAR(ratio, (1.19 / 0.22) / (1.21 / 0.29), 1e-12);
+    EXPECT_GT(ratio, 1.25);
+}
+
+// ---------------------------------------------------------------
+
+TEST(RangeMin, MatchesBruteForce)
+{
+    Rng rng(3);
+    std::vector<std::int32_t> values(1000);
+    for (auto &v : values)
+        v = static_cast<std::int32_t>(rng.rangeInclusive(-50, 50));
+    RangeMin rm(values, 16);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::size_t lo = rng.range(values.size());
+        std::size_t hi = lo + rng.range(values.size() - lo);
+        std::int32_t expect = values[lo];
+        for (std::size_t i = lo; i <= hi; ++i)
+            expect = std::min(expect, values[i]);
+        ASSERT_EQ(rm.min(lo, hi), expect)
+            << "range [" << lo << ", " << hi << "]";
+    }
+}
+
+TEST(RangeMin, SingleElementAndFullRange)
+{
+    RangeMin rm({5, 3, 9, 1, 7}, 2);
+    EXPECT_EQ(rm.min(0, 0), 5);
+    EXPECT_EQ(rm.min(0, 4), 1);
+    EXPECT_EQ(rm.min(4, 4), 7);
+    EXPECT_EQ(rm.min(0, 2), 3);
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Cross-module property tests, parameterized over random programs
+ * and the surrogate suite:
+ *
+ *  - timing/functional agreement for every surrogate benchmark;
+ *  - AVF accounting closure (classes tile the bit-cycle space);
+ *  - operational PET buffer vs analytical overwrite distances;
+ *  - injector determinism and outcome/protection coherence;
+ *  - trace invariants under every trigger policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "core/pi_machine.hh"
+#include "core/trigger.hh"
+#include "cpu/pipeline.hh"
+#include "faults/campaign.hh"
+#include "faults/injector.hh"
+#include "isa/executor.hh"
+#include "workloads/profile.hh"
+#include "workloads/random_program.hh"
+#include "workloads/suite.hh"
+
+using namespace ser;
+
+namespace
+{
+
+struct RunCtx
+{
+    isa::Program program;
+    cpu::SimTrace trace;
+    std::vector<std::uint64_t> output;
+    std::uint64_t goldenSteps = 0;
+};
+
+RunCtx
+runCtx(const isa::Program &program, const char *trigger = "none",
+       std::uint64_t max_insts = 2000000)
+{
+    RunCtx c;
+    c.program = program;
+    isa::Executor golden(c.program);
+    golden.run(max_insts);
+    c.output = golden.state().output();
+    c.goldenSteps = golden.steps();
+
+    cpu::PipelineParams params;
+    params.maxInsts = max_insts;
+    cpu::InOrderPipeline pipe(c.program, params);
+    auto policy = core::makeTriggerPolicy(trigger, "squash");
+    pipe.setExposurePolicy(policy.get());
+    c.trace = pipe.run();
+    c.trace.program = &c.program;
+    return c;
+}
+
+} // namespace
+
+/** Every surrogate: the pipeline commits exactly the oracle stream
+ * regardless of trigger policy. */
+class SuiteFidelity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteFidelity, CommitStreamMatchesOracleUnderSquashing)
+{
+    isa::Program program =
+        workloads::buildBenchmark(GetParam(), 30000);
+    RunCtx base = runCtx(program, "none", 90000);
+    RunCtx squash = runCtx(program, "l0", 90000);
+    EXPECT_EQ(base.trace.commits.size(), base.goldenSteps);
+    EXPECT_EQ(squash.trace.commits.size(), base.goldenSteps);
+    EXPECT_EQ(base.trace.programHalted, squash.trace.programHalted);
+
+    // Squashing must not reduce the committed stream, only the
+    // exposure; and the AVF classes always tile the space.
+    for (const RunCtx *c : {&base, &squash}) {
+        avf::DeadnessResult dead = avf::analyzeDeadness(c->trace);
+        avf::AvfResult avf = avf::computeAvf(c->trace, dead);
+        std::uint64_t sum = avf.idle + avf.exAce +
+                            avf.squashedUnread + avf.ace;
+        for (int s = 0; s < avf::numUnAceSources; ++s)
+            sum += avf.unAceRead[s] + avf.unAceUnread[s];
+        EXPECT_EQ(sum, avf.totalBitCycles) << GetParam();
+        EXPECT_LE(avf.sdcAvfRefined(), avf.sdcAvf() + 1e-12)
+            << GetParam();
+        EXPECT_LE(avf.sdcAvf(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteFidelity,
+    ::testing::ValuesIn(workloads::suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+/** Random programs: the PET machine's verdicts match the analytical
+ * overwrite distances exactly. */
+class PetAnalyticalEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PetAnalyticalEquivalence, OperationalMatchesDistances)
+{
+    RunCtx c = runCtx(workloads::randomProgram(GetParam()));
+    ASSERT_TRUE(c.trace.programHalted);
+    avf::DeadnessResult dead = avf::analyzeDeadness(c.trace);
+
+    const std::size_t pet_size = 24;
+    core::PiMachine pet(c.trace, core::TrackingLevel::PetBuffer,
+                        pet_size);
+    for (std::uint64_t i = 0; i < c.trace.commits.size(); ++i) {
+        const auto &cr = c.trace.commits[i];
+        const isa::StaticInst &inst = c.program.inst(cr.staticIdx);
+        if (!cr.qpTrue || inst.isNeutral())
+            continue;
+        bool suppressed = !pet.run(i).signalled;
+        // The PET buffer can only prove register FDDs whose
+        // overwrite happens within its window.
+        bool expect_suppressed =
+            dead.kind[i] == avf::DeadKind::FddReg &&
+            dead.overwriteDist[i] != avf::noOverwrite &&
+            dead.overwriteDist[i] <= pet_size;
+        EXPECT_EQ(suppressed, expect_suppressed)
+            << "seq " << i << " " << inst.toString() << " kind "
+            << avf::deadKindName(dead.kind[i]) << " dist "
+            << dead.overwriteDist[i];
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, PetAnalyticalEquivalence,
+                         ::testing::Values(3, 7, 11, 19, 23, 42));
+
+/** Random programs: classify() is deterministic and coherent across
+ * protection schemes. */
+class InjectorCoherence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(InjectorCoherence, ProtectionOnlyMovesDetectedOutcomes)
+{
+    RunCtx c = runCtx(workloads::randomProgram(GetParam()));
+    faults::FaultInjector inj(c.program, c.trace, c.output);
+
+    Rng rng(GetParam() * 7919);
+    std::uint64_t window = c.trace.endCycle - c.trace.startCycle;
+    for (int i = 0; i < 60; ++i) {
+        faults::FaultSite site;
+        site.entry = static_cast<std::uint16_t>(
+            rng.range(c.trace.iqEntries));
+        site.bit = static_cast<std::uint8_t>(
+            rng.range(faults::payloadBits));
+        site.cycle = c.trace.startCycle + rng.range(window);
+
+        auto none_a = inj.classify(site, faults::Protection::None);
+        auto none_b = inj.classify(site, faults::Protection::None);
+        EXPECT_EQ(none_a.outcome, none_b.outcome);  // deterministic
+
+        auto parity =
+            inj.classify(site, faults::Protection::Parity);
+        // Parity never creates SDC from payload bits, and the
+        // benign/detected split must correspond exactly:
+        EXPECT_NE(parity.outcome, faults::Outcome::Sdc);
+        switch (none_a.outcome) {
+          case faults::Outcome::Sdc:
+            EXPECT_EQ(parity.outcome, faults::Outcome::TrueDue);
+            break;
+          case faults::Outcome::BenignNoError:
+            EXPECT_EQ(parity.outcome, faults::Outcome::FalseDue);
+            break;
+          case faults::Outcome::BenignNoBit:
+          case faults::Outcome::BenignNotRead:
+            EXPECT_EQ(parity.outcome, none_a.outcome);
+            break;
+          default:
+            FAIL() << "unexpected unprotected outcome";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, InjectorCoherence,
+                         ::testing::Values(2, 9, 27));
+
+/** The whole taxonomy, statistically: campaigns with the same seed
+ * are identical; disjoint outcomes sum to 1. */
+TEST(CampaignProperties, DeterministicAndExhaustive)
+{
+    RunCtx c = runCtx(workloads::randomProgram(5));
+    faults::FaultInjector inj(c.program, c.trace, c.output);
+    faults::CampaignConfig cfg;
+    cfg.samples = 200;
+    cfg.payloadOnly = false;  // include valid/parity/pi bits
+    auto a = faults::runCampaign(inj, c.trace, cfg);
+    auto b = faults::runCampaign(inj, c.trace, cfg);
+    EXPECT_EQ(a.counts, b.counts);
+    std::uint64_t total = 0;
+    for (auto v : a.counts)
+        total += v;
+    EXPECT_EQ(total, cfg.samples);
+}
+
+/** Squashing strictly reduces (or preserves) pre-read exposure on
+ * every benchmark, never increases it. */
+class SquashMonotonicity
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SquashMonotonicity, PreReadExposureNeverGrows)
+{
+    isa::Program program =
+        workloads::buildBenchmark(GetParam(), 30000);
+    RunCtx base = runCtx(program, "none", 90000);
+    RunCtx squash = runCtx(program, "l0", 90000);
+    auto pre_read = [](const cpu::SimTrace &t) {
+        std::uint64_t sum = 0;
+        for (const auto &inc : t.incarnations) {
+            if (inc.issueCycle != cpu::noCycle32)
+                sum += inc.issueCycle - inc.enqueueCycle;
+        }
+        return sum;
+    };
+    // Allow a small tolerance: refetched incarnations can wait
+    // slightly longer in degenerate cases.
+    EXPECT_LE(pre_read(squash.trace),
+              pre_read(base.trace) * 11 / 10)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SomeBenchmarks, SquashMonotonicity,
+    ::testing::Values("mcf", "ammp", "equake", "gzip", "cc",
+                      "swim"));
