@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anti_pi.dir/ablation_anti_pi.cc.o"
+  "CMakeFiles/ablation_anti_pi.dir/ablation_anti_pi.cc.o.d"
+  "ablation_anti_pi"
+  "ablation_anti_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anti_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iq_size.dir/ablation_iq_size.cc.o"
+  "CMakeFiles/ablation_iq_size.dir/ablation_iq_size.cc.o.d"
+  "ablation_iq_size"
+  "ablation_iq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

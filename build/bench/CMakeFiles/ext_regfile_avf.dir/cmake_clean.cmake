@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_regfile_avf.dir/ext_regfile_avf.cc.o"
+  "CMakeFiles/ext_regfile_avf.dir/ext_regfile_avf.cc.o.d"
+  "ext_regfile_avf"
+  "ext_regfile_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_regfile_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_outcome_taxonomy.dir/fig1_outcome_taxonomy.cc.o"
+  "CMakeFiles/fig1_outcome_taxonomy.dir/fig1_outcome_taxonomy.cc.o.d"
+  "fig1_outcome_taxonomy"
+  "fig1_outcome_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_outcome_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

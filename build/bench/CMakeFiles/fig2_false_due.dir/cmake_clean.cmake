@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_false_due.dir/fig2_false_due.cc.o"
+  "CMakeFiles/fig2_false_due.dir/fig2_false_due.cc.o.d"
+  "fig2_false_due"
+  "fig2_false_due.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_false_due.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_combined.dir/fig4_combined.cc.o"
+  "CMakeFiles/fig4_combined.dir/fig4_combined.cc.o.d"
+  "fig4_combined"
+  "fig4_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_squashing.dir/table1_squashing.cc.o"
+  "CMakeFiles/table1_squashing.dir/table1_squashing.cc.o.d"
+  "table1_squashing"
+  "table1_squashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_squashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_roster.dir/table2_roster.cc.o"
+  "CMakeFiles/table2_roster.dir/table2_roster.cc.o.d"
+  "table2_roster"
+  "table2_roster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

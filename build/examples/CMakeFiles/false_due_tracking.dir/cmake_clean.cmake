@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_due_tracking.dir/false_due_tracking.cpp.o"
+  "CMakeFiles/false_due_tracking.dir/false_due_tracking.cpp.o.d"
+  "false_due_tracking"
+  "false_due_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_due_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fit_budget.cpp" "examples/CMakeFiles/fit_budget.dir/fit_budget.cpp.o" "gcc" "examples/CMakeFiles/fit_budget.dir/fit_budget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ser_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ser_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ser_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/avf/CMakeFiles/ser_avf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ser_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ser_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ser_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/ser_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ser_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ser_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_budget.dir/fit_budget.cpp.o"
+  "CMakeFiles/fit_budget.dir/fit_budget.cpp.o.d"
+  "fit_budget"
+  "fit_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

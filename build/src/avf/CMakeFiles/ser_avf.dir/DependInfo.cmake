@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avf/avf.cc" "src/avf/CMakeFiles/ser_avf.dir/avf.cc.o" "gcc" "src/avf/CMakeFiles/ser_avf.dir/avf.cc.o.d"
+  "/root/repo/src/avf/deadness.cc" "src/avf/CMakeFiles/ser_avf.dir/deadness.cc.o" "gcc" "src/avf/CMakeFiles/ser_avf.dir/deadness.cc.o.d"
+  "/root/repo/src/avf/mitf.cc" "src/avf/CMakeFiles/ser_avf.dir/mitf.cc.o" "gcc" "src/avf/CMakeFiles/ser_avf.dir/mitf.cc.o.d"
+  "/root/repo/src/avf/range_min.cc" "src/avf/CMakeFiles/ser_avf.dir/range_min.cc.o" "gcc" "src/avf/CMakeFiles/ser_avf.dir/range_min.cc.o.d"
+  "/root/repo/src/avf/regfile_avf.cc" "src/avf/CMakeFiles/ser_avf.dir/regfile_avf.cc.o" "gcc" "src/avf/CMakeFiles/ser_avf.dir/regfile_avf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ser_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ser_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ser_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ser_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/ser_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

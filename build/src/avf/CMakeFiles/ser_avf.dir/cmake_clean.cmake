@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_avf.dir/avf.cc.o"
+  "CMakeFiles/ser_avf.dir/avf.cc.o.d"
+  "CMakeFiles/ser_avf.dir/deadness.cc.o"
+  "CMakeFiles/ser_avf.dir/deadness.cc.o.d"
+  "CMakeFiles/ser_avf.dir/mitf.cc.o"
+  "CMakeFiles/ser_avf.dir/mitf.cc.o.d"
+  "CMakeFiles/ser_avf.dir/range_min.cc.o"
+  "CMakeFiles/ser_avf.dir/range_min.cc.o.d"
+  "CMakeFiles/ser_avf.dir/regfile_avf.cc.o"
+  "CMakeFiles/ser_avf.dir/regfile_avf.cc.o.d"
+  "libser_avf.a"
+  "libser_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_branch.dir/btb.cc.o"
+  "CMakeFiles/ser_branch.dir/btb.cc.o.d"
+  "CMakeFiles/ser_branch.dir/predictor.cc.o"
+  "CMakeFiles/ser_branch.dir/predictor.cc.o.d"
+  "CMakeFiles/ser_branch.dir/ras.cc.o"
+  "CMakeFiles/ser_branch.dir/ras.cc.o.d"
+  "libser_branch.a"
+  "libser_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

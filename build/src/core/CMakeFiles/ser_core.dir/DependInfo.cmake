@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/due_tracker.cc" "src/core/CMakeFiles/ser_core.dir/due_tracker.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/due_tracker.cc.o.d"
+  "/root/repo/src/core/pet_buffer.cc" "src/core/CMakeFiles/ser_core.dir/pet_buffer.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/pet_buffer.cc.o.d"
+  "/root/repo/src/core/pi_machine.cc" "src/core/CMakeFiles/ser_core.dir/pi_machine.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/pi_machine.cc.o.d"
+  "/root/repo/src/core/tracked_injection.cc" "src/core/CMakeFiles/ser_core.dir/tracked_injection.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/tracked_injection.cc.o.d"
+  "/root/repo/src/core/tracking.cc" "src/core/CMakeFiles/ser_core.dir/tracking.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/tracking.cc.o.d"
+  "/root/repo/src/core/trigger.cc" "src/core/CMakeFiles/ser_core.dir/trigger.cc.o" "gcc" "src/core/CMakeFiles/ser_core.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ser_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ser_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ser_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/avf/CMakeFiles/ser_avf.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ser_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/ser_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/ser_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

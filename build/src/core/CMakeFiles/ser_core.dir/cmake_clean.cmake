@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_core.dir/due_tracker.cc.o"
+  "CMakeFiles/ser_core.dir/due_tracker.cc.o.d"
+  "CMakeFiles/ser_core.dir/pet_buffer.cc.o"
+  "CMakeFiles/ser_core.dir/pet_buffer.cc.o.d"
+  "CMakeFiles/ser_core.dir/pi_machine.cc.o"
+  "CMakeFiles/ser_core.dir/pi_machine.cc.o.d"
+  "CMakeFiles/ser_core.dir/tracked_injection.cc.o"
+  "CMakeFiles/ser_core.dir/tracked_injection.cc.o.d"
+  "CMakeFiles/ser_core.dir/tracking.cc.o"
+  "CMakeFiles/ser_core.dir/tracking.cc.o.d"
+  "CMakeFiles/ser_core.dir/trigger.cc.o"
+  "CMakeFiles/ser_core.dir/trigger.cc.o.d"
+  "libser_core.a"
+  "libser_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_cpu.dir/pipeline.cc.o"
+  "CMakeFiles/ser_cpu.dir/pipeline.cc.o.d"
+  "libser_cpu.a"
+  "libser_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_faults.dir/campaign.cc.o"
+  "CMakeFiles/ser_faults.dir/campaign.cc.o.d"
+  "CMakeFiles/ser_faults.dir/injector.cc.o"
+  "CMakeFiles/ser_faults.dir/injector.cc.o.d"
+  "libser_faults.a"
+  "libser_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

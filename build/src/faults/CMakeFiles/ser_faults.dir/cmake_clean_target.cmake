@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libser_faults.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_harness.dir/experiment.cc.o"
+  "CMakeFiles/ser_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/ser_harness.dir/reporting.cc.o"
+  "CMakeFiles/ser_harness.dir/reporting.cc.o.d"
+  "libser_harness.a"
+  "libser_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

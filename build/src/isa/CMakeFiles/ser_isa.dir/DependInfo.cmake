@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/arch_state.cc" "src/isa/CMakeFiles/ser_isa.dir/arch_state.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/arch_state.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/ser_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/ser_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/executor.cc" "src/isa/CMakeFiles/ser_isa.dir/executor.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/executor.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/isa/CMakeFiles/ser_isa.dir/isa.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/isa.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/ser_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/static_inst.cc" "src/isa/CMakeFiles/ser_isa.dir/static_inst.cc.o" "gcc" "src/isa/CMakeFiles/ser_isa.dir/static_inst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ser_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_isa.dir/arch_state.cc.o"
+  "CMakeFiles/ser_isa.dir/arch_state.cc.o.d"
+  "CMakeFiles/ser_isa.dir/assembler.cc.o"
+  "CMakeFiles/ser_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ser_isa.dir/encoding.cc.o"
+  "CMakeFiles/ser_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/ser_isa.dir/executor.cc.o"
+  "CMakeFiles/ser_isa.dir/executor.cc.o.d"
+  "CMakeFiles/ser_isa.dir/isa.cc.o"
+  "CMakeFiles/ser_isa.dir/isa.cc.o.d"
+  "CMakeFiles/ser_isa.dir/program.cc.o"
+  "CMakeFiles/ser_isa.dir/program.cc.o.d"
+  "CMakeFiles/ser_isa.dir/static_inst.cc.o"
+  "CMakeFiles/ser_isa.dir/static_inst.cc.o.d"
+  "libser_isa.a"
+  "libser_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

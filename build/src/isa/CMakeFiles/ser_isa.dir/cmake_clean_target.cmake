@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libser_isa.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_memory.dir/cache.cc.o"
+  "CMakeFiles/ser_memory.dir/cache.cc.o.d"
+  "CMakeFiles/ser_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/ser_memory.dir/hierarchy.cc.o.d"
+  "libser_memory.a"
+  "libser_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

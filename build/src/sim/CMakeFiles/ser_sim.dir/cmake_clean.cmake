@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_sim.dir/config.cc.o"
+  "CMakeFiles/ser_sim.dir/config.cc.o.d"
+  "CMakeFiles/ser_sim.dir/logging.cc.o"
+  "CMakeFiles/ser_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ser_sim.dir/rng.cc.o"
+  "CMakeFiles/ser_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ser_sim.dir/stats.cc.o"
+  "CMakeFiles/ser_sim.dir/stats.cc.o.d"
+  "libser_sim.a"
+  "libser_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

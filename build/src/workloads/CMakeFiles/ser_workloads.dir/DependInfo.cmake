@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/ser_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/ser_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/ser_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/ser_workloads.dir/kernels.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/workloads/CMakeFiles/ser_workloads.dir/profile.cc.o" "gcc" "src/workloads/CMakeFiles/ser_workloads.dir/profile.cc.o.d"
+  "/root/repo/src/workloads/random_program.cc" "src/workloads/CMakeFiles/ser_workloads.dir/random_program.cc.o" "gcc" "src/workloads/CMakeFiles/ser_workloads.dir/random_program.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/ser_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/ser_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ser_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ser_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_workloads.dir/builder.cc.o"
+  "CMakeFiles/ser_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/ser_workloads.dir/kernels.cc.o"
+  "CMakeFiles/ser_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/ser_workloads.dir/profile.cc.o"
+  "CMakeFiles/ser_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/ser_workloads.dir/random_program.cc.o"
+  "CMakeFiles/ser_workloads.dir/random_program.cc.o.d"
+  "CMakeFiles/ser_workloads.dir/suite.cc.o"
+  "CMakeFiles/ser_workloads.dir/suite.cc.o.d"
+  "libser_workloads.a"
+  "libser_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
