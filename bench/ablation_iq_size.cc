@@ -10,9 +10,12 @@
 
 #include <iostream>
 
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
+#include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
 using namespace ser;
@@ -21,13 +24,17 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Ablation: AVF vs instruction-queue size");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 120000);
     std::string benchmark = config.getString("benchmark", "vortex");
+    harness::JsonReport report;
+    report.setArgs(config);
 
     isa::Program program =
         workloads::buildBenchmark(benchmark, insts);
+    std::uint64_t seed = workloads::findProfile(benchmark).seed;
 
     Table table({"IQ entries", "IPC", "SDC AVF", "idle",
                  "SDC AVF (squash l1)", "squash dSDC"});
@@ -36,10 +43,17 @@ main(int argc, char **argv)
         cfg.dynamicTarget = insts;
         cfg.warmupInsts = insts / 10;
         cfg.pipeline.iqEntries = entries;
+        cfg.intervalCycles = opts.intervalCycles;
         auto base = harness::runProgram(program, cfg, benchmark);
+        base.seed = seed;
 
         cfg.triggerLevel = "l1";
         auto squash = harness::runProgram(program, cfg, benchmark);
+        squash.seed = seed;
+        if (!opts.jsonPath.empty()) {
+            report.addRun(base, cfg);
+            report.addRun(squash, cfg);
+        }
 
         table.addRow(
             {std::to_string(entries), Table::fmt(base.ipc),
@@ -57,5 +71,10 @@ main(int argc, char **argv)
                  "bigger queue holds more idle/unread state, while "
                  "the absolute exposed bit-cycles grow; squashing "
                  "matters more as occupancy rises)\n";
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("iq_size", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

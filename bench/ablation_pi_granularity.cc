@@ -17,7 +17,9 @@
 #include <iostream>
 
 #include "cpu/trace.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/suite.hh"
@@ -28,14 +30,16 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Ablation: pi-bit granularity self-exposure");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 150000);
     std::string benchmark = config.getString("benchmark", "mesa");
 
     harness::ExperimentConfig cfg;
     cfg.dynamicTarget = insts;
     cfg.warmupInsts = insts / 10;
+    cfg.intervalCycles = opts.intervalCycles;
     auto r = harness::runBenchmark(benchmark, cfg);
 
     // A pi-bit strike is examined whenever the instruction commits
@@ -79,5 +83,13 @@ main(int argc, char **argv)
         << "\n(finer pi granularity isolates errors for byte-write "
            "ISAs but linearly multiplies the pi bits' own "
            "false-DUE exposure)\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addRun(r, cfg);
+        report.addTable("pi_granularity", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -15,7 +15,9 @@
 #include <sstream>
 #include <vector>
 
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -27,8 +29,9 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Ablation: trigger level x action design space");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 120000);
     std::vector<std::string> benchmarks = {"mcf",    "ammp",
                                            "gzip",   "equake",
@@ -57,6 +60,9 @@ main(int argc, char **argv)
     for (const auto &name : benchmarks)
         programs.push_back(workloads::buildBenchmark(name, insts));
 
+    harness::JsonReport report;
+    report.setArgs(config);
+
     Table table({"trigger", "action", "IPC", "SDC AVF", "DUE AVF",
                  "SDC MITF", "DUE MITF"});
     double base_ipc = 0, base_sdc = 0, base_due = 0;
@@ -68,8 +74,12 @@ main(int argc, char **argv)
             cfg.warmupInsts = insts / 10;
             cfg.triggerLevel = pt.trigger;
             cfg.triggerAction = pt.action;
+            cfg.intervalCycles = opts.intervalCycles;
             auto r = harness::runProgram(programs[i], cfg,
                                          benchmarks[i]);
+            r.seed = workloads::findProfile(benchmarks[i]).seed;
+            if (!opts.jsonPath.empty())
+                report.addRun(r, cfg);
             ipc += r.ipc;
             sdc += r.avf.sdcAvf();
             due += r.avf.dueAvf();
@@ -97,5 +107,10 @@ main(int argc, char **argv)
             std::to_string(benchmarks.size()) + " benchmarks, " +
             std::to_string(insts) + " insts)");
     table.print(std::cout);
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("triggers", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

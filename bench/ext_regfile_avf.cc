@@ -15,7 +15,9 @@
 #include <iostream>
 
 #include "avf/regfile_avf.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -26,10 +28,13 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Extension: register-file AVF");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 150000);
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
+    harness::JsonReport report;
+    report.setArgs(config);
 
     Table table({"benchmark", "int SDC AVF", "int dead-value",
                  "fp SDC AVF", "fp dead-value", "pred SDC AVF",
@@ -40,7 +45,10 @@ main(int argc, char **argv)
         harness::ExperimentConfig cfg;
         cfg.dynamicTarget = insts;
         cfg.warmupInsts = insts / 10;
+        cfg.intervalCycles = opts.intervalCycles;
         auto r = harness::runBenchmark(profile, cfg);
+        if (!opts.jsonPath.empty())
+            report.addRun(r, cfg);
         auto rf = avf::computeRegFileAvf(r.trace, r.deadness);
         table.addRow({profile.name,
                       Table::pct(rf.intFile.sdcAvf()),
@@ -68,5 +76,10 @@ main(int argc, char **argv)
               << Table::pct(dead_sum / n)
               << " is removable by the pi-bit-per-register scheme "
                  "on a parity-protected file\n";
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("regfile_avf", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

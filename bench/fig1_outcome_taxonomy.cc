@@ -26,6 +26,8 @@
 #include "core/tracked_injection.hh"
 #include "cpu/pipeline.hh"
 #include "faults/campaign.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/executor.hh"
 #include "sim/config.hh"
@@ -37,8 +39,10 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "Figure 1: fault-injection outcome taxonomy");
+    Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "gzip");
     std::uint64_t insts = config.getUint("insts", 60000);
     std::uint64_t samples = config.getUint("samples", 800);
@@ -136,5 +140,12 @@ main(int argc, char **argv)
                        "bound)"
                      : "FAIL")
               << "\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addTable("outcomes", table);
+        report.write(opts.jsonPath);
+    }
     return ok ? 0 : 1;
 }

@@ -16,7 +16,9 @@
 #include <iostream>
 
 #include "core/due_tracker.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -28,11 +30,15 @@ using core::TrackingLevel;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "Figure 2: false-DUE coverage by tracking technique");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 200000);
     auto pet = static_cast<std::uint32_t>(config.getUint("pet", 512));
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
+    harness::JsonReport report;
+    report.setArgs(config);
 
     const TrackingLevel levels[] = {
         TrackingLevel::PiToCommit,   TrackingLevel::AntiPi,
@@ -53,7 +59,10 @@ main(int argc, char **argv)
         cfg.dynamicTarget = insts;
         cfg.warmupInsts = insts / 10;
         cfg.petSize = pet;
+        cfg.intervalCycles = opts.intervalCycles;
         auto r = harness::runBenchmark(profile, cfg);
+        if (!opts.jsonPath.empty())
+            report.addRun(r, cfg);
 
         std::vector<std::string> row{
             profile.name, Table::pct(r.falseDue.baseFalseDueAvf)};
@@ -97,5 +106,11 @@ main(int argc, char **argv)
     std::cout << "\n(cumulative coverage reaches 100% at pi-on-"
                  "memory for every benchmark, matching the paper's "
                  "complete-coverage claim)\n";
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("coverage", table);
+        report.addTable("incremental", avg);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -21,6 +21,8 @@
 #include "avf/deadness.hh"
 #include "core/pet_buffer.hh"
 #include "cpu/pipeline.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -32,10 +34,11 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Figure 3: FDD coverage vs PET-buffer size");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 200000);
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
 
     const std::vector<std::uint32_t> sizes = {
         32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
@@ -104,5 +107,12 @@ main(int argc, char **argv)
                  "via registers; ~10k entries with returns cover "
                  "most FDDs (but a 10,000-entry PET buffer may not "
                  "be implementable)\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addTable("pet_sweep", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -18,7 +18,9 @@
 #include <iostream>
 
 #include "core/due_tracker.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -30,10 +32,14 @@ using core::TrackingLevel;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "Figure 4: combined squashing + pi-tracking impact");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 200000);
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
+    harness::JsonReport report;
+    report.setArgs(config);
 
     Table table({"benchmark", "rel SDC AVF", "rel DUE AVF",
                  "dIPC"});
@@ -44,12 +50,17 @@ main(int argc, char **argv)
         harness::ExperimentConfig base;
         base.dynamicTarget = insts;
         base.warmupInsts = insts / 10;
+        base.intervalCycles = opts.intervalCycles;
         auto r_base = harness::runBenchmark(profile, base);
 
         harness::ExperimentConfig opt = base;
         opt.triggerLevel = "l1";
         opt.triggerAction = "squash";
         auto r_opt = harness::runBenchmark(profile, opt);
+        if (!opts.jsonPath.empty()) {
+            report.addRun(r_base, base);
+            report.addRun(r_opt, opt);
+        }
 
         // SDC: unprotected queue, squashing only.
         double rel_sdc =
@@ -86,5 +97,10 @@ main(int argc, char **argv)
               << "relative DUE AVF " << Table::fmt(due_sum / n)
               << " (paper ~0.43), IPC change "
               << Table::pct(ipc_sum / n) << " (paper ~-2%)\n";
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("combined", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

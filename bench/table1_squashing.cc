@@ -17,7 +17,9 @@
 #include <sstream>
 #include <vector>
 
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
@@ -60,14 +62,17 @@ parseList(const std::string &csv)
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Table 1: the IPC and AVF impact of squashing");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 300000);
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
     std::vector<std::string> benchmarks =
         config.has("benchmarks")
             ? parseList(config.getString("benchmarks", ""))
             : workloads::suiteNames();
+    harness::JsonReport report;
+    report.setArgs(config);
 
     const DesignPoint points[] = {
         {"No squashing", "none"},
@@ -81,15 +86,27 @@ main(int argc, char **argv)
 
     for (const auto &name : benchmarks) {
         // Build the program once; it is read-only across runs.
-        isa::Program program =
-            workloads::buildBenchmark(name, insts);
+        PhaseTimings build_timings;
+        isa::Program program = [&] {
+            ScopedTimer timer(build_timings, "build");
+            return workloads::buildBenchmark(name, insts);
+        }();
         for (int d = 0; d < 3; ++d) {
             harness::ExperimentConfig cfg;
             cfg.dynamicTarget = insts;
             cfg.warmupInsts = insts / 10;
             cfg.triggerLevel = points[d].trigger;
             cfg.triggerAction = "squash";
+            cfg.intervalCycles = opts.intervalCycles;
             auto r = harness::runProgram(program, cfg, name);
+            if (!opts.jsonPath.empty()) {
+                r.seed = workloads::findProfile(name).seed;
+                r.timings.phases.insert(
+                    r.timings.phases.begin(),
+                    build_timings.phases.begin(),
+                    build_timings.phases.end());
+                report.addRun(r, cfg);
+            }
             totals[d].ipc += r.ipc;
             totals[d].sdc += r.avf.sdcAvf();
             totals[d].due += r.avf.dueAvf();
@@ -145,5 +162,12 @@ main(int argc, char **argv)
              Table::fmt((ipc / due) / (ipc0 / due0), 2) + "x"});
     }
     deltas.print(std::cout);
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("per_benchmark", per_bench);
+        report.addTable("table1", table1);
+        report.addTable("deltas", deltas);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -14,6 +14,8 @@
 
 #include "avf/deadness.hh"
 #include "cpu/pipeline.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
@@ -25,10 +27,11 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Table 2: the surrogate benchmark roster");
+    Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 120000);
-    bool csv = config.getBool("csv", false);
+    bool csv = opts.csv;
 
     Table roster({"benchmark", "type", "kernel", "working set",
                   "no-op density", "prefetch", "branch entropy",
@@ -76,5 +79,12 @@ main(int argc, char **argv)
     std::cout << "\nsuite-average dynamically dead fraction: "
               << Table::pct(dead_sum / count)
               << "  (paper: ~20% of all instructions)\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addTable("roster", roster);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -17,6 +17,8 @@
 #include "core/pet_buffer.hh"
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/assembler.hh"
 
@@ -67,8 +69,10 @@ const char *kernelSource = R"(
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "End-to-end API tour on a hand-written kernel");
     isa::Program program = isa::assembleOrDie(kernelSource);
     std::cout << "assembled " << program.size()
               << " static instructions\n";
@@ -119,5 +123,12 @@ main()
                     Table::pct(cov.fracRegWithReturns())});
     }
     pet.print(std::cout);
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(opts.config);
+        report.addTable("pet_sizing", pet);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -11,10 +11,14 @@
 
 #include <iomanip>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "avf/deadness.hh"
 #include "core/pi_machine.hh"
 #include "cpu/pipeline.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/assembler.hh"
 
@@ -23,8 +27,12 @@ using core::PiMachine;
 using core::TrackingLevel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "Walkthrough: where each tracking level signals or "
+        "suppresses a detected error");
     // A little program with one of everything the paper's taxonomy
     // cares about: live work, a no-op and a prefetch (neutral), a
     // nullified instruction, an overwritten-unread def (FDD), a
@@ -77,23 +85,32 @@ main()
         std::cout << std::setw(18) << core::trackingLevelName(l);
     std::cout << "\n" << std::string(34 + 10 + 18 * 7, '-') << "\n";
 
+    std::vector<std::string> headers = {"instruction", "deadness"};
+    for (auto l : levels)
+        headers.push_back(core::trackingLevelName(l));
+    harness::Table matrix(headers);
+
     for (std::uint64_t i = 0; i < trace.commits.size(); ++i) {
         const auto &cr = trace.commits[i];
         const isa::StaticInst &inst = program.inst(cr.staticIdx);
         std::string text = inst.toString();
         if (!cr.qpTrue)
             text += " [nullified]";
+        std::vector<std::string> row = {
+            text, avf::deadKindName(dead.kind[i])};
         std::cout << std::setw(34) << text.substr(0, 33)
                   << std::setw(10)
                   << avf::deadKindName(dead.kind[i]);
         for (auto l : levels) {
             PiMachine machine(trace, l);
             auto out = machine.run(i);
-            std::cout << std::setw(18)
-                      << (out.signalled
-                              ? core::piSignalPointName(out.point)
-                              : "(suppressed)");
+            std::string cell =
+                out.signalled ? core::piSignalPointName(out.point)
+                              : "(suppressed)";
+            std::cout << std::setw(18) << cell;
+            row.push_back(cell);
         }
+        matrix.addRow(row);
         std::cout << "\n";
     }
 
@@ -104,5 +121,12 @@ main()
            "buffer and the pi-bit levels progressively prove the "
            "dead defs false, until pi-on-memory signals only what "
            "truly reaches the program output (Section 4.3).\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(opts.config);
+        report.addTable("tracking_matrix", matrix);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

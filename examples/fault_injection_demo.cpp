@@ -18,6 +18,8 @@
 #include "avf/deadness.hh"
 #include "cpu/pipeline.hh"
 #include "faults/campaign.hh"
+#include "harness/bench_options.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/encoding.hh"
 #include "isa/executor.hh"
@@ -31,8 +33,9 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Monte-Carlo fault-injection campaign");
+    Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "crafty");
     std::uint64_t insts = config.getUint("insts", 40000);
     std::uint64_t samples = config.getUint("samples", 400);
@@ -57,16 +60,30 @@ main(int argc, char **argv)
     harness::printHeading(std::cout, "outcome distribution (" +
                                          std::to_string(samples) +
                                          " samples)");
+    Table outcomes(
+        {"protection", "outcome", "count", "rate", "lo95", "hi95"});
     for (auto prot :
          {faults::Protection::None, faults::Protection::Parity}) {
         faults::CampaignConfig cfg;
         cfg.samples = samples;
         cfg.protection = prot;
         auto res = faults::runCampaign(injector, trace, cfg);
+        const char *prot_name = prot == faults::Protection::None
+                                    ? "none"
+                                    : "parity";
         std::cout << (prot == faults::Protection::None
                           ? "unprotected queue:\n"
                           : "parity-protected queue:\n")
                   << res.summary() << "\n";
+        for (std::size_t o = 0; o < faults::numOutcomes; ++o) {
+            auto outcome = static_cast<faults::Outcome>(o);
+            auto iv = res.interval(outcome);
+            outcomes.addRow({prot_name,
+                             faults::outcomeName(outcome),
+                             std::to_string(res.count(outcome)),
+                             Table::pct(res.rate(outcome)),
+                             Table::pct(iv.lo), Table::pct(iv.hi)});
+        }
     }
 
     harness::printHeading(std::cout, "a few fault stories");
@@ -100,6 +117,13 @@ main(int argc, char **argv)
                                : "")
                   << "\n";
         ++stories;
+    }
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addTable("outcomes", outcomes);
+        report.write(opts.jsonPath);
     }
     return 0;
 }

@@ -17,7 +17,9 @@
 
 #include "avf/mitf.hh"
 #include "core/due_tracker.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 
@@ -27,8 +29,9 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "FIT/MTTF budget review for the IQ");
+    Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "equake");
     std::uint64_t insts = config.getUint("insts", 150000);
     double mfit = config.getDouble("mfit_per_bit", 1.0);
@@ -41,11 +44,19 @@ main(int argc, char **argv)
     harness::ExperimentConfig base;
     base.dynamicTarget = insts;
     base.warmupInsts = insts / 10;
+    base.intervalCycles = opts.intervalCycles;
     auto r_base = harness::runBenchmark(benchmark, base);
 
     harness::ExperimentConfig opt = base;
     opt.triggerLevel = "l1";
     auto r_opt = harness::runBenchmark(benchmark, opt);
+
+    harness::JsonReport report;
+    report.setArgs(config);
+    if (!opts.jsonPath.empty()) {
+        report.addRun(r_base, base);
+        report.addRun(r_opt, opt);
+    }
 
     struct DesignPoint
     {
@@ -109,5 +120,8 @@ main(int argc, char **argv)
               << " mFIT/bit). Note the paper's caution: MITF "
                  "reasoning holds for incremental changes, but "
                  "customers still see absolute MTTF.\n";
+
+    if (!opts.jsonPath.empty())
+        report.write(opts.jsonPath);
     return 0;
 }

@@ -12,7 +12,9 @@
 #include <iostream>
 
 #include "avf/mitf.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
 
@@ -21,8 +23,9 @@ using namespace ser;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Quickstart: one benchmark, baseline vs squash");
+    Config &config = opts.config;
 
     std::string benchmark = config.getString("benchmark", "mcf");
     std::uint64_t insts = config.getUint("insts", 300000);
@@ -32,6 +35,7 @@ main(int argc, char **argv)
     base.dynamicTarget = insts;
     base.warmupInsts = insts / 10;
     base.triggerLevel = "none";
+    base.intervalCycles = opts.intervalCycles;
 
     std::cout << "Running '" << benchmark << "' ("
               << insts << " dynamic instructions)...\n";
@@ -79,5 +83,13 @@ main(int argc, char **argv)
               << "x\n";
     std::cout << "DUE MITF ratio    " << harness::Table::fmt(due_ratio)
               << "x\n";
+
+    if (!opts.jsonPath.empty()) {
+        harness::JsonReport report;
+        report.setArgs(config);
+        report.addRun(baseline, base);
+        report.addRun(squashed, squash);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -12,9 +12,12 @@
 #include <iostream>
 
 #include "avf/mitf.hh"
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
+#include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
+#include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
 using namespace ser;
@@ -23,10 +26,13 @@ using harness::Table;
 int
 main(int argc, char **argv)
 {
-    Config config;
-    config.parseArgs(argc, argv);
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv, "Squash study: trigger/action frontier");
+    Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "ammp");
     std::uint64_t insts = config.getUint("insts", 200000);
+    harness::JsonReport report;
+    report.setArgs(config);
 
     isa::Program program =
         workloads::buildBenchmark(benchmark, insts);
@@ -51,7 +57,11 @@ main(int argc, char **argv)
         cfg.warmupInsts = insts / 10;
         cfg.triggerLevel = pt.trigger;
         cfg.triggerAction = pt.action;
+        cfg.intervalCycles = opts.intervalCycles;
         auto r = harness::runProgram(program, cfg, benchmark);
+        r.seed = workloads::findProfile(benchmark).seed;
+        if (!opts.jsonPath.empty())
+            report.addRun(r, cfg);
         if (std::string(pt.trigger) == "none") {
             base_ipc = r.ipc;
             base_sdc = r.avf.sdcAvf();
@@ -81,5 +91,10 @@ main(int argc, char **argv)
                  "to IPC / AVF, so a design point is worthwhile "
                  "exactly when that ratio beats the baseline "
                  "(Section 3.2).\n";
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("frontier", table);
+        report.write(opts.jsonPath);
+    }
     return 0;
 }

@@ -71,20 +71,31 @@ namespace
 
 constexpr std::uint64_t payloadBits = isa::encoding::payloadBits;
 
-/** Clip [lo, hi) to the window; returns the clipped length. */
-std::uint64_t
+/** Clip [lo, hi) to the window; returns the clipped interval. */
+struct Interval
+{
+    std::uint64_t lo;
+    std::uint64_t hi;
+
+    std::uint64_t length() const { return hi - lo; }
+};
+
+Interval
 clip(std::uint64_t lo, std::uint64_t hi, std::uint64_t wlo,
      std::uint64_t whi)
 {
     lo = std::max(lo, wlo);
     hi = std::min(hi, whi);
-    return hi > lo ? hi - lo : 0;
+    if (hi < lo)
+        hi = lo;
+    return {lo, hi};
 }
 
 } // namespace
 
 AvfResult
-computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness)
+computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness,
+           std::uint64_t epoch_cycles)
 {
     AvfResult r;
     const std::uint64_t wlo = trace.startCycle;
@@ -93,6 +104,37 @@ computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness)
     r.totalBitCycles =
         static_cast<std::uint64_t>(trace.iqEntries) * payloadBits *
         r.windowCycles;
+
+    if (epoch_cycles && r.windowCycles) {
+        std::uint64_t n =
+            (r.windowCycles + epoch_cycles - 1) / epoch_cycles;
+        r.epochs.resize(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            r.epochs[i].startCycle = wlo + i * epoch_cycles;
+            r.epochs[i].cycles =
+                std::min(epoch_cycles, whi - r.epochs[i].startCycle);
+        }
+    }
+
+    // Spread an interval's per-cycle bit rate across the epochs it
+    // overlaps (no-op when epoch binning is off).
+    auto spread = [&](const Interval &iv,
+                      std::uint64_t bits_per_cycle,
+                      std::uint64_t EpochAce::*field) {
+        if (r.epochs.empty() || !bits_per_cycle || iv.hi <= iv.lo)
+            return;
+        std::size_t first =
+            static_cast<std::size_t>((iv.lo - wlo) / epoch_cycles);
+        for (std::size_t e = first; e < r.epochs.size(); ++e) {
+            EpochAce &ep = r.epochs[e];
+            if (ep.startCycle >= iv.hi)
+                break;
+            std::uint64_t ov =
+                std::min(iv.hi, ep.startCycle + ep.cycles) -
+                std::max(iv.lo, ep.startCycle);
+            ep.*field += ov * bits_per_cycle;
+        }
+    };
 
     using namespace isa::encoding;
 
@@ -106,103 +148,128 @@ computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness)
         if (!issued) {
             // Squashed before any read: a strike here is wiped by
             // the refetch — fully un-ACE and undetectable.
-            std::uint64_t cyc = clip(enq, evict, wlo, whi);
-            r.squashedUnread += cyc * payloadBits;
-            occupied += cyc * payloadBits;
+            Interval iv = clip(enq, evict, wlo, whi);
+            r.squashedUnread += iv.length() * payloadBits;
+            occupied += iv.length() * payloadBits;
+            spread(iv, payloadBits, &EpochAce::occupied);
             continue;
         }
 
         const std::uint64_t issue = inc.issueCycle;
-        std::uint64_t pre = clip(enq, issue, wlo, whi);
-        std::uint64_t post = clip(issue, evict, wlo, whi);
+        Interval pre_iv = clip(enq, issue, wlo, whi);
+        Interval post_iv = clip(issue, evict, wlo, whi);
+        std::uint64_t pre = pre_iv.length();
+        std::uint64_t post = post_iv.length();
         occupied += (pre + post) * payloadBits;
         r.exAce += post * payloadBits;
+        spread(pre_iv, payloadBits, &EpochAce::occupied);
+        spread(post_iv, payloadBits, &EpochAce::occupied);
         if (pre == 0)
             continue;
 
-        // Classify the pre-read residency per field.
+        // Classify the pre-read residency per field. ace_rate /
+        // un_rate are the ACE and read-un-ACE bits per resident
+        // cycle, for the epoch fold.
+        std::uint64_t ace_rate = 0;
+        std::uint64_t un_rate = 0;
+
         if (inc.flags & cpu::incWrongPath) {
+            un_rate = payloadBits;
             r.unAceRead[static_cast<int>(UnAceSource::WrongPath)] +=
                 pre * payloadBits;
-            continue;
+        } else {
+            const isa::StaticInst &inst =
+                trace.program->inst(inc.staticIdx);
+            const isa::OpInfo &oi = inst.info();
+
+            if (oi.isNeutral) {
+                // Only the opcode bits could turn this into
+                // something that matters.
+                ace_rate = opcodeBits;
+                un_rate = payloadBits - opcodeBits;
+                r.ace += pre * opcodeBits;
+                r.aceRefined += pre * opcodeBits;
+                r.unAceRead[static_cast<int>(
+                    UnAceSource::Neutral)] += pre * un_rate;
+            } else if (inc.flags & cpu::incPredFalse) {
+                // Only the qualifying-predicate bits could
+                // un-nullify it.
+                ace_rate = qpBits;
+                un_rate = payloadBits - qpBits;
+                r.ace += pre * qpBits;
+                r.aceRefined += pre * qpBits;
+                r.unAceRead[static_cast<int>(
+                    UnAceSource::PredFalse)] += pre * un_rate;
+            } else {
+                DeadKind kind = DeadKind::Live;
+                std::uint32_t overwrite_dist = noOverwrite;
+                if (inc.oracleSeq != cpu::noSeq32 &&
+                    inc.oracleSeq < deadness.kind.size()) {
+                    kind = deadness.kind[inc.oracleSeq];
+                    overwrite_dist =
+                        deadness.overwriteDist[inc.oracleSeq];
+                }
+
+                switch (kind) {
+                  case DeadKind::Live: {
+                    ace_rate = payloadBits;
+                    r.ace += pre * payloadBits;
+                    // Refined estimate: only the fields this opcode
+                    // uses.
+                    const isa::OpInfo &info = oi;
+                    std::uint64_t used = qpBits + opcodeBits;
+                    if (info.dstClass != isa::RegClass::None)
+                        used += dstBits;
+                    if (info.src1Class != isa::RegClass::None)
+                        used += src1Bits;
+                    if (info.src2Class != isa::RegClass::None)
+                        used += src2Bits;
+                    if (info.usesImm)
+                        used += immBits;
+                    r.aceRefined += pre * used;
+                    break;
+                  }
+                  case DeadKind::FddReg:
+                  case DeadKind::TddReg: {
+                    // Destination-specifier bits stay ACE (a strike
+                    // there redirects the dead result onto a live
+                    // register).
+                    ace_rate = dstBits;
+                    un_rate = payloadBits - dstBits;
+                    std::uint64_t un = pre * un_rate;
+                    r.ace += pre * dstBits;
+                    r.aceRefined += pre * dstBits;
+                    auto src = kind == DeadKind::FddReg
+                                   ? UnAceSource::FddReg
+                                   : UnAceSource::TddReg;
+                    r.unAceRead[static_cast<int>(src)] += un;
+                    if (kind == DeadKind::FddReg)
+                        r.fddRegExposures.push_back(
+                            {un, overwrite_dist});
+                    break;
+                  }
+                  case DeadKind::FddMem:
+                  case DeadKind::TddMem: {
+                    // Address bits (base specifier + offset) stay
+                    // ACE (a strike there redirects the dead store
+                    // onto live memory).
+                    ace_rate = src1Bits + immBits;
+                    un_rate = payloadBits - ace_rate;
+                    std::uint64_t un = pre * un_rate;
+                    r.ace += pre * ace_rate;
+                    r.aceRefined += pre * ace_rate;
+                    auto src = kind == DeadKind::FddMem
+                                   ? UnAceSource::FddMem
+                                   : UnAceSource::TddMem;
+                    r.unAceRead[static_cast<int>(src)] += un;
+                    break;
+                  }
+                }
+            }
         }
 
-        const isa::StaticInst &inst =
-            trace.program->inst(inc.staticIdx);
-        const isa::OpInfo &oi = inst.info();
-
-        if (oi.isNeutral) {
-            // Only the opcode bits could turn this into something
-            // that matters.
-            r.ace += pre * opcodeBits;
-            r.aceRefined += pre * opcodeBits;
-            r.unAceRead[static_cast<int>(UnAceSource::Neutral)] +=
-                pre * (payloadBits - opcodeBits);
-            continue;
-        }
-        if (inc.flags & cpu::incPredFalse) {
-            // Only the qualifying-predicate bits could un-nullify it.
-            r.ace += pre * qpBits;
-            r.aceRefined += pre * qpBits;
-            r.unAceRead[static_cast<int>(UnAceSource::PredFalse)] +=
-                pre * (payloadBits - qpBits);
-            continue;
-        }
-
-        DeadKind kind = DeadKind::Live;
-        std::uint32_t overwrite_dist = noOverwrite;
-        if (inc.oracleSeq != cpu::noSeq32 &&
-            inc.oracleSeq < deadness.kind.size()) {
-            kind = deadness.kind[inc.oracleSeq];
-            overwrite_dist = deadness.overwriteDist[inc.oracleSeq];
-        }
-
-        switch (kind) {
-          case DeadKind::Live: {
-            r.ace += pre * payloadBits;
-            // Refined estimate: only the fields this opcode uses.
-            const isa::OpInfo &info = oi;
-            std::uint64_t used = qpBits + opcodeBits;
-            if (info.dstClass != isa::RegClass::None)
-                used += dstBits;
-            if (info.src1Class != isa::RegClass::None)
-                used += src1Bits;
-            if (info.src2Class != isa::RegClass::None)
-                used += src2Bits;
-            if (info.usesImm)
-                used += immBits;
-            r.aceRefined += pre * used;
-            break;
-          }
-          case DeadKind::FddReg:
-          case DeadKind::TddReg: {
-            // Destination-specifier bits stay ACE (a strike there
-            // redirects the dead result onto a live register).
-            std::uint64_t un = pre * (payloadBits - dstBits);
-            r.ace += pre * dstBits;
-            r.aceRefined += pre * dstBits;
-            auto src = kind == DeadKind::FddReg ? UnAceSource::FddReg
-                                                : UnAceSource::TddReg;
-            r.unAceRead[static_cast<int>(src)] += un;
-            if (kind == DeadKind::FddReg)
-                r.fddRegExposures.push_back({un, overwrite_dist});
-            break;
-          }
-          case DeadKind::FddMem:
-          case DeadKind::TddMem: {
-            // Address bits (base specifier + offset) stay ACE (a
-            // strike there redirects the dead store onto live
-            // memory).
-            std::uint64_t ace_bits = src1Bits + immBits;
-            std::uint64_t un = pre * (payloadBits - ace_bits);
-            r.ace += pre * ace_bits;
-            r.aceRefined += pre * ace_bits;
-            auto src = kind == DeadKind::FddMem ? UnAceSource::FddMem
-                                                : UnAceSource::TddMem;
-            r.unAceRead[static_cast<int>(src)] += un;
-            break;
-          }
-        }
+        spread(pre_iv, ace_rate, &EpochAce::ace);
+        spread(pre_iv, un_rate, &EpochAce::unAceRead);
     }
 
     if (occupied > r.totalBitCycles)

@@ -71,6 +71,23 @@ struct FddExposure
     std::uint32_t overwriteDist;  ///< commits until the overwrite
 };
 
+/**
+ * Per-epoch ACE accounting: the window's bit-cycle classes binned
+ * onto the same epoch grid the runtime IntervalSampler uses (anchored
+ * at the window start), so vulnerability-vs-time lines up with the
+ * IPC/occupancy time series. An incarnation residency spanning an
+ * epoch boundary contributes to each epoch in proportion to the
+ * cycles it spends there.
+ */
+struct EpochAce
+{
+    std::uint64_t startCycle = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t occupied = 0;   ///< valid bit-cycles (any class)
+    std::uint64_t ace = 0;        ///< ACE bit-cycles
+    std::uint64_t unAceRead = 0;  ///< read un-ACE (false-DUE source)
+};
+
 /** Bit-cycle totals and the AVFs derived from them. */
 struct AvfResult
 {
@@ -99,6 +116,9 @@ struct AvfResult
 
     /** Exposure records of read FDD-via-register bits (PET study). */
     std::vector<FddExposure> fddRegExposures;
+
+    /** Per-epoch accounting; empty unless an epoch size was given. */
+    std::vector<EpochAce> epochs;
 
     // --- derived metrics ---
     double frac(std::uint64_t x) const
@@ -150,9 +170,16 @@ struct AvfResult
     std::string summary() const;
 };
 
-/** Fold a run's trace + deadness labels into AVF accounting. */
+/**
+ * Fold a run's trace + deadness labels into AVF accounting.
+ *
+ * When epoch_cycles is nonzero, the result additionally carries
+ * per-epoch occupied/ACE/read-un-ACE bit-cycles on an epoch grid of
+ * that size anchored at the window start (see EpochAce).
+ */
 AvfResult computeAvf(const cpu::SimTrace &trace,
-                     const DeadnessResult &deadness);
+                     const DeadnessResult &deadness,
+                     std::uint64_t epoch_cycles = 0);
 
 } // namespace avf
 } // namespace ser

@@ -1,5 +1,7 @@
 #include "pet_buffer.hh"
 
+#include "sim/debug.hh"
+
 namespace ser
 {
 namespace core
@@ -98,6 +100,9 @@ PetBuffer::evict()
         ++statProvenDead;
     else
         ++statSignalled;
+    SER_DPRINTF(PET, "evict seq {}: {}", ev.seq,
+                ev.provenDead ? "proven dead, suppressed"
+                              : "machine check");
     return ev;
 }
 

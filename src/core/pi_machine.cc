@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/pet_buffer.hh"
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace ser
@@ -300,6 +301,21 @@ PiMachine::run(std::uint64_t poisoned_seq, int dst_override) const
     if (poisoned_seq >= commits.size())
         SER_PANIC("PiMachine: seq {} out of range ({})", poisoned_seq,
                   commits.size());
+
+    PiOutcome out = runLevel(poisoned_seq, dst_override);
+    SER_DPRINTF(Pi, "seq {} at {}: {} (seq {})", poisoned_seq,
+                trackingLevelName(_level),
+                out.signalled ? piSignalPointName(out.point)
+                              : "suppressed",
+                out.signalSeq);
+    return out;
+}
+
+PiOutcome
+PiMachine::runLevel(std::uint64_t poisoned_seq,
+                    int dst_override) const
+{
+    const auto &commits = _trace.commits;
 
     if (_level == TrackingLevel::None)
         return signalAt(PiSignalPoint::AtDetection, poisoned_seq);

@@ -92,6 +92,8 @@ class PiMachine
     TrackingLevel level() const { return _level; }
 
   private:
+    PiOutcome runLevel(std::uint64_t poisoned_seq,
+                       int dst_override) const;
     PiOutcome runRegisterTracking(std::uint64_t seq,
                                   bool with_memory,
                                   int dst_override) const;

@@ -1,5 +1,6 @@
 #include "trigger.hh"
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace ser
@@ -66,9 +67,20 @@ MissTriggerPolicy::onLoadServiced(memory::HitLevel level,
     // back — e.g. a secondary miss caught late in its fill.
     if (!fires(level) || fill_cycle <= detect_cycle) {
         ++statIgnored;
+        SER_DPRINTF(Trigger,
+                    "cycle {}: load served at {} ignored "
+                    "(below {} or fill imminent at {})",
+                    detect_cycle, memory::hitLevelName(level),
+                    triggerLevelName(_level), fill_cycle);
         return d;
     }
     ++statFired;
+    SER_DPRINTF(Trigger,
+                "cycle {}: {} fired on {} hit, action {}, "
+                "fill at {}",
+                detect_cycle, triggerLevelName(_level),
+                memory::hitLevelName(level),
+                triggerActionName(_action), fill_cycle);
     if (_action == TriggerAction::Squash ||
         _action == TriggerAction::SquashThrottle)
         d.squash = true;

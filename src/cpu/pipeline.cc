@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cpu/sampler.hh"
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 
 namespace ser
@@ -118,7 +120,12 @@ InOrderPipeline::run()
     if (_warmupInsts == 0) {
         _windowOpen = true;
         _windowStart = 0;
+        if (_sampler)
+            _sampler->windowOpen(0);
     }
+    SER_DPRINTF(Pipeline,
+                "run: start, warmup {} insts, max {} cycles",
+                _warmupInsts, max_cycles);
 
     while (!drained()) {
         if (_cycle >= max_cycles)
@@ -136,11 +143,32 @@ InOrderPipeline::run()
         ++statCycles;
         if (_cycle < _throttleUntil)
             ++statThrottleCycles;
+        if (_sampler && _windowOpen) {
+            IntervalCounters c;
+            c.committed =
+                static_cast<std::uint64_t>(statCommitted.value());
+            c.fetched =
+                static_cast<std::uint64_t>(statFetched.value());
+            c.mispredicts =
+                static_cast<std::uint64_t>(statMispredicts.value());
+            c.triggerSquashes = static_cast<std::uint64_t>(
+                statTriggerSquashes.value());
+            c.triggerSquashedInsts = static_cast<std::uint64_t>(
+                statTriggerSquashedInsts.value());
+            c.iqOccupancy = _iq.size();
+            c.iqWaiting = _iq.size() - _iqIssued;
+            _sampler->tick(_cycle, c);
+        }
         ++_cycle;
         if (_cycle >= 0xffffffffULL)
             SER_FATAL("pipeline: run exceeded 2^32 cycles; trace "
                       "records use 32-bit cycles");
     }
+
+    if (_sampler)
+        _sampler->finish(_cycle);
+    SER_DPRINTF(Pipeline, "run: drained at cycle {}, {} committed",
+                _cycle, _committedTotal);
 
     _trace.startCycle = _windowStart;
     _trace.endCycle = _cycle;
@@ -190,6 +218,8 @@ InOrderPipeline::evictAndCommit()
         if (front->wrongPath)
             SER_PANIC("pipeline: wrong-path instruction reached "
                       "commit (seq {})", front->seq);
+        SER_DPRINTF(IQ, "cycle {}: commit seq {} pc {} entry {}",
+                    _cycle, front->seq, front->pc, front->iqEntry);
         finalizeIncarnation(*front, _cycle, incCommitted);
         _freeEntries.push_back(front->iqEntry);
         _iq.pop_front();
@@ -203,6 +233,11 @@ InOrderPipeline::evictAndCommit()
             _windowOpen = true;
             _windowStart = _cycle;
             resetStats();
+            if (_sampler)
+                _sampler->windowOpen(_cycle);
+            SER_DPRINTF(Pipeline,
+                        "cycle {}: window opens after {} warmup "
+                        "commits", _cycle, _committedTotal);
         }
     }
 }
@@ -228,6 +263,9 @@ InOrderPipeline::resolveBranches()
 
         if (branch->mispredicted) {
             ++statMispredicts;
+            SER_DPRINTF(Pipeline,
+                        "cycle {}: mispredict resolved, branch seq "
+                        "{} pc {}", _cycle, branch->seq, branch->pc);
             doMispredictSquash(branch);
         }
     }
@@ -329,6 +367,10 @@ InOrderPipeline::doTriggerSquash()
 
     ++statTriggerSquashes;
     statTriggerSquashedInsts += static_cast<double>(iq_victims);
+    SER_DPRINTF(Trigger,
+                "cycle {}: trigger squash, {} IQ victims, {} "
+                "front-end victims", _cycle, iq_victims,
+                victims.size() - iq_victims);
 
     for (std::size_t i = 0; i < iq_victims; ++i) {
         finalizeIncarnation(*victims[i], _cycle, incSquashTrigger);
@@ -407,6 +449,8 @@ InOrderPipeline::issueOne(DynInst &di)
 {
     di.issueCycle = _cycle;
     di.completeCycle = _cycle + _params.evictDelay;
+    SER_DPRINTF(IQ, "cycle {}: issue seq {} pc {}{}", _cycle, di.seq,
+                di.pc, di.wrongPath ? " (wrong path)" : "");
 
     const isa::StaticInst &inst = di.inst;
     bool executes = !di.wrongPath && di.qpTrue;
@@ -541,6 +585,8 @@ InOrderPipeline::enqueue()
         di->iqEntry = _freeEntries.back();
         _freeEntries.pop_back();
         di->enqueueCycle = _cycle;
+        SER_DPRINTF(IQ, "cycle {}: enqueue seq {} pc {} entry {}",
+                    _cycle, di->seq, di->pc, di->iqEntry);
         _iq.push_back(di);
         --budget;
     }

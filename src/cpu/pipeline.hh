@@ -50,6 +50,8 @@ namespace ser
 namespace cpu
 {
 
+class IntervalSampler;
+
 /** The in-order core. One instance simulates one program run. */
 class InOrderPipeline : public statistics::StatGroup
 {
@@ -70,6 +72,17 @@ class InOrderPipeline : public statistics::StatGroup
      * window (stats are reset and the AVF window starts there).
      */
     void setWarmupInsts(std::uint64_t insts) { _warmupInsts = insts; }
+
+    /**
+     * Attach an interval time-series sampler (may be null). The
+     * sampler is ticked at the end of every simulated cycle and told
+     * when the measurement window opens, so its epoch grid matches
+     * the stats window.
+     */
+    void setIntervalSampler(IntervalSampler *sampler)
+    {
+        _sampler = sampler;
+    }
 
     /** Run to completion and return the analysis trace. */
     SimTrace run();
@@ -144,6 +157,7 @@ class InOrderPipeline : public statistics::StatGroup
     const isa::Program &_program;
     PipelineParams _params;
     ExposurePolicy *_policy = nullptr;
+    IntervalSampler *_sampler = nullptr;
     std::uint64_t _warmupInsts = 0;
 
     std::unique_ptr<isa::Executor> _oracle;

@@ -1,0 +1,105 @@
+#include "sampler.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+void
+IntervalSample::dumpJson(json::JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("start_cycle", startCycle);
+    jw.kv("end_cycle", endCycle);
+    jw.kv("cycles", cycles());
+    jw.kv("committed", committed);
+    jw.kv("ipc", ipc());
+    jw.kv("fetched", fetched);
+    jw.kv("mispredicts", mispredicts);
+    jw.kv("trigger_squashes", triggerSquashes);
+    jw.kv("trigger_squashed_insts", triggerSquashedInsts);
+    jw.kv("iq_valid_entry_cycles", iqValidEntryCycles);
+    jw.kv("iq_waiting_entry_cycles", iqWaitingEntryCycles);
+    jw.kv("avg_iq_occupancy", avgIqOccupancy());
+    jw.endObject();
+}
+
+IntervalSampler::IntervalSampler(std::uint64_t interval_cycles)
+    : _intervalCycles(interval_cycles)
+{
+    if (interval_cycles == 0)
+        SER_FATAL("sampler: interval must be at least one cycle");
+}
+
+void
+IntervalSampler::windowOpen(std::uint64_t cycle)
+{
+    // Warmup accumulation (if any) is discarded; the epoch grid
+    // restarts at the window-start cycle, aligned with the stats
+    // reset and the AVF window.
+    _epochStart = cycle;
+    _epochTicks = 0;
+    _last = IntervalCounters{};
+    _current = IntervalSample{};
+    _active = true;
+}
+
+void
+IntervalSampler::closeEpoch(std::uint64_t end_cycle,
+                            const IntervalCounters &counters)
+{
+    _current.startCycle = _epochStart;
+    _current.endCycle = end_cycle;
+    _current.committed = counters.committed - _last.committed;
+    _current.fetched = counters.fetched - _last.fetched;
+    _current.mispredicts =
+        counters.mispredicts - _last.mispredicts;
+    _current.triggerSquashes =
+        counters.triggerSquashes - _last.triggerSquashes;
+    _current.triggerSquashedInsts =
+        counters.triggerSquashedInsts - _last.triggerSquashedInsts;
+    _samples.push_back(_current);
+
+    _last = counters;
+    _epochStart = end_cycle;
+    _epochTicks = 0;
+    _current = IntervalSample{};
+}
+
+void
+IntervalSampler::tick(std::uint64_t cycle,
+                      const IntervalCounters &counters)
+{
+    if (!_active)
+        return;  // warmup: the measurement window is not open yet
+    _current.iqValidEntryCycles += counters.iqOccupancy;
+    _current.iqWaitingEntryCycles += counters.iqWaiting;
+    ++_epochTicks;
+    if (_epochTicks >= _intervalCycles)
+        closeEpoch(cycle + 1, counters);
+    else
+        _lastSeen = counters;
+}
+
+void
+IntervalSampler::finish(std::uint64_t end_cycle)
+{
+    if (_active && _epochTicks > 0)
+        closeEpoch(end_cycle, _lastSeen);
+}
+
+void
+IntervalSampler::writeJsonl(std::ostream &os) const
+{
+    for (const auto &sample : _samples) {
+        json::JsonWriter jw(os, 0);
+        sample.dumpJson(jw);
+        os << "\n";
+    }
+}
+
+} // namespace cpu
+} // namespace ser

@@ -1,0 +1,107 @@
+#include "bench_options.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+namespace
+{
+
+void
+printUsage(const char *argv0, const std::string &usage)
+{
+    std::cout << argv0;
+    if (!usage.empty())
+        std::cout << " -- " << usage;
+    std::cout << "\n\n"
+              << "Shared options:\n"
+              << "  --csv            print tables as CSV\n"
+              << "  --json PATH      write a JSON run manifest "
+                 "(+ .intervals.jsonl when sampling)\n"
+              << "  --intervals N    sample the pipeline every N "
+                 "cycles\n"
+              << "  --debug FLAGS    debug trace flags (Pipeline, "
+                 "IQ, Trigger, Pi, PET, Cache, All)\n"
+              << "  --help           this message\n"
+              << "  key=value        simulator parameter overrides\n";
+}
+
+/** "--name value" or "--name=value"; fatal when the value is
+ * missing. */
+std::string
+optionValue(int argc, char **argv, int &i, const std::string &name,
+            const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq != std::string::npos)
+        return token.substr(eq + 1);
+    if (i + 1 >= argc)
+        SER_FATAL("{}: missing value for {}", argv[0], name);
+    return argv[++i];
+}
+
+std::uint64_t
+parseCount(const char *argv0, const std::string &name,
+           const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || !end || *end != '\0')
+        SER_FATAL("{}: bad value '{}' for {}", argv0, text, name);
+    return v;
+}
+
+} // namespace
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, const std::string &usage)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token == "--help" || token == "-h") {
+            printUsage(argv[0], usage);
+            std::exit(0);
+        } else if (token == "--csv") {
+            opts.csv = true;
+        } else if (token == "--json" ||
+                   token.rfind("--json=", 0) == 0) {
+            opts.jsonPath =
+                optionValue(argc, argv, i, "--json", token);
+            if (opts.jsonPath.empty())
+                SER_FATAL("{}: --json needs a path", argv[0]);
+        } else if (token == "--intervals" ||
+                   token.rfind("--intervals=", 0) == 0) {
+            std::string text =
+                optionValue(argc, argv, i, "--intervals", token);
+            opts.intervalCycles =
+                parseCount(argv[0], "--intervals", text);
+            if (opts.intervalCycles == 0)
+                SER_FATAL("{}: --intervals must be positive",
+                          argv[0]);
+        } else if (token == "--debug" ||
+                   token.rfind("--debug=", 0) == 0) {
+            debug::setFlags(
+                optionValue(argc, argv, i, "--debug", token));
+        } else if (token.rfind("--", 0) == 0) {
+            SER_FATAL("{}: unknown option '{}' (--help lists them)",
+                      argv[0], token);
+        } else {
+            // key=value override, exactly as Config::parseArgs.
+            opts.config.parseAssignment(token);
+        }
+    }
+    // Legacy spelling: csv=1 still selects CSV output.
+    opts.csv = opts.csv || opts.config.getBool("csv", false);
+    return opts;
+}
+
+} // namespace harness
+} // namespace ser

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The command-line options shared by every bench and example binary.
+ *
+ * Each binary used to hand-roll the same Config/csv parsing; this
+ * factors it into one parser so the observability flags (--json,
+ * --intervals, --debug) arrive everywhere at once:
+ *
+ *   --csv            print tables as CSV instead of aligned text
+ *   --json PATH      write a JSON run manifest (and, when intervals
+ *                    are on, a sibling .intervals.jsonl time series)
+ *   --intervals N    sample the pipeline every N cycles
+ *   --debug FLAGS    select debug trace flags (same as
+ *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
+ *   --help           print usage and exit
+ *   key=value        simulator parameter overrides (as before)
+ *
+ * Legacy spellings keep working: csv=1 still selects CSV, and
+ * key=value tokens are collected into the Config exactly as
+ * Config::parseArgs did.
+ */
+
+#ifndef SER_HARNESS_BENCH_OPTIONS_HH
+#define SER_HARNESS_BENCH_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+/** Parsed shared options plus the remaining key=value Config. */
+struct BenchOptions
+{
+    Config config;
+
+    bool csv = false;            ///< --csv (or legacy csv=1)
+    std::string jsonPath;        ///< --json PATH; empty = off
+    std::uint64_t intervalCycles = 0;  ///< --intervals N; 0 = off
+
+    /**
+     * Parse argv. Prints usage and exits on --help; fatal on an
+     * unknown --option or a malformed value. 'usage' is the one-line
+     * binary description shown by --help.
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &usage = "");
+};
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_BENCH_OPTIONS_HH

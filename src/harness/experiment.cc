@@ -1,9 +1,11 @@
 #include "experiment.hh"
 
+#include <memory>
 #include <sstream>
 
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
+#include "sim/json.hh"
 #include "workloads/suite.hh"
 
 namespace ser
@@ -29,17 +31,49 @@ runProgram(const isa::Program &program,
     pipeline.setExposurePolicy(policy.get());
     pipeline.setWarmupInsts(config.warmupInsts);
 
-    out.trace = pipeline.run();
+    std::unique_ptr<cpu::IntervalSampler> sampler;
+    if (config.intervalCycles) {
+        sampler = std::make_unique<cpu::IntervalSampler>(
+            config.intervalCycles);
+        pipeline.setIntervalSampler(sampler.get());
+    }
+
+    {
+        ScopedTimer timer(out.timings, "pipeline");
+        out.trace = pipeline.run();
+    }
     out.ipc = out.trace.ipc();
+    if (sampler)
+        out.intervals = sampler->samples();
 
     std::ostringstream stats;
     pipeline.dumpStats(stats);
     policy->dumpStats(stats);
     out.statsDump = stats.str();
 
-    out.deadness = avf::analyzeDeadness(out.trace);
-    out.avf = avf::computeAvf(out.trace, out.deadness);
-    out.falseDue = core::analyzeFalseDue(out.avf, config.petSize);
+    std::ostringstream stats_json;
+    {
+        json::JsonWriter jw(stats_json);
+        jw.beginObject();
+        pipeline.dumpJson(jw);
+        policy->dumpJson(jw);
+        jw.endObject();
+    }
+    out.statsJson = stats_json.str();
+
+    {
+        ScopedTimer timer(out.timings, "deadness");
+        out.deadness = avf::analyzeDeadness(out.trace);
+    }
+    {
+        ScopedTimer timer(out.timings, "avf");
+        out.avf = avf::computeAvf(out.trace, out.deadness,
+                                  config.intervalCycles);
+    }
+    {
+        ScopedTimer timer(out.timings, "false_due");
+        out.falseDue = core::analyzeFalseDue(out.avf, config.petSize);
+    }
     return out;
 }
 
@@ -47,9 +81,20 @@ RunArtifacts
 runBenchmark(const workloads::BenchmarkProfile &profile,
              const ExperimentConfig &config)
 {
-    isa::Program program =
-        workloads::buildBenchmark(profile, config.dynamicTarget);
-    return runProgram(program, config, profile.name);
+    PhaseTimings build_timings;
+    isa::Program program = [&] {
+        ScopedTimer timer(build_timings, "build");
+        return workloads::buildBenchmark(profile,
+                                         config.dynamicTarget);
+    }();
+    RunArtifacts out = runProgram(program, config, profile.name);
+    out.seed = profile.seed;
+    // The build phase happened first; keep it first in the manifest.
+    build_timings.phases.insert(build_timings.phases.end(),
+                                out.timings.phases.begin(),
+                                out.timings.phases.end());
+    out.timings = std::move(build_timings);
+    return out;
 }
 
 RunArtifacts

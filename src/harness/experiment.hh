@@ -17,12 +17,16 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "avf/avf.hh"
 #include "avf/deadness.hh"
 #include "core/due_tracker.hh"
 #include "cpu/params.hh"
+#include "cpu/sampler.hh"
 #include "cpu/trace.hh"
 #include "isa/program.hh"
+#include "sim/timing.hh"
 #include "workloads/profile.hh"
 
 namespace ser
@@ -48,6 +52,10 @@ struct ExperimentConfig
     /** PET-buffer size for the false-DUE analysis. */
     std::uint32_t petSize = 512;
 
+    /** Interval time-series epoch size in cycles; 0 disables the
+     * sampler (and the per-epoch AVF fold). */
+    std::uint64_t intervalCycles = 0;
+
     cpu::PipelineParams pipeline;
 };
 
@@ -56,6 +64,9 @@ struct RunArtifacts
 {
     std::string benchmark;
     double ipc = 0.0;
+
+    /** Workload generator seed (0 for externally built programs). */
+    std::uint64_t seed = 0;
 
     /** The artifacts own the program so trace.program stays valid
      * for post-hoc analyses after the caller's copy is gone. */
@@ -68,6 +79,15 @@ struct RunArtifacts
 
     /** Stats dump of the pipeline tree (cache, predictor, ...). */
     std::string statsDump;
+
+    /** The same stats tree as a JSON object (for the manifest). */
+    std::string statsJson;
+
+    /** Wall-clock time of each phase (build, pipeline, ...). */
+    PhaseTimings timings;
+
+    /** Interval time series; empty unless intervalCycles was set. */
+    std::vector<cpu::IntervalSample> intervals;
 };
 
 /** Run one program under one configuration. */

@@ -1,0 +1,227 @@
+#include "manifest.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/tracking.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+void
+writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
+                 const ExperimentConfig &config)
+{
+    jw.beginObject();
+    jw.kv("benchmark", run.benchmark);
+    jw.kv("seed", run.seed);
+
+    jw.key("config");
+    jw.beginObject();
+    jw.kv("dynamic_target", config.dynamicTarget);
+    jw.kv("warmup_insts", config.warmupInsts);
+    jw.kv("trigger_level", config.triggerLevel);
+    jw.kv("trigger_action", config.triggerAction);
+    jw.kv("pet_size", config.petSize);
+    jw.kv("interval_cycles", config.intervalCycles);
+    jw.kv("iq_entries", config.pipeline.iqEntries);
+    jw.kv("fetch_width", config.pipeline.fetchWidth);
+    jw.kv("issue_width", config.pipeline.issueWidth);
+    jw.endObject();
+
+    jw.kv("ipc", run.ipc);
+    jw.kv("committed_insts", run.trace.committedInsts);
+    jw.kv("window_cycles", run.avf.windowCycles);
+
+    jw.key("timings_seconds");
+    jw.beginObject();
+    for (const auto &phase : run.timings.phases)
+        jw.kv(phase.first, phase.second);
+    jw.kv("total", run.timings.totalSeconds());
+    jw.endObject();
+
+    const avf::AvfResult &avf = run.avf;
+    jw.key("avf");
+    jw.beginObject();
+    jw.kv("sdc_avf", avf.sdcAvf());
+    jw.kv("sdc_avf_refined", avf.sdcAvfRefined());
+    jw.kv("true_due_avf", avf.trueDueAvf());
+    jw.kv("false_due_avf", avf.falseDueAvf());
+    jw.kv("due_avf", avf.dueAvf());
+    jw.kv("idle_fraction", avf.idleFraction());
+    jw.kv("ex_ace_fraction", avf.exAceFraction());
+    jw.key("un_ace_read");
+    jw.beginObject();
+    for (int i = 0; i < avf::numUnAceSources; ++i)
+        jw.kv(avf::unAceSourceName(
+                  static_cast<avf::UnAceSource>(i)),
+              avf.unAceRead[i]);
+    jw.endObject();
+    jw.endObject();
+
+    jw.key("false_due");
+    jw.beginObject();
+    jw.kv("base_false_due_avf", run.falseDue.baseFalseDueAvf);
+    jw.kv("true_due_avf", run.falseDue.trueDueAvf);
+    jw.key("residual_false_due");
+    jw.beginObject();
+    for (int i = 0; i < core::numTrackingLevels; ++i)
+        jw.kv(core::trackingLevelName(
+                  static_cast<core::TrackingLevel>(i)),
+              run.falseDue.residualFalseDue[i]);
+    jw.endObject();
+    jw.endObject();
+
+    jw.key("stats");
+    if (run.statsJson.empty())
+        jw.nullValue();
+    else
+        jw.rawValue(run.statsJson);
+
+    jw.key("intervals");
+    jw.beginObject();
+    jw.kv("interval_cycles", config.intervalCycles);
+    jw.kv("epochs", static_cast<std::uint64_t>(
+                        run.intervals.size()));
+    jw.endObject();
+
+    jw.endObject();
+}
+
+void
+JsonReport::setArgs(const Config &config)
+{
+    _args = config.items();
+}
+
+void
+JsonReport::addRun(const RunArtifacts &run,
+                   const ExperimentConfig &config)
+{
+    std::ostringstream os;
+    {
+        json::JsonWriter jw(os);
+        writeRunManifest(jw, run, config);
+    }
+    _runs.push_back(os.str());
+
+    // One compact JSONL line per epoch: the sampler's counters
+    // merged (by index — the grids share size and anchor) with the
+    // post-hoc per-epoch ACE fold.
+    for (std::size_t i = 0; i < run.intervals.size(); ++i) {
+        std::ostringstream line;
+        json::JsonWriter jw(line, 0);
+        const cpu::IntervalSample &s = run.intervals[i];
+        jw.beginObject();
+        jw.kv("benchmark", run.benchmark);
+        jw.kv("epoch", static_cast<std::uint64_t>(i));
+        jw.kv("start_cycle", s.startCycle);
+        jw.kv("end_cycle", s.endCycle);
+        jw.kv("cycles", s.cycles());
+        jw.kv("committed", s.committed);
+        jw.kv("ipc", s.ipc());
+        jw.kv("fetched", s.fetched);
+        jw.kv("mispredicts", s.mispredicts);
+        jw.kv("trigger_squashes", s.triggerSquashes);
+        jw.kv("trigger_squashed_insts", s.triggerSquashedInsts);
+        jw.kv("iq_valid_entry_cycles", s.iqValidEntryCycles);
+        jw.kv("iq_waiting_entry_cycles", s.iqWaitingEntryCycles);
+        jw.kv("avg_iq_occupancy", s.avgIqOccupancy());
+        if (i < run.avf.epochs.size()) {
+            const avf::EpochAce &e = run.avf.epochs[i];
+            jw.kv("occupied_bit_cycles", e.occupied);
+            jw.kv("ace_bit_cycles", e.ace);
+            jw.kv("un_ace_read_bit_cycles", e.unAceRead);
+        }
+        jw.endObject();
+        _intervalLines.push_back(line.str());
+    }
+}
+
+void
+JsonReport::addTable(const std::string &name, const Table &table)
+{
+    std::ostringstream os;
+    {
+        json::JsonWriter jw(os);
+        jw.beginObject();
+        jw.key("headers");
+        jw.beginArray();
+        for (const auto &header : table.headers())
+            jw.value(header);
+        jw.endArray();
+        jw.key("rows");
+        jw.beginArray();
+        for (const auto &row : table.rows()) {
+            jw.beginArray();
+            for (const auto &cell : row)
+                jw.value(cell);
+            jw.endArray();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+    _tables.emplace_back(name, os.str());
+}
+
+std::string
+JsonReport::intervalsPath(const std::string &json_path)
+{
+    std::string stem = json_path;
+    const std::string ext = ".json";
+    if (stem.size() > ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0)
+        stem.resize(stem.size() - ext.size());
+    return stem + ".intervals.jsonl";
+}
+
+void
+JsonReport::write(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        SER_FATAL("manifest: cannot open '{}' for writing", path);
+
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("schema_version", 1);
+    jw.key("args");
+    jw.beginObject();
+    for (const auto &arg : _args)
+        jw.kv(arg.first, arg.second);
+    jw.endObject();
+    jw.key("tables");
+    jw.beginObject();
+    for (const auto &table : _tables) {
+        jw.key(table.first);
+        jw.rawValue(table.second);
+    }
+    jw.endObject();
+    jw.key("runs");
+    jw.beginArray();
+    for (const auto &run : _runs)
+        jw.rawValue(run);
+    jw.endArray();
+    if (!_intervalLines.empty())
+        jw.kv("intervals_file", intervalsPath(path));
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        SER_FATAL("manifest: write to '{}' failed", path);
+
+    if (_intervalLines.empty())
+        return;
+    std::ofstream jl(intervalsPath(path));
+    if (!jl)
+        SER_FATAL("manifest: cannot open '{}' for writing",
+                  intervalsPath(path));
+    for (const auto &line : _intervalLines)
+        jl << line << "\n";
+}
+
+} // namespace harness
+} // namespace ser

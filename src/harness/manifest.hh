@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured run manifests: one JSON document per bench invocation.
+ *
+ * A manifest captures everything needed to interpret (and re-run) an
+ * experiment: the binary's arguments, each run's configuration and
+ * generator seed, per-phase wall-clock timings, the full statistics
+ * tree, the derived AVF/false-DUE metrics, and the paper-style
+ * result tables. When interval sampling is on, the per-epoch time
+ * series (IPC, queue occupancy, squash counts, and the per-epoch
+ * ACE-cycle fold) is written as a sibling JSONL file —
+ * '<manifest>.intervals.jsonl' — one JSON object per epoch per run.
+ *
+ * Layout:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "args": { "key": "value", ... },
+ *     "tables": { "name": {"headers": [...], "rows": [[...]]} },
+ *     "runs": [ { benchmark, seed, config, ipc, timings_seconds,
+ *                 avf, false_due, stats, intervals }, ... ],
+ *     "intervals_file": "out.intervals.jsonl"   // when sampling
+ *   }
+ */
+
+#ifndef SER_HARNESS_MANIFEST_HH
+#define SER_HARNESS_MANIFEST_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "sim/config.hh"
+
+namespace ser
+{
+
+namespace json
+{
+class JsonWriter;
+}
+
+namespace harness
+{
+
+/** Emit one run (artifacts + its configuration) as a JSON object. */
+void writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
+                      const ExperimentConfig &config);
+
+/**
+ * Collects runs and tables while a bench executes, then writes the
+ * manifest (and the sibling interval JSONL) in one go. Runs are
+ * serialized at addRun() time so the heavyweight artifacts can be
+ * dropped between runs.
+ */
+class JsonReport
+{
+  public:
+    /** Record the binary's parsed key=value arguments. */
+    void setArgs(const Config &config);
+
+    /** Serialize one run into the manifest; also folds its interval
+     * time series (merged with the per-epoch ACE fold) into the
+     * JSONL buffer. */
+    void addRun(const RunArtifacts &run,
+                const ExperimentConfig &config);
+
+    /** Serialize a result table into the manifest. */
+    void addTable(const std::string &name, const Table &table);
+
+    /** Write the manifest to 'path' (and '<stem>.intervals.jsonl'
+     * next to it when any run carried samples). */
+    void write(const std::string &path) const;
+
+    /** The sibling JSONL path write() uses for a manifest path. */
+    static std::string intervalsPath(const std::string &json_path);
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _args;
+    std::vector<std::string> _runs;    ///< serialized run objects
+    std::vector<std::pair<std::string, std::string>> _tables;
+    std::vector<std::string> _intervalLines;  ///< JSONL, all runs
+};
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_MANIFEST_HH

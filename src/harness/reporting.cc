@@ -67,12 +67,33 @@ Table::print(std::ostream &os) const
         print_row(row);
 }
 
+namespace
+{
+
+/** Quote a CSV cell per RFC 4180 when it needs it. */
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\r\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
 void
 Table::printCsv(std::ostream &os) const
 {
     auto emit = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c)
-            os << (c == 0 ? "" : ",") << cells[c];
+            os << (c == 0 ? "" : ",") << csvCell(cells[c]);
         os << "\n";
     };
     emit(_headers);

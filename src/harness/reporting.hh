@@ -34,7 +34,19 @@ class Table
     static std::string pct(double fraction, int precision = 1);
 
     void print(std::ostream &os) const;
+
+    /** RFC-4180 CSV: cells containing a comma, quote, or newline
+     * are quoted, with embedded quotes doubled. */
     void printCsv(std::ostream &os) const;
+
+    const std::vector<std::string> &headers() const
+    {
+        return _headers;
+    }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return _rows;
+    }
 
   private:
     std::vector<std::string> _headers;

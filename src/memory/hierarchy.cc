@@ -1,5 +1,7 @@
 #include "hierarchy.hh"
 
+#include "sim/debug.hh"
+
 namespace ser
 {
 namespace memory
@@ -91,6 +93,10 @@ CacheHierarchy::access(std::uint64_t addr, std::uint64_t cycle)
             ++statServedInflight;
             unsigned remaining =
                 static_cast<unsigned>(it->second.ready - cycle);
+            SER_DPRINTF(Cache,
+                        "cycle {}: addr {} secondary miss on "
+                        "in-flight line, {} cycles remaining",
+                        cycle, addr, remaining);
             lookupAndFill(addr);  // keep replacement state warm
             return {it->second.level,
                     std::max(remaining, _params.l0.hitLatency),
@@ -109,6 +115,8 @@ CacheHierarchy::access(std::uint64_t addr, std::uint64_t cycle)
     }
     if (level != HitLevel::L0)
         _inflight[line] = {cycle + latency, level};
+    SER_DPRINTF(Cache, "cycle {}: addr {} served at {}, {} cycles",
+                cycle, addr, hitLevelName(level), latency);
     return {level, latency};
 }
 

@@ -1,0 +1,459 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace ser
+{
+namespace json
+{
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    if (_indentStep <= 0)
+        return;  // compact mode: everything on one line
+    _os << "\n" << std::string(
+        static_cast<std::size_t>(_depth * _indentStep), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (_pendingKey) {
+        _pendingKey = false;
+        return;
+    }
+    if (_hasValue.back())
+        _os << ",";
+    if (_depth > 0)
+        newline();
+    _hasValue.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    _os << "{";
+    ++_depth;
+    _hasValue.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bool had = _hasValue.back();
+    _hasValue.pop_back();
+    --_depth;
+    if (had)
+        newline();
+    _os << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    _os << "[";
+    ++_depth;
+    _hasValue.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bool had = _hasValue.back();
+    _hasValue.pop_back();
+    --_depth;
+    if (had)
+        newline();
+    _os << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (_pendingKey)
+        SER_PANIC("json: key('{}') while a key is already pending",
+                  name);
+    beforeValue();
+    _os << "\"" << escape(name) << "\": ";
+    _pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    _os << "\"" << escape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return nullValue();
+    beforeValue();
+    // Round-trippable, locale-independent formatting; integers keep
+    // an integral look for diffability.
+    char buf[40];
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    _os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    _os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    _os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    _os << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json_text)
+{
+    beforeValue();
+    _os << json_text;
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : _text(text), _err(err)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (_err && _err->empty())
+            *_err = msg + " (at offset " + std::to_string(_pos) + ")";
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (_text.substr(_pos, word.size()) != word)
+            return false;
+        _pos += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (_depth > maxDepth)
+            return fail("nesting too deep");
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        char c = _text[_pos];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': out->kind = JsonValue::Kind::String;
+                    return parseString(&out->string);
+          case 't':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out->kind = JsonValue::Kind::Null;
+            return literal("null") || fail("bad literal");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++_pos;  // '{'
+        ++_depth;
+        skipWs();
+        if (consume('}')) {
+            --_depth;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string name;
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key");
+            if (!parseString(&name))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue member;
+            if (!parseValue(&member))
+                return false;
+            out->object.emplace(std::move(name), std::move(member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}')) {
+                --_depth;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++_pos;  // '['
+        ++_depth;
+        skipWs();
+        if (consume(']')) {
+            --_depth;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue element;
+            if (!parseValue(&element))
+                return false;
+            out->array.push_back(std::move(element));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']')) {
+                --_depth;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++_pos;  // '"'
+        std::string s;
+        while (true) {
+            if (_pos >= _text.size())
+                return fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                return fail("unterminated escape");
+            char e = _text[_pos++];
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the code point (BMP only — the
+                // writer never emits surrogate pairs).
+                if (code < 0x80) {
+                    s += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    s += static_cast<char>(0xC0 | (code >> 6));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    s += static_cast<char>(0xE0 | (code >> 12));
+                    s += static_cast<char>(0x80 |
+                                           ((code >> 6) & 0x3F));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: return fail("bad escape character");
+            }
+        }
+        *out = std::move(s);
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        std::size_t start = _pos;
+        if (consume('-')) {
+        }
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-'))
+            ++_pos;
+        if (_pos == start)
+            return fail("expected a value");
+        std::string tok(_text.substr(start, _pos - start));
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number '" + tok + "'");
+        out->kind = JsonValue::Kind::Number;
+        out->number = v;
+        return true;
+    }
+
+    static constexpr int maxDepth = 64;
+
+    std::string_view _text;
+    std::string *_err;
+    std::size_t _pos = 0;
+    int _depth = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue *out, std::string *err)
+{
+    Parser p(text, err);
+    return p.parse(out);
+}
+
+} // namespace json
+} // namespace ser

@@ -1,5 +1,7 @@
 #include "logging.hh"
 
+#include "debug.hh"
+
 namespace ser
 {
 
@@ -11,6 +13,10 @@ bool quiet = false;
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Failures come with context: dump the tail of the debug trace
+    // ring (populated by SER_DPRINTF under SER_DEBUG_FLAGS /
+    // SER_DEBUG_RING) before aborting.
+    debug::dumpRingTail(std::cerr);
     std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
               << std::endl;
     std::abort();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "json.hh"
 #include "logging.hh"
 
 namespace ser
@@ -22,6 +23,12 @@ void
 StatBase::print(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << _name << " " << value() << " # " << _desc << "\n";
+}
+
+void
+StatBase::dumpJson(json::JsonWriter &jw) const
+{
+    jw.value(value());
 }
 
 void
@@ -58,6 +65,17 @@ Average::print(std::ostream &os, const std::string &prefix) const
         os << prefix << name() << "::min " << _min << "\n";
         os << prefix << name() << "::max " << _max << "\n";
     }
+}
+
+void
+Average::dumpJson(json::JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("mean", value());
+    jw.kv("min", minValue());
+    jw.kv("max", maxValue());
+    jw.kv("count", _count);
+    jw.endObject();
 }
 
 Distribution::Distribution(StatGroup *parent, std::string name,
@@ -132,6 +150,23 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
         os << prefix << name() << "::overflows " << _overflow << "\n";
 }
 
+void
+Distribution::dumpJson(json::JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("mean", value());
+    jw.kv("count", _count);
+    jw.kv("min", _min);
+    jw.kv("bucket_size", _bucketSize);
+    jw.kv("underflows", _underflow);
+    jw.kv("overflows", _overflow);
+    jw.key("buckets").beginArray();
+    for (std::uint64_t bucket : _buckets)
+        jw.value(bucket);
+    jw.endArray();
+    jw.endObject();
+}
+
 Formula::Formula(StatGroup *parent, std::string name, std::string desc,
                  std::function<double()> fn)
     : StatBase(parent, std::move(name), std::move(desc)),
@@ -182,6 +217,20 @@ StatGroup::dumpStats(std::ostream &os, const std::string &prefix) const
         prefix.empty() ? _name : prefix + "." + _name;
     for (const auto *child : _children)
         child->dumpStats(os, child_prefix);
+}
+
+void
+StatGroup::dumpJson(json::JsonWriter &jw) const
+{
+    jw.key(_name);
+    jw.beginObject();
+    for (const auto *stat : _stats) {
+        jw.key(stat->name());
+        stat->dumpJson(jw);
+    }
+    for (const auto *child : _children)
+        child->dumpJson(jw);
+    jw.endObject();
 }
 
 void

@@ -26,6 +26,12 @@
 
 namespace ser
 {
+
+namespace json
+{
+class JsonWriter;
+}
+
 namespace statistics
 {
 
@@ -53,6 +59,11 @@ class StatBase
     /** Print one or more "name value # desc" lines. */
     virtual void print(std::ostream &os,
                        const std::string &prefix) const;
+
+    /** Emit this statistic's value node (the caller wrote the key).
+     * Scalars and formulas emit a bare number; multi-valued kinds
+     * emit an object. */
+    virtual void dumpJson(json::JsonWriter &jw) const;
 
   private:
     std::string _name;
@@ -93,6 +104,7 @@ class Average : public StatBase
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void dumpJson(json::JsonWriter &jw) const override;
 
   private:
     double _sum = 0.0;
@@ -120,6 +132,7 @@ class Distribution : public StatBase
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void dumpJson(json::JsonWriter &jw) const override;
 
   private:
     double _min;
@@ -169,6 +182,11 @@ class StatGroup
     /** Print every statistic in this group and its children. */
     void dumpStats(std::ostream &os,
                    const std::string &prefix = "") const;
+
+    /** Emit this group (and its children) as a JSON object member:
+     * `"name": { "stat": value, ..., "child": { ... } }`. Must be
+     * called inside an open JSON object. */
+    void dumpJson(json::JsonWriter &jw) const;
 
     /** Reset every statistic in this group and its children. */
     void resetStats();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wall-clock phase timing for run manifests.
+ *
+ * The harness brackets each phase of an experiment (workload build,
+ * pipeline run, deadness analysis, AVF fold, false-DUE analysis)
+ * with a ScopedTimer; the accumulated PhaseTimings are emitted into
+ * the run manifest so regressions in simulator throughput are
+ * visible per phase, per run.
+ */
+
+#ifndef SER_SIM_TIMING_HH
+#define SER_SIM_TIMING_HH
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ser
+{
+
+/** Ordered (phase name, seconds) pairs for one run. */
+struct PhaseTimings
+{
+    std::vector<std::pair<std::string, double>> phases;
+
+    void
+    add(std::string name, double seconds)
+    {
+        phases.emplace_back(std::move(name), seconds);
+    }
+
+    double
+    totalSeconds() const
+    {
+        double total = 0.0;
+        for (const auto &p : phases)
+            total += p.second;
+        return total;
+    }
+};
+
+/** Adds the lifetime of the scope to a PhaseTimings entry. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(PhaseTimings &timings, std::string name)
+        : _timings(timings), _name(std::move(name)),
+          _start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - _start;
+        _timings.add(std::move(_name), elapsed.count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    PhaseTimings &_timings;
+    std::string _name;
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace ser
+
+#endif // SER_SIM_TIMING_HH

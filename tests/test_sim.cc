@@ -1,15 +1,24 @@
 /**
  * @file
  * Unit tests for the simulation substrate: logging format helper,
- * RNG, statistics package, and the config store.
+ * RNG, statistics package, the config store, the JSON layer, debug
+ * trace flags, the interval sampler, and the shared bench options.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "cpu/sampler.hh"
+#include "harness/bench_options.hh"
+#include "harness/reporting.hh"
 #include "sim/config.hh"
+#include "sim/debug.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -193,4 +202,380 @@ TEST(Config, HexAndBoolForms)
     EXPECT_EQ(c.getUint("h", 0), 16u);
     EXPECT_TRUE(c.getBool("b1", false));
     EXPECT_FALSE(c.getBool("b0", true));
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string("a\x01") + "b"),
+              "a\\u0001b");
+}
+
+TEST(Json, WriterRoundTripsThroughParser)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("name", "quote\" and \\slash");
+    jw.kv("count", std::uint64_t(12345));
+    jw.kv("delta", std::int64_t(-7));
+    jw.kv("ratio", 0.25);
+    jw.kv("flag", true);
+    jw.key("none").nullValue();
+    jw.key("list").beginArray();
+    jw.value(1).value(2).value(3);
+    jw.endArray();
+    jw.key("nested").beginObject();
+    jw.kv("inner", "x");
+    jw.endObject();
+    jw.endObject();
+
+    json::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(json::parseJson(os.str(), &doc, &err)) << err;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("name")->string, "quote\" and \\slash");
+    EXPECT_DOUBLE_EQ(doc.find("count")->number, 12345.0);
+    EXPECT_DOUBLE_EQ(doc.find("delta")->number, -7.0);
+    EXPECT_DOUBLE_EQ(doc.find("ratio")->number, 0.25);
+    EXPECT_TRUE(doc.find("flag")->boolean);
+    EXPECT_TRUE(doc.find("none")->isNull());
+    ASSERT_EQ(doc.find("list")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.find("list")->array[2].number, 3.0);
+    EXPECT_EQ(doc.find("nested")->find("inner")->string, "x");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("nan", std::nan(""));
+    jw.kv("inf", std::numeric_limits<double>::infinity());
+    jw.endObject();
+    json::JsonValue doc;
+    ASSERT_TRUE(json::parseJson(os.str(), &doc));
+    EXPECT_TRUE(doc.find("nan")->isNull());
+    EXPECT_TRUE(doc.find("inf")->isNull());
+}
+
+TEST(Json, CompactModeIsSingleLine)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.kv("a", 1);
+    jw.key("b").beginArray().value(2).value(3).endArray();
+    jw.endObject();
+    EXPECT_EQ(os.str().find('\n'), std::string::npos);
+    json::JsonValue doc;
+    EXPECT_TRUE(json::parseJson(os.str(), &doc));
+}
+
+TEST(Json, RawValueSplicesVerbatim)
+{
+    std::ostringstream os;
+    json::JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.key("stats").rawValue("{\"x\": 1}");
+    jw.kv("after", 2);
+    jw.endObject();
+    json::JsonValue doc;
+    ASSERT_TRUE(json::parseJson(os.str(), &doc));
+    EXPECT_DOUBLE_EQ(doc.find("stats")->find("x")->number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.find("after")->number, 2.0);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    json::JsonValue doc;
+    EXPECT_FALSE(json::parseJson("{", &doc));
+    EXPECT_FALSE(json::parseJson("{} trailing", &doc));
+    EXPECT_FALSE(json::parseJson("{\"a\": }", &doc));
+    EXPECT_FALSE(json::parseJson("[1, 2,]", &doc));
+    EXPECT_FALSE(json::parseJson("nul", &doc));
+}
+
+TEST(Stats, DumpJsonNestedTreeRoundTrips)
+{
+    statistics::StatGroup root("cpu");
+    statistics::Scalar cycles(&root, "cycles", "d");
+    cycles += 100;
+    statistics::StatGroup child("iq", &root);
+    statistics::Scalar enq(&child, "enqueued", "d");
+    enq += 42;
+    statistics::Average occ(&child, "occupancy", "d");
+    occ.sample(2);
+    occ.sample(4);
+    statistics::Distribution lat(&child, "latency", "d", 0, 8, 2);
+    lat.sample(1);
+    lat.sample(3);
+    lat.sample(100);
+    statistics::Formula ipc(&root, "ipc", "d",
+                            [&]() { return 42.0 / 100.0; });
+
+    std::ostringstream os;
+    json::JsonWriter jw(os);
+    jw.beginObject();
+    root.dumpJson(jw);
+    jw.endObject();
+
+    json::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(json::parseJson(os.str(), &doc, &err)) << err;
+    const json::JsonValue *cpu = doc.find("cpu");
+    ASSERT_NE(cpu, nullptr);
+    EXPECT_DOUBLE_EQ(cpu->find("cycles")->number, 100.0);
+    EXPECT_DOUBLE_EQ(cpu->find("ipc")->number, 0.42);
+    const json::JsonValue *iq = cpu->find("iq");
+    ASSERT_NE(iq, nullptr);
+    EXPECT_DOUBLE_EQ(iq->find("enqueued")->number, 42.0);
+    const json::JsonValue *jocc = iq->find("occupancy");
+    ASSERT_NE(jocc, nullptr);
+    ASSERT_TRUE(jocc->isObject());
+    EXPECT_DOUBLE_EQ(jocc->find("mean")->number, 3.0);
+    const json::JsonValue *jlat = iq->find("latency");
+    ASSERT_NE(jlat, nullptr);
+    ASSERT_TRUE(jlat->isObject());
+    EXPECT_DOUBLE_EQ(jlat->find("count")->number, 3.0);
+}
+
+TEST(Stats, DistributionAndFormulaReset)
+{
+    statistics::StatGroup g("g");
+    statistics::Distribution d(&g, "d", "d", 0, 10, 2);
+    d.sample(1);
+    d.sample(11);
+    d.sample(-1);
+    ASSERT_EQ(d.count(), 3u);
+    g.resetStats();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.underflows(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    for (std::size_t i = 0; i < d.numBuckets(); ++i)
+        EXPECT_EQ(d.bucketCount(i), 0u);
+
+    statistics::Scalar a(&g, "a", "d");
+    statistics::Formula f(&g, "f", "d",
+                          [&]() { return a.value() * 2; });
+    a += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 6.0);
+    f.reset();  // formulas have no state; still live afterwards
+    EXPECT_DOUBLE_EQ(f.value(), 6.0);
+}
+
+TEST(Stats, FindStatEdgeCases)
+{
+    statistics::StatGroup root("root");
+    statistics::StatGroup child("child", &root);
+    statistics::Scalar s(&child, "x", "d");
+    // findStat is by local name within one group: the parent does
+    // not see the child's stats, and lookups are exact-match.
+    EXPECT_EQ(root.findStat("x"), nullptr);
+    EXPECT_EQ(root.findStat("child.x"), nullptr);
+    EXPECT_EQ(child.findStat("x"), &s);
+    EXPECT_EQ(child.findStat("X"), nullptr);
+    EXPECT_EQ(child.findStat(""), nullptr);
+}
+
+TEST(Debug, ParseFlagsNamesAndAll)
+{
+    unsigned mask = 0;
+    EXPECT_TRUE(debug::parseFlags("Trigger", &mask));
+    EXPECT_EQ(mask,
+              1u << static_cast<unsigned>(debug::Flag::Trigger));
+    EXPECT_TRUE(debug::parseFlags("trigger,iq", &mask));
+    EXPECT_EQ(mask,
+              (1u << static_cast<unsigned>(debug::Flag::Trigger)) |
+                  (1u << static_cast<unsigned>(debug::Flag::IQ)));
+    EXPECT_TRUE(debug::parseFlags("all", &mask));
+    EXPECT_EQ(mask, (1u << debug::numFlags) - 1);
+    EXPECT_TRUE(debug::parseFlags("", &mask));
+    EXPECT_EQ(mask, 0u);
+    unsigned untouched = 99;
+    EXPECT_FALSE(debug::parseFlags("bogus", &untouched));
+    EXPECT_EQ(untouched, 99u);
+}
+
+TEST(Debug, DisabledFlagsRecordNothing)
+{
+    debug::printMask = 0;
+    debug::captureMask = 0;
+    debug::clearRing();
+    SER_DPRINTF(Trigger, "should not appear {}", 1);
+    EXPECT_TRUE(debug::ringContents().empty());
+}
+
+TEST(Debug, RingBufferWrapsKeepingNewest)
+{
+    debug::setRingCapacity(4);
+    debug::setCaptureFlags("Trigger");
+    for (int i = 0; i < 6; ++i)
+        SER_DPRINTF(Trigger, "msg {}", i);
+    auto contents = debug::ringContents();
+    ASSERT_EQ(contents.size(), 4u);
+    EXPECT_EQ(contents.front(), "[Trigger] msg 2");
+    EXPECT_EQ(contents.back(), "[Trigger] msg 5");
+
+    // Capture-only selection must not print: flag enabled, print
+    // mask clear.
+    EXPECT_EQ(debug::printMask, 0u);
+    EXPECT_TRUE(debug::enabled(debug::Flag::Trigger));
+
+    debug::setCaptureFlags("");
+    debug::setRingCapacity(256);
+    debug::clearRing();
+}
+
+namespace
+{
+
+cpu::IntervalCounters
+countersAt(std::uint64_t committed, std::uint64_t occupancy)
+{
+    cpu::IntervalCounters c;
+    c.committed = committed;
+    c.fetched = committed * 2;
+    c.iqOccupancy = occupancy;
+    c.iqWaiting = occupancy / 2;
+    return c;
+}
+
+} // namespace
+
+TEST(Sampler, ClosesEpochsOnTheGridWithPartialTail)
+{
+    cpu::IntervalSampler sampler(10);
+    sampler.windowOpen(100);
+    // 25 in-window cycles: two full epochs plus a 5-cycle tail.
+    for (std::uint64_t cycle = 100; cycle < 125; ++cycle)
+        sampler.tick(cycle, countersAt(2 * (cycle - 99), 3));
+    sampler.finish(125);
+
+    const auto &s = sampler.samples();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0].startCycle, 100u);
+    EXPECT_EQ(s[0].endCycle, 110u);
+    EXPECT_EQ(s[0].committed, 20u);
+    EXPECT_EQ(s[0].iqValidEntryCycles, 30u);
+    EXPECT_DOUBLE_EQ(s[0].ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(s[0].avgIqOccupancy(), 3.0);
+    EXPECT_EQ(s[1].startCycle, 110u);
+    EXPECT_EQ(s[1].endCycle, 120u);
+    EXPECT_EQ(s[1].committed, 20u);
+    // The partial last epoch covers the remaining 5 cycles.
+    EXPECT_EQ(s[2].startCycle, 120u);
+    EXPECT_EQ(s[2].endCycle, 125u);
+    EXPECT_EQ(s[2].cycles(), 5u);
+    EXPECT_EQ(s[2].committed, 10u);
+
+    std::uint64_t total = 0;
+    for (const auto &e : s)
+        total += e.committed;
+    EXPECT_EQ(total, 50u);  // == the run's committed instructions
+}
+
+TEST(Sampler, WarmupTicksAreExcluded)
+{
+    cpu::IntervalSampler sampler(10);
+    // Ticks before the window opens must leave no trace.
+    for (std::uint64_t cycle = 0; cycle < 50; ++cycle)
+        sampler.tick(cycle, countersAt(1000 + cycle, 60));
+    EXPECT_TRUE(sampler.samples().empty());
+    sampler.finish(50);
+    EXPECT_TRUE(sampler.samples().empty());
+
+    sampler.windowOpen(50);
+    for (std::uint64_t cycle = 50; cycle < 60; ++cycle)
+        sampler.tick(cycle, countersAt(cycle - 49, 1));
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    // The grid restarts at the window-open cycle and the deltas
+    // restart from zero, untouched by the warmup values.
+    EXPECT_EQ(sampler.samples()[0].startCycle, 50u);
+    EXPECT_EQ(sampler.samples()[0].endCycle, 60u);
+    EXPECT_EQ(sampler.samples()[0].committed, 10u);
+    EXPECT_EQ(sampler.samples()[0].iqValidEntryCycles, 10u);
+}
+
+TEST(Sampler, ExactMultipleLeavesNoPartialEpoch)
+{
+    cpu::IntervalSampler sampler(5);
+    sampler.windowOpen(0);
+    for (std::uint64_t cycle = 0; cycle < 10; ++cycle)
+        sampler.tick(cycle, countersAt(cycle + 1, 0));
+    sampler.finish(10);
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples()[1].endCycle, 10u);
+}
+
+TEST(Sampler, JsonlLinesAreCompactAndParse)
+{
+    cpu::IntervalSampler sampler(4);
+    sampler.windowOpen(0);
+    for (std::uint64_t cycle = 0; cycle < 9; ++cycle)
+        sampler.tick(cycle, countersAt(cycle, 2));
+    sampler.finish(9);
+
+    std::ostringstream os;
+    sampler.writeJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        json::JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(json::parseJson(line, &doc, &err)) << err;
+        EXPECT_TRUE(doc.find("committed")->isNumber());
+        EXPECT_TRUE(doc.find("avg_iq_occupancy")->isNumber());
+        ++lines;
+    }
+    EXPECT_EQ(lines, sampler.samples().size());
+}
+
+TEST(Table, CsvQuotesPerRfc4180)
+{
+    harness::Table t({"name", "value, with comma"});
+    t.addRow({"say \"hi\"", "multi\nline"});
+    t.addRow({"plain", "1.5"});
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string csv = os.str();
+    EXPECT_NE(csv.find("\"value, with comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+    EXPECT_NE(csv.find("plain,1.5"), std::string::npos);
+}
+
+TEST(BenchOptions, ParsesSharedFlagsAndConfig)
+{
+    std::vector<std::string> args = {
+        "prog", "--csv", "--json", "out.json", "--intervals", "500",
+        "insts=1234", "benchmark=mcf"};
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    auto opts = harness::BenchOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(opts.csv);
+    EXPECT_EQ(opts.jsonPath, "out.json");
+    EXPECT_EQ(opts.intervalCycles, 500u);
+    EXPECT_EQ(opts.config.getUint("insts", 0), 1234u);
+    EXPECT_EQ(opts.config.getString("benchmark", ""), "mcf");
+}
+
+TEST(BenchOptions, EqualsFormAndLegacyCsvKey)
+{
+    std::vector<std::string> args = {"prog", "--json=m.json",
+                                     "csv=1"};
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    auto opts = harness::BenchOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(opts.csv);  // legacy csv=1 still selects CSV
+    EXPECT_EQ(opts.jsonPath, "m.json");
+    EXPECT_EQ(opts.intervalCycles, 0u);
 }
