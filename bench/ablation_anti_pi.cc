@@ -15,6 +15,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 
@@ -31,16 +32,24 @@ main(int argc, char **argv)
     harness::JsonReport report;
     report.setArgs(config);
 
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = insts;
+    cfg.warmupInsts = insts / 10;
+    cfg.intervalCycles = opts.intervalCycles;
+
+    // One run per surrogate on the --jobs worker pool.
+    harness::SuiteRunner runner(opts.jobs);
+    for (const auto &profile : workloads::specSuite())
+        runner.submit(runner.addProgram(profile, insts), cfg);
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
     Table table({"benchmark", "false DUE (anti-pi)",
                  "false DUE (decode-at-retire)", "inflation"});
     double a_sum = 0, d_sum = 0;
     int n = 0;
+    std::size_t idx = 0;
     for (const auto &profile : workloads::specSuite()) {
-        harness::ExperimentConfig cfg;
-        cfg.dynamicTarget = insts;
-        cfg.warmupInsts = insts / 10;
-        cfg.intervalCycles = opts.intervalCycles;
-        auto r = harness::runBenchmark(profile, cfg);
+        const harness::RunArtifacts &r = runs[idx++];
         if (!opts.jsonPath.empty())
             report.addRun(r, cfg);
         double anti = r.avf.falseDueAvf();

@@ -14,6 +14,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
@@ -32,28 +33,39 @@ main(int argc, char **argv)
     harness::JsonReport report;
     report.setArgs(config);
 
-    isa::Program program =
-        workloads::buildBenchmark(benchmark, insts);
-    std::uint64_t seed = workloads::findProfile(benchmark).seed;
+    const unsigned sizes[] = {16u, 32u, 64u, 128u, 256u};
 
-    Table table({"IQ entries", "IPC", "SDC AVF", "idle",
-                 "SDC AVF (squash l1)", "squash dSDC"});
-    for (unsigned entries : {16u, 32u, 64u, 128u, 256u}) {
+    // One shared program build; the 5 sizes x {base, squash-l1}
+    // runs execute on the --jobs worker pool.
+    harness::SuiteRunner runner(opts.jobs);
+    std::size_t prog = runner.addProgram(benchmark, insts);
+    std::vector<harness::ExperimentConfig> configs;
+    for (unsigned entries : sizes) {
         harness::ExperimentConfig cfg;
         cfg.dynamicTarget = insts;
         cfg.warmupInsts = insts / 10;
         cfg.pipeline.iqEntries = entries;
         cfg.intervalCycles = opts.intervalCycles;
-        auto base = harness::runProgram(program, cfg, benchmark);
-        base.seed = seed;
+        runner.submit(prog, cfg);
+        configs.push_back(cfg);
 
         cfg.triggerLevel = "l1";
-        auto squash = harness::runProgram(program, cfg, benchmark);
-        squash.seed = seed;
+        runner.submit(prog, cfg);
+        configs.push_back(cfg);
+    }
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    Table table({"IQ entries", "IPC", "SDC AVF", "idle",
+                 "SDC AVF (squash l1)", "squash dSDC"});
+    std::size_t idx = 0;
+    for (unsigned entries : sizes) {
+        const harness::RunArtifacts &base = runs[idx];
+        const harness::RunArtifacts &squash = runs[idx + 1];
         if (!opts.jsonPath.empty()) {
-            report.addRun(base, cfg);
-            report.addRun(squash, cfg);
+            report.addRun(base, configs[idx]);
+            report.addRun(squash, configs[idx + 1]);
         }
+        idx += 2;
 
         table.addRow(
             {std::to_string(entries), Table::fmt(base.ipc),

@@ -21,6 +21,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/suite.hh"
 
@@ -40,7 +41,13 @@ main(int argc, char **argv)
     cfg.dynamicTarget = insts;
     cfg.warmupInsts = insts / 10;
     cfg.intervalCycles = opts.intervalCycles;
-    auto r = harness::runBenchmark(benchmark, cfg);
+
+    // Single design point, still routed through the SuiteRunner so
+    // --jobs plumbing and build/run phase timing are uniform across
+    // the bench mains.
+    harness::SuiteRunner runner(opts.jobs);
+    runner.submit(runner.addProgram(benchmark, insts), cfg);
+    harness::RunArtifacts r = std::move(runner.run().front());
 
     // A pi-bit strike is examined whenever the instruction commits
     // on the correct path; its exposure window is the entry's full

@@ -19,6 +19,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
@@ -55,36 +56,46 @@ main(int argc, char **argv)
         {"l0", "both"},     {"l1", "both"},
     };
 
-    // Build each program once.
-    std::vector<isa::Program> programs;
-    for (const auto &name : benchmarks)
-        programs.push_back(workloads::buildBenchmark(name, insts));
-
     harness::JsonReport report;
     report.setArgs(config);
 
-    Table table({"trigger", "action", "IPC", "SDC AVF", "DUE AVF",
-                 "SDC MITF", "DUE MITF"});
-    double base_ipc = 0, base_sdc = 0, base_due = 0;
+    // Each program is built once and shared read-only across all
+    // eight trigger/action points; the sweep runs on the --jobs
+    // worker pool with submission-order aggregation.
+    harness::SuiteRunner runner(opts.jobs);
+    std::vector<std::size_t> prog_ids;
+    for (const auto &name : benchmarks)
+        prog_ids.push_back(runner.addProgram(name, insts));
+    std::vector<harness::ExperimentConfig> configs;
     for (const auto &pt : points) {
-        double ipc = 0, sdc = 0, due = 0;
-        for (std::size_t i = 0; i < programs.size(); ++i) {
+        for (std::size_t i = 0; i < prog_ids.size(); ++i) {
             harness::ExperimentConfig cfg;
             cfg.dynamicTarget = insts;
             cfg.warmupInsts = insts / 10;
             cfg.triggerLevel = pt.trigger;
             cfg.triggerAction = pt.action;
             cfg.intervalCycles = opts.intervalCycles;
-            auto r = harness::runProgram(programs[i], cfg,
-                                         benchmarks[i]);
-            r.seed = workloads::findProfile(benchmarks[i]).seed;
+            runner.submit(prog_ids[i], cfg);
+            configs.push_back(cfg);
+        }
+    }
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    Table table({"trigger", "action", "IPC", "SDC AVF", "DUE AVF",
+                 "SDC MITF", "DUE MITF"});
+    double base_ipc = 0, base_sdc = 0, base_due = 0;
+    std::size_t idx = 0;
+    for (const auto &pt : points) {
+        double ipc = 0, sdc = 0, due = 0;
+        for (std::size_t i = 0; i < prog_ids.size(); ++i, ++idx) {
+            const harness::RunArtifacts &r = runs[idx];
             if (!opts.jsonPath.empty())
-                report.addRun(r, cfg);
+                report.addRun(r, configs[idx]);
             ipc += r.ipc;
             sdc += r.avf.sdcAvf();
             due += r.avf.dueAvf();
         }
-        double n = static_cast<double>(programs.size());
+        double n = static_cast<double>(prog_ids.size());
         ipc /= n;
         sdc /= n;
         due /= n;

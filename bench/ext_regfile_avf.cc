@@ -19,6 +19,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 
@@ -41,12 +42,21 @@ main(int argc, char **argv)
                  "IQ SDC AVF"});
     double int_sum = 0, dead_sum = 0;
     int n = 0;
+
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = insts;
+    cfg.warmupInsts = insts / 10;
+    cfg.intervalCycles = opts.intervalCycles;
+
+    // One run per surrogate on the --jobs worker pool.
+    harness::SuiteRunner runner(opts.jobs);
+    for (const auto &profile : workloads::specSuite())
+        runner.submit(runner.addProgram(profile, insts), cfg);
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    std::size_t idx = 0;
     for (const auto &profile : workloads::specSuite()) {
-        harness::ExperimentConfig cfg;
-        cfg.dynamicTarget = insts;
-        cfg.warmupInsts = insts / 10;
-        cfg.intervalCycles = opts.intervalCycles;
-        auto r = harness::runBenchmark(profile, cfg);
+        const harness::RunArtifacts &r = runs[idx++];
         if (!opts.jsonPath.empty())
             report.addRun(r, cfg);
         auto rf = avf::computeRegFileAvf(r.trace, r.deadness);

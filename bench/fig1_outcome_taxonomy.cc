@@ -29,6 +29,7 @@
 #include "harness/bench_options.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "isa/executor.hh"
 #include "sim/config.hh"
 #include "workloads/suite.hh"
@@ -79,21 +80,40 @@ main(int argc, char **argv)
     faults::CampaignConfig cfg;
     cfg.samples = samples;
     cfg.seed = seed;
-    cfg.protection = faults::Protection::None;
-    auto unprot = faults::runCampaign(injector, trace, cfg);
-    cfg.protection = faults::Protection::Parity;
-    auto parity = faults::runCampaign(injector, trace, cfg);
-    cfg.protection = faults::Protection::Ecc;
-    auto ecc = faults::runCampaign(injector, trace, cfg);
 
-    // Parity plus the full pi machinery (tracked to the store
-    // buffer, the paper's option 3): deferred detections that prove
-    // harmless become benign.
-    core::PiMachine machine(trace,
-                            core::TrackingLevel::PiStoreBuffer);
-    cfg.protection = faults::Protection::Parity;
-    auto tracked =
-        core::runTrackedCampaign(injector, trace, machine, cfg);
+    // The four campaigns share the injector and trace read-only
+    // (FaultInjector::classify is const), so they fan out on the
+    // --jobs worker pool. Each campaign seeds its own RNG from the
+    // config, so results are independent of scheduling.
+    faults::CampaignResult unprot, parity, ecc, tracked;
+    harness::parallelFor(4, opts.jobs, [&](std::size_t i) {
+        faults::CampaignConfig c = cfg;
+        switch (i) {
+          case 0:
+            c.protection = faults::Protection::None;
+            unprot = faults::runCampaign(injector, trace, c);
+            break;
+          case 1:
+            c.protection = faults::Protection::Parity;
+            parity = faults::runCampaign(injector, trace, c);
+            break;
+          case 2:
+            c.protection = faults::Protection::Ecc;
+            ecc = faults::runCampaign(injector, trace, c);
+            break;
+          case 3: {
+            // Parity plus the full pi machinery (tracked to the
+            // store buffer, the paper's option 3): deferred
+            // detections that prove harmless become benign.
+            core::PiMachine machine(
+                trace, core::TrackingLevel::PiStoreBuffer);
+            c.protection = faults::Protection::Parity;
+            tracked = core::runTrackedCampaign(injector, trace,
+                                               machine, c);
+            break;
+          }
+        }
+    });
 
     for (int o = 0; o < faults::numOutcomes; ++o) {
         auto oc = static_cast<faults::Outcome>(o);

@@ -20,6 +20,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 
@@ -54,13 +55,22 @@ main(int argc, char **argv)
     double inc_sum[2][6] = {};
     int group_n[2] = {};
 
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = insts;
+    cfg.warmupInsts = insts / 10;
+    cfg.petSize = pet;
+    cfg.intervalCycles = opts.intervalCycles;
+
+    // One run per surrogate, executed on the --jobs worker pool;
+    // aggregation below walks the results in suite order.
+    harness::SuiteRunner runner(opts.jobs);
+    for (const auto &profile : workloads::specSuite())
+        runner.submit(runner.addProgram(profile, insts), cfg);
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    std::size_t idx = 0;
     for (const auto &profile : workloads::specSuite()) {
-        harness::ExperimentConfig cfg;
-        cfg.dynamicTarget = insts;
-        cfg.warmupInsts = insts / 10;
-        cfg.petSize = pet;
-        cfg.intervalCycles = opts.intervalCycles;
-        auto r = harness::runBenchmark(profile, cfg);
+        const harness::RunArtifacts &r = runs[idx++];
         if (!opts.jsonPath.empty())
             report.addRun(r, cfg);
 

@@ -24,6 +24,7 @@
 #include "harness/bench_options.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
@@ -50,27 +51,45 @@ main(int argc, char **argv)
         std::uint64_t ret = 0, retCov = 0;
         std::uint64_t mem = 0, memCov = 0;
     };
+    // Each benchmark's sweep is independent: run them on the --jobs
+    // worker pool into per-benchmark slots, then fold into the suite
+    // totals serially in suite order (integer sums, so the result is
+    // identical for any job count anyway).
+    const auto &suite = workloads::specSuite();
+    std::vector<std::vector<Totals>> per_bench(
+        suite.size(), std::vector<Totals>(sizes.size()));
+    harness::parallelFor(
+        suite.size(), opts.jobs, [&](std::size_t b) {
+            isa::Program program =
+                workloads::buildBenchmark(suite[b], insts);
+            cpu::PipelineParams params;
+            params.maxInsts = insts * 2;
+            cpu::InOrderPipeline pipe(program, params);
+            cpu::SimTrace trace = pipe.run();
+            trace.program = &program;
+            avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                core::PetCoverage cov =
+                    core::petCoverage(dead, sizes[i]);
+                per_bench[b][i].nonRet += cov.fddRegNonReturn;
+                per_bench[b][i].nonRetCov += cov.coveredNonReturn;
+                per_bench[b][i].ret += cov.fddRegReturn;
+                per_bench[b][i].retCov += cov.coveredReturn;
+                per_bench[b][i].mem += cov.fddMem;
+                per_bench[b][i].memCov += cov.coveredMem;
+            }
+        });
+
     std::vector<Totals> totals(sizes.size());
-
-    for (const auto &profile : workloads::specSuite()) {
-        isa::Program program =
-            workloads::buildBenchmark(profile, insts);
-        cpu::PipelineParams params;
-        params.maxInsts = insts * 2;
-        cpu::InOrderPipeline pipe(program, params);
-        cpu::SimTrace trace = pipe.run();
-        trace.program = &program;
-        avf::DeadnessResult dead = avf::analyzeDeadness(trace);
-
+    for (std::size_t b = 0; b < suite.size(); ++b) {
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            core::PetCoverage cov =
-                core::petCoverage(dead, sizes[i]);
-            totals[i].nonRet += cov.fddRegNonReturn;
-            totals[i].nonRetCov += cov.coveredNonReturn;
-            totals[i].ret += cov.fddRegReturn;
-            totals[i].retCov += cov.coveredReturn;
-            totals[i].mem += cov.fddMem;
-            totals[i].memCov += cov.coveredMem;
+            totals[i].nonRet += per_bench[b][i].nonRet;
+            totals[i].nonRetCov += per_bench[b][i].nonRetCov;
+            totals[i].ret += per_bench[b][i].ret;
+            totals[i].retCov += per_bench[b][i].retCov;
+            totals[i].mem += per_bench[b][i].mem;
+            totals[i].memCov += per_bench[b][i].memCov;
         }
     }
 

@@ -22,6 +22,7 @@
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 
@@ -46,17 +47,28 @@ main(int argc, char **argv)
     double sdc_sum = 0, due_sum = 0, ipc_sum = 0;
     int n = 0;
 
-    for (const auto &profile : workloads::specSuite()) {
-        harness::ExperimentConfig base;
-        base.dynamicTarget = insts;
-        base.warmupInsts = insts / 10;
-        base.intervalCycles = opts.intervalCycles;
-        auto r_base = harness::runBenchmark(profile, base);
+    harness::ExperimentConfig base;
+    base.dynamicTarget = insts;
+    base.warmupInsts = insts / 10;
+    base.intervalCycles = opts.intervalCycles;
+    harness::ExperimentConfig opt = base;
+    opt.triggerLevel = "l1";
+    opt.triggerAction = "squash";
 
-        harness::ExperimentConfig opt = base;
-        opt.triggerLevel = "l1";
-        opt.triggerAction = "squash";
-        auto r_opt = harness::runBenchmark(profile, opt);
+    // Baseline and optimized runs share one program build per
+    // surrogate and execute on the --jobs worker pool.
+    harness::SuiteRunner runner(opts.jobs);
+    for (const auto &profile : workloads::specSuite()) {
+        std::size_t prog = runner.addProgram(profile, insts);
+        runner.submit(prog, base);
+        runner.submit(prog, opt);
+    }
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    std::size_t idx = 0;
+    for (const auto &profile : workloads::specSuite()) {
+        const harness::RunArtifacts &r_base = runs[idx++];
+        const harness::RunArtifacts &r_opt = runs[idx++];
         if (!opts.jsonPath.empty()) {
             report.addRun(r_base, base);
             report.addRun(r_opt, opt);

@@ -13,6 +13,8 @@
 #include "avf/deadness.hh"
 #include "branch/predictor.hh"
 #include "cpu/pipeline.hh"
+#include "harness/experiment.hh"
+#include "harness/suite_runner.hh"
 #include "isa/assembler.hh"
 #include "isa/executor.hh"
 #include "memory/hierarchy.hh"
@@ -141,6 +143,33 @@ BM_AvfFold(benchmark::State &state)
                             trace.incarnations.size());
 }
 BENCHMARK(BM_AvfFold);
+
+void
+BM_SuiteRunnerSweep(benchmark::State &state)
+{
+    // A small design-point sweep (one shared program, four IQ
+    // sizes) end to end, at jobs = state.range(0). On a multi-core
+    // host the jobs=4 variant shows the worker-pool speedup; the
+    // result vector is submission-ordered either way.
+    const std::uint64_t insts = 20000;
+    auto jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        harness::SuiteRunner runner(jobs);
+        std::size_t prog = runner.addProgram("gzip", insts);
+        for (unsigned entries : {16u, 32u, 64u, 128u}) {
+            harness::ExperimentConfig cfg;
+            cfg.dynamicTarget = insts;
+            cfg.warmupInsts = insts / 10;
+            cfg.pipeline.iqEntries = entries;
+            runner.submit(prog, cfg);
+        }
+        auto runs = runner.run();
+        benchmark::DoNotOptimize(runs.front().ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SuiteRunnerSweep)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

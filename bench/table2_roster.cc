@@ -12,11 +12,14 @@
 
 #include <iostream>
 
+#include <vector>
+
 #include "avf/deadness.hh"
 #include "cpu/pipeline.hh"
 #include "harness/bench_options.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
 #include "sim/config.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
@@ -38,17 +41,29 @@ main(int argc, char **argv)
                   "dyn insts", "dead", "fdd-reg", "tdd-reg",
                   "dead-mem", "return-fdd"});
 
+    // Each benchmark's build + run + deadness analysis is
+    // independent: fan out on the --jobs worker pool, writing into
+    // pre-sized per-benchmark slots, then aggregate serially in
+    // suite order so the table is identical for any job count.
+    const auto &suite = workloads::specSuite();
+    std::vector<avf::DeadnessResult> deadness(suite.size());
+    harness::parallelFor(
+        suite.size(), opts.jobs, [&](std::size_t i) {
+            isa::Program program =
+                workloads::buildBenchmark(suite[i], insts);
+            cpu::PipelineParams params;
+            params.maxInsts = insts * 2;
+            cpu::InOrderPipeline pipe(program, params);
+            cpu::SimTrace trace = pipe.run();
+            trace.program = &program;
+            deadness[i] = avf::analyzeDeadness(trace);
+        });
+
     double dead_sum = 0;
     int count = 0;
-    for (const auto &profile : workloads::specSuite()) {
-        isa::Program program =
-            workloads::buildBenchmark(profile, insts);
-        cpu::PipelineParams params;
-        params.maxInsts = insts * 2;
-        cpu::InOrderPipeline pipe(program, params);
-        cpu::SimTrace trace = pipe.run();
-        trace.program = &program;
-        avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const workloads::BenchmarkProfile &profile = suite[i];
+        const avf::DeadnessResult &dead = deadness[i];
 
         double n = static_cast<double>(dead.numInsts);
         roster.addRow(

@@ -58,7 +58,9 @@ struct PoisonRegs
 
     bool &slot(isa::RegClass rc, std::uint8_t reg)
     {
-        static bool scratch;
+        // Write-sink for ignored registers; thread_local because
+        // SuiteRunner workers run independent machines concurrently.
+        thread_local bool scratch;
         switch (rc) {
           case isa::RegClass::Int:
             if (reg != 0)

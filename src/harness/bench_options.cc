@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/suite_runner.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 
@@ -27,6 +28,9 @@ printUsage(const char *argv0, const std::string &usage)
                  "(+ .intervals.jsonl when sampling)\n"
               << "  --intervals N    sample the pipeline every N "
                  "cycles\n"
+              << "  --jobs N         suite-sweep worker threads "
+                 "(default: SER_JOBS or 1; output is identical "
+                 "for any N)\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -64,6 +68,7 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv, const std::string &usage)
 {
     BenchOptions opts;
+    bool jobs_given = false;
     for (int i = 1; i < argc; ++i) {
         std::string token = argv[i];
         if (token == "--help" || token == "-h") {
@@ -86,6 +91,16 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
             if (opts.intervalCycles == 0)
                 SER_FATAL("{}: --intervals must be positive",
                           argv[0]);
+        } else if (token == "--jobs" ||
+                   token.rfind("--jobs=", 0) == 0) {
+            std::string text =
+                optionValue(argc, argv, i, "--jobs", token);
+            std::uint64_t jobs =
+                parseCount(argv[0], "--jobs", text);
+            if (jobs == 0)
+                SER_FATAL("{}: --jobs must be positive", argv[0]);
+            opts.jobs = static_cast<unsigned>(jobs);
+            jobs_given = true;
         } else if (token == "--debug" ||
                    token.rfind("--debug=", 0) == 0) {
             debug::setFlags(
@@ -100,6 +115,15 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
     }
     // Legacy spelling: csv=1 still selects CSV output.
     opts.csv = opts.csv || opts.config.getBool("csv", false);
+    // Legacy key=value parity for the trace flags (the debug_flags=
+    // key src/sim/debug.hh documents): same parser, same fatal
+    // error on unknown names as --debug.
+    if (opts.config.has("debug_flags"))
+        debug::setFlags(opts.config.getString("debug_flags", ""));
+    // Without an explicit --jobs, the SER_JOBS environment variable
+    // decides (default: serial).
+    if (!jobs_given)
+        opts.jobs = defaultJobs();
     return opts;
 }
 

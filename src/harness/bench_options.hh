@@ -10,14 +10,18 @@
  *   --json PATH      write a JSON run manifest (and, when intervals
  *                    are on, a sibling .intervals.jsonl time series)
  *   --intervals N    sample the pipeline every N cycles
+ *   --jobs N         run suite sweeps on N worker threads (same as
+ *                    SER_JOBS; default 1 = serial). Output is
+ *                    byte-identical for any N.
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
  *   key=value        simulator parameter overrides (as before)
  *
- * Legacy spellings keep working: csv=1 still selects CSV, and
- * key=value tokens are collected into the Config exactly as
- * Config::parseArgs did.
+ * Legacy spellings keep working: csv=1 still selects CSV,
+ * debug_flags=... selects trace flags like --debug, and key=value
+ * tokens are collected into the Config exactly as Config::parseArgs
+ * did.
  */
 
 #ifndef SER_HARNESS_BENCH_OPTIONS_HH
@@ -41,6 +45,10 @@ struct BenchOptions
     bool csv = false;            ///< --csv (or legacy csv=1)
     std::string jsonPath;        ///< --json PATH; empty = off
     std::uint64_t intervalCycles = 0;  ///< --intervals N; 0 = off
+
+    /** Suite-sweep worker threads: --jobs N, else SER_JOBS, else 1
+     * (serial). Always >= 1 after parse(). */
+    unsigned jobs = 1;
 
     /**
      * Parse argv. Prints usage and exits on --help; fatal on an

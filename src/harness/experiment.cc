@@ -17,9 +17,17 @@ RunArtifacts
 runProgram(const isa::Program &program,
            const ExperimentConfig &config, const std::string &name)
 {
+    return runProgram(std::make_shared<const isa::Program>(program),
+                      config, name);
+}
+
+RunArtifacts
+runProgram(std::shared_ptr<const isa::Program> program,
+           const ExperimentConfig &config, const std::string &name)
+{
     RunArtifacts out;
     out.benchmark = name;
-    out.program = std::make_shared<isa::Program>(program);
+    out.program = std::move(program);
 
     cpu::PipelineParams params = config.pipeline;
     if (params.maxInsts < config.dynamicTarget * 2)
@@ -77,23 +85,31 @@ runProgram(const isa::Program &program,
     return out;
 }
 
+void
+prependTimings(PhaseTimings head, RunArtifacts &run)
+{
+    head.phases.insert(head.phases.end(),
+                       run.timings.phases.begin(),
+                       run.timings.phases.end());
+    run.timings = std::move(head);
+}
+
 RunArtifacts
 runBenchmark(const workloads::BenchmarkProfile &profile,
              const ExperimentConfig &config)
 {
     PhaseTimings build_timings;
-    isa::Program program = [&] {
+    auto program = [&] {
         ScopedTimer timer(build_timings, "build");
-        return workloads::buildBenchmark(profile,
-                                         config.dynamicTarget);
+        return std::make_shared<const isa::Program>(
+            workloads::buildBenchmark(profile,
+                                      config.dynamicTarget));
     }();
-    RunArtifacts out = runProgram(program, config, profile.name);
+    RunArtifacts out =
+        runProgram(std::move(program), config, profile.name);
     out.seed = profile.seed;
     // The build phase happened first; keep it first in the manifest.
-    build_timings.phases.insert(build_timings.phases.end(),
-                                out.timings.phases.begin(),
-                                out.timings.phases.end());
-    out.timings = std::move(build_timings);
+    prependTimings(std::move(build_timings), out);
     return out;
 }
 

@@ -68,9 +68,11 @@ struct RunArtifacts
     /** Workload generator seed (0 for externally built programs). */
     std::uint64_t seed = 0;
 
-    /** The artifacts own the program so trace.program stays valid
-     * for post-hoc analyses after the caller's copy is gone. */
-    std::shared_ptr<isa::Program> program;
+    /** The artifacts share ownership of the program so
+     * trace.program stays valid for post-hoc analyses after the
+     * caller's copy is gone. Const: a suite sweep hands the same
+     * program to many concurrent runs read-only. */
+    std::shared_ptr<const isa::Program> program;
 
     cpu::SimTrace trace;
     avf::DeadnessResult deadness;
@@ -90,10 +92,27 @@ struct RunArtifacts
     std::vector<cpu::IntervalSample> intervals;
 };
 
-/** Run one program under one configuration. */
+/** Run one program under one configuration (deep-copies the
+ * program into the artifacts). */
 RunArtifacts runProgram(const isa::Program &program,
                         const ExperimentConfig &config,
                         const std::string &name = "program");
+
+/**
+ * Run one program under one configuration without copying it: the
+ * artifacts share ownership. The program is only read, so one build
+ * can feed every design point of a sweep — including concurrent
+ * runs on SuiteRunner workers.
+ */
+RunArtifacts runProgram(std::shared_ptr<const isa::Program> program,
+                        const ExperimentConfig &config,
+                        const std::string &name = "program");
+
+/** Prepend earlier-phase timings (e.g. the one-time workload build)
+ * to a run's timings, keeping manifest phase order chronological.
+ * Shared by runBenchmark() and the suite-runner path so the build
+ * phase is recorded exactly once per built program. */
+void prependTimings(PhaseTimings head, RunArtifacts &run);
 
 /** Build the named surrogate and run it. */
 RunArtifacts runBenchmark(const std::string &name,

@@ -1,0 +1,163 @@
+#include "suite_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "workloads/suite.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+unsigned
+defaultJobs()
+{
+    static const unsigned jobs = [] {
+        const char *env = std::getenv("SER_JOBS");
+        if (!env)
+            return 1u;
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (*env == '\0' || !end || *end != '\0' || v == 0)
+            SER_FATAL("SER_JOBS: bad value '{}' (want a positive "
+                      "integer)", env);
+        return static_cast<unsigned>(v);
+    }();
+    return jobs;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    std::size_t workers = std::min<std::size_t>(jobs, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // A shared claim counter hands out indices; each worker drains
+    // until the queue is empty. Results (written by fn) are indexed
+    // by i, so scheduling never affects aggregation order.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorLock;
+    auto work = [&] {
+        for (;;) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(errorLock);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();  // the calling thread is worker 0
+    for (auto &thread : pool)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+SuiteRunner::SuiteRunner(unsigned jobs)
+    : _jobs(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+std::size_t
+SuiteRunner::addProgram(const workloads::BenchmarkProfile &profile,
+                        std::uint64_t dynamic_target)
+{
+    auto shared = std::make_unique<SharedProgram>();
+    shared->profile = profile;
+    shared->dynamicTarget = dynamic_target;
+    _programs.push_back(std::move(shared));
+    return _programs.size() - 1;
+}
+
+std::size_t
+SuiteRunner::addProgram(const std::string &name,
+                        std::uint64_t dynamic_target)
+{
+    return addProgram(workloads::findProfile(name), dynamic_target);
+}
+
+std::size_t
+SuiteRunner::submit(std::size_t program_id, ExperimentConfig config)
+{
+    if (program_id >= _programs.size())
+        SER_PANIC("SuiteRunner: bad program id {}", program_id);
+    Job job;
+    job.programId = program_id;
+    job.config = std::move(config);
+    _queue.push_back(std::move(job));
+    std::size_t index = _queue.size() - 1;
+    SharedProgram &shared = *_programs[program_id];
+    if (shared.firstRun == kNone)
+        shared.firstRun = index;
+    return index;
+}
+
+std::size_t
+SuiteRunner::submit(std::function<RunArtifacts()> job)
+{
+    Job generic;
+    generic.fn = std::move(job);
+    _queue.push_back(std::move(generic));
+    return _queue.size() - 1;
+}
+
+std::vector<RunArtifacts>
+SuiteRunner::run()
+{
+    if (_ran)
+        SER_PANIC("SuiteRunner: run() called twice");
+    _ran = true;
+
+    std::vector<RunArtifacts> results(_queue.size());
+    parallelFor(_queue.size(), _jobs, [&](std::size_t i) {
+        Job &job = _queue[i];
+        if (job.fn) {
+            results[i] = job.fn();
+            return;
+        }
+        SharedProgram &shared = *_programs[job.programId];
+        std::call_once(shared.built, [&] {
+            ScopedTimer timer(shared.buildTimings, "build");
+            shared.program = std::make_shared<const isa::Program>(
+                workloads::buildBenchmark(shared.profile,
+                                          shared.dynamicTarget));
+        });
+        results[i] = runProgram(shared.program, job.config,
+                                shared.profile.name);
+        results[i].seed = shared.profile.seed;
+    });
+
+    // The build happened on whichever worker got there first; the
+    // manifest records it exactly once, on the deterministic
+    // first-submitted run of each program.
+    for (auto &shared : _programs)
+        if (shared->firstRun != kNone)
+            prependTimings(std::move(shared->buildTimings),
+                           results[shared->firstRun]);
+    return results;
+}
+
+} // namespace harness
+} // namespace ser

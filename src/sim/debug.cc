@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 namespace ser
@@ -11,13 +12,14 @@ namespace ser
 namespace debug
 {
 
-unsigned printMask = 0;
-unsigned captureMask = 0;
+std::atomic<unsigned> printMask{0};
+std::atomic<unsigned> captureMask{0};
 
 namespace
 {
 
-/** Bounded message ring; writes wrap once full. */
+/** Bounded message ring; writes wrap once full. Guarded by
+ * ringLock: SuiteRunner workers record concurrently. */
 struct Ring
 {
     std::vector<std::string> slots;
@@ -26,6 +28,8 @@ struct Ring
 
     Ring() : slots(256) {}
 } ring;
+
+std::mutex ringLock;
 
 std::string
 lowercase(std::string s)
@@ -99,17 +103,21 @@ parseFlags(const std::string &csv, unsigned *mask)
 void
 setFlags(const std::string &csv)
 {
-    if (!parseFlags(csv, &printMask))
+    unsigned mask = 0;
+    if (!parseFlags(csv, &mask))
         SER_FATAL("debug: unknown flag in '{}' (known: Pipeline, IQ, "
                   "Trigger, Pi, PET, Cache, All)", csv);
+    printMask.store(mask, std::memory_order_relaxed);
 }
 
 void
 setCaptureFlags(const std::string &csv)
 {
-    if (!parseFlags(csv, &captureMask))
+    unsigned mask = 0;
+    if (!parseFlags(csv, &mask))
         SER_FATAL("debug: unknown flag in '{}' (known: Pipeline, IQ, "
                   "Trigger, Pi, PET, Cache, All)", csv);
+    captureMask.store(mask, std::memory_order_relaxed);
 }
 
 void
@@ -118,9 +126,16 @@ record(Flag flag, const std::string &msg)
     std::string line =
         std::string("[") + flagName(flag) + "] " + msg;
     unsigned bit = 1u << static_cast<unsigned>(flag);
-    if (printMask & bit)
+    if (printMask.load(std::memory_order_relaxed) & bit) {
+        // One lock per line: concurrent workers' messages interleave
+        // by whole lines, never by characters.
+        std::lock_guard<std::mutex> guard(
+            logging_detail::stderrLock());
         std::cerr << line << "\n";
-    if ((printMask | captureMask) & bit) {
+    }
+    if ((printMask.load(std::memory_order_relaxed) |
+         captureMask.load(std::memory_order_relaxed)) & bit) {
+        std::lock_guard<std::mutex> guard(ringLock);
         ring.slots[ring.next] = std::move(line);
         ring.next = (ring.next + 1) % ring.slots.size();
         ring.count = std::min(ring.count + 1, ring.slots.size());
@@ -132,6 +147,7 @@ setRingCapacity(std::size_t entries)
 {
     if (entries == 0)
         entries = 1;
+    std::lock_guard<std::mutex> guard(ringLock);
     ring.slots.assign(entries, {});
     ring.next = 0;
     ring.count = 0;
@@ -140,6 +156,7 @@ setRingCapacity(std::size_t entries)
 void
 clearRing()
 {
+    std::lock_guard<std::mutex> guard(ringLock);
     for (auto &slot : ring.slots)
         slot.clear();
     ring.next = 0;
@@ -149,6 +166,7 @@ clearRing()
 std::vector<std::string>
 ringContents()
 {
+    std::lock_guard<std::mutex> guard(ringLock);
     std::vector<std::string> out;
     out.reserve(ring.count);
     std::size_t cap = ring.slots.size();

@@ -21,6 +21,7 @@
 #ifndef SER_SIM_DEBUG_HH
 #define SER_SIM_DEBUG_HH
 
+#include <atomic>
 #include <cstddef>
 #include <ostream>
 #include <string>
@@ -49,15 +50,19 @@ constexpr unsigned numFlags = static_cast<unsigned>(Flag::NumFlags);
 
 const char *flagName(Flag flag);
 
-/** Bitmasks of selected flags (exposed for the fast-path test). */
-extern unsigned printMask;
-extern unsigned captureMask;
+/** Bitmasks of selected flags (exposed for the fast-path test).
+ * Atomic so SuiteRunner workers can trace concurrently; the hot
+ * path below uses relaxed loads, which cost the same mask test as
+ * the plain globals did. */
+extern std::atomic<unsigned> printMask;
+extern std::atomic<unsigned> captureMask;
 
 /** True when the flag is selected for printing or capture. */
 inline bool
 enabled(Flag flag)
 {
-    return ((printMask | captureMask) >>
+    return ((printMask.load(std::memory_order_relaxed) |
+             captureMask.load(std::memory_order_relaxed)) >>
             static_cast<unsigned>(flag)) & 1u;
 }
 
@@ -73,7 +78,10 @@ void setFlags(const std::string &csv);
 /** Select flags for ring capture only; fatal on unknown names. */
 void setCaptureFlags(const std::string &csv);
 
-/** Route one already-formatted message (print and/or capture). */
+/** Route one already-formatted message (print and/or capture).
+ * Thread-safe: printing holds the process-wide stderr line lock and
+ * the ring is mutex-protected, so concurrent workers never interleave
+ * characters within a line or race on the ring slots. */
 void record(Flag flag, const std::string &msg);
 
 /** Resize (and clear) the ring buffer. */

@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -62,6 +63,11 @@ void informImpl(const std::string &msg);
 
 /** When true, warn()/inform() output is suppressed (used by tests). */
 extern bool quiet;
+
+/** The process-wide stderr line lock. Writers that emit a whole
+ * line (warn/inform, debug trace prints) hold it for the line so
+ * concurrent SuiteRunner workers never interleave characters. */
+std::mutex &stderrLock();
 
 } // namespace logging_detail
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Standalone determinism checker for the parallel suite runner, used
+ * by the determinism_validate ctest case (and handy interactively):
+ *
+ *     check_determinism A.json B.json [A.out B.out]
+ *
+ * Asserts that two manifests produced by the same bench invocation at
+ * different --jobs values are identical except for wall-clock phase
+ * timings: the documents must match member for member once every
+ * value inside a "timings_seconds" object is masked (the phase *keys*
+ * must still match exactly — parallel runs must record the same
+ * phases, including the once-per-benchmark "build" phase, just not
+ * the same durations). When the optional .out pair is given, the
+ * captured stdout of the two invocations must be byte-identical.
+ *
+ * Exits 0 when the artifacts agree, 1 with a message otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hh"
+
+using ser::json::JsonValue;
+
+namespace
+{
+
+/** Mask the values (not the keys) of every timings_seconds object so
+ * wall-clock noise does not participate in the comparison. */
+void
+maskTimings(JsonValue &v)
+{
+    if (v.isObject()) {
+        for (auto &member : v.object) {
+            if (member.first == "timings_seconds" &&
+                member.second.isObject()) {
+                for (auto &phase : member.second.object) {
+                    phase.second = JsonValue{};
+                    phase.second.kind = JsonValue::Kind::Number;
+                }
+            } else {
+                maskTimings(member.second);
+            }
+        }
+    } else if (v.isArray()) {
+        for (auto &elem : v.array)
+            maskTimings(elem);
+    }
+}
+
+/** Structural equality with a breadcrumb for the first mismatch. */
+bool
+jsonEqual(const JsonValue &a, const JsonValue &b, const std::string &path,
+      std::string *where)
+{
+    if (a.kind != b.kind) {
+        *where = path + ": kind differs";
+        return false;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return true;
+      case JsonValue::Kind::Bool:
+        if (a.boolean != b.boolean) {
+            *where = path + ": boolean differs";
+            return false;
+        }
+        return true;
+      case JsonValue::Kind::Number:
+        if (a.number != b.number) {
+            *where = path + ": " + std::to_string(a.number) +
+                     " != " + std::to_string(b.number);
+            return false;
+        }
+        return true;
+      case JsonValue::Kind::String:
+        if (a.string != b.string) {
+            *where = path + ": '" + a.string + "' != '" + b.string +
+                     "'";
+            return false;
+        }
+        return true;
+      case JsonValue::Kind::Array:
+        if (a.array.size() != b.array.size()) {
+            *where = path + ": array length " +
+                     std::to_string(a.array.size()) + " != " +
+                     std::to_string(b.array.size());
+            return false;
+        }
+        for (std::size_t i = 0; i < a.array.size(); ++i) {
+            if (!jsonEqual(a.array[i], b.array[i],
+                       path + "[" + std::to_string(i) + "]", where))
+                return false;
+        }
+        return true;
+      case JsonValue::Kind::Object: {
+        auto ia = a.object.begin(), ib = b.object.begin();
+        for (; ia != a.object.end() && ib != b.object.end();
+             ++ia, ++ib) {
+            if (ia->first != ib->first) {
+                *where = path + ": member '" + ia->first +
+                         "' vs '" + ib->first + "'";
+                return false;
+            }
+            if (!jsonEqual(ia->second, ib->second,
+                       path + "." + ia->first, where))
+                return false;
+        }
+        if (ia != a.object.end() || ib != b.object.end()) {
+            *where = path + ": object member counts differ";
+            return false;
+        }
+        return true;
+      }
+    }
+    return true;
+}
+
+bool
+load(const char *path, JsonValue *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "check_determinism: cannot open '" << path
+                  << "'\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    if (!ser::json::parseJson(buf.str(), out, &err)) {
+        std::cerr << "check_determinism: '" << path
+                  << "' does not parse: " << err << "\n";
+        return false;
+    }
+    return true;
+}
+
+bool
+slurp(const char *path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "check_determinism: cannot open '" << path
+                  << "'\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3 && argc != 5) {
+        std::cerr << "usage: check_determinism A.json B.json "
+                     "[A.out B.out]\n";
+        return 2;
+    }
+
+    JsonValue a, b;
+    if (!load(argv[1], &a) || !load(argv[2], &b))
+        return 1;
+    maskTimings(a);
+    maskTimings(b);
+    std::string where;
+    if (!jsonEqual(a, b, "manifest", &where)) {
+        std::cerr << "check_determinism: '" << argv[1] << "' and '"
+                  << argv[2]
+                  << "' differ beyond wall-clock timings at "
+                  << where << "\n";
+        return 1;
+    }
+
+    if (argc == 5) {
+        std::string out_a, out_b;
+        if (!slurp(argv[3], &out_a) || !slurp(argv[4], &out_b))
+            return 1;
+        if (out_a != out_b) {
+            std::cerr << "check_determinism: stdout captures '"
+                      << argv[3] << "' and '" << argv[4]
+                      << "' are not byte-identical\n";
+            return 1;
+        }
+    }
+
+    std::cout << "check_determinism: artifacts agree\n";
+    return 0;
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the harness layer's parallel machinery: parallelFor, the
+ * SuiteRunner's determinism and shared-program guarantees, the
+ * BenchOptions --jobs / debug_flags wiring, and concurrent
+ * SER_DPRINTF capture (the test that makes a TSan build of ctest
+ * exercise the sim-layer locking).
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/bench_options.hh"
+#include "harness/experiment.hh"
+#include "harness/suite_runner.hh"
+#include "sim/debug.hh"
+#include "workloads/profile.hh"
+
+using namespace ser;
+
+namespace
+{
+
+bool
+hasPhase(const harness::RunArtifacts &r, const std::string &name)
+{
+    for (const auto &p : r.timings.phases)
+        if (p.first == name)
+            return true;
+    return false;
+}
+
+harness::BenchOptions
+parseArgs(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    args.insert(args.begin(), "test_bin");
+    argv.reserve(args.size());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return harness::BenchOptions::parse(
+        static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    harness::parallelFor(n, 4, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, MoreJobsThanWork)
+{
+    std::vector<std::atomic<int>> hits(3);
+    harness::parallelFor(3, 16, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+    // And the degenerate cases do not hang or call fn.
+    harness::parallelFor(0, 4, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, RethrowsWorkerException)
+{
+    EXPECT_THROW(
+        harness::parallelFor(8, 4,
+                             [&](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("boom");
+                             }),
+        std::runtime_error);
+}
+
+TEST(DefaultJobs, IsAtLeastOne)
+{
+    // SER_JOBS is unset in the test environment, so the compiled-in
+    // serial default applies (the value is cached process-wide).
+    EXPECT_GE(harness::defaultJobs(), 1u);
+}
+
+TEST(BenchOptions, JobsFlagBothSpellings)
+{
+    EXPECT_EQ(parseArgs({"--jobs", "3"}).jobs, 3u);
+    EXPECT_EQ(parseArgs({"--jobs=5"}).jobs, 5u);
+    EXPECT_EQ(parseArgs({}).jobs, 1u);  // serial default
+}
+
+TEST(BenchOptionsDeathTest, JobsMustBePositive)
+{
+    EXPECT_EXIT(parseArgs({"--jobs", "0"}),
+                testing::ExitedWithCode(1), "--jobs");
+}
+
+TEST(BenchOptions, LegacyDebugFlagsKeySelectsFlags)
+{
+    unsigned saved = debug::printMask.load();
+    parseArgs({"debug_flags=Trigger,PET"});
+    EXPECT_TRUE(debug::enabled(debug::Flag::Trigger));
+    EXPECT_TRUE(debug::enabled(debug::Flag::PET));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Cache));
+    debug::printMask.store(saved);
+}
+
+TEST(BenchOptionsDeathTest, UnknownDebugFlagIsFatal)
+{
+    // The documented Config key must fail loudly, exactly like
+    // --debug does, rather than being silently ignored.
+    EXPECT_EXIT(parseArgs({"debug_flags=NoSuchFlag"}),
+                testing::ExitedWithCode(1), "NoSuchFlag");
+}
+
+TEST(SuiteRunner, ResultsIndexedBySubmissionOrder)
+{
+    // Generic jobs finishing in any order must land in their
+    // submission slots.
+    harness::SuiteRunner runner(4);
+    for (int i = 0; i < 12; ++i) {
+        runner.submit([i]() {
+            harness::RunArtifacts r;
+            r.benchmark = "job" + std::to_string(i);
+            r.ipc = i;
+            return r;
+        });
+    }
+    auto runs = runner.run();
+    ASSERT_EQ(runs.size(), 12u);
+    for (int i = 0; i < 12; ++i) {
+        EXPECT_EQ(runs[i].benchmark, "job" + std::to_string(i));
+        EXPECT_DOUBLE_EQ(runs[i].ipc, i);
+    }
+}
+
+TEST(SuiteRunner, ParallelMatchesSerial)
+{
+    harness::ExperimentConfig base;
+    base.dynamicTarget = 8000;
+    base.warmupInsts = 800;
+    harness::ExperimentConfig l1 = base;
+    l1.triggerLevel = "l1";
+
+    auto sweep = [&](unsigned jobs) {
+        harness::SuiteRunner runner(jobs);
+        for (const char *name : {"gzip", "mcf"}) {
+            std::size_t prog = runner.addProgram(name, 8000);
+            runner.submit(prog, base);
+            runner.submit(prog, l1);
+        }
+        return runner.run();
+    };
+    auto serial = sweep(1);
+    auto parallel = sweep(4);
+
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), 4u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+        EXPECT_EQ(serial[i].seed, parallel[i].seed);
+        EXPECT_DOUBLE_EQ(serial[i].ipc, parallel[i].ipc);
+        EXPECT_DOUBLE_EQ(serial[i].avf.sdcAvf(),
+                         parallel[i].avf.sdcAvf());
+        EXPECT_DOUBLE_EQ(serial[i].avf.falseDueAvf(),
+                         parallel[i].avf.falseDueAvf());
+        EXPECT_EQ(serial[i].trace.commits.size(),
+                  parallel[i].trace.commits.size());
+        EXPECT_EQ(serial[i].statsJson, parallel[i].statsJson);
+    }
+}
+
+TEST(SuiteRunner, MatchesRunBenchmarkAndBuildsOnce)
+{
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = 8000;
+    cfg.warmupInsts = 800;
+
+    harness::SuiteRunner runner(2);
+    std::size_t prog = runner.addProgram("vortex", 8000);
+    runner.submit(prog, cfg);
+    runner.submit(prog, cfg);
+    auto runs = runner.run();
+    ASSERT_EQ(runs.size(), 2u);
+
+    auto reference = harness::runBenchmark("vortex", cfg);
+    EXPECT_DOUBLE_EQ(runs[0].ipc, reference.ipc);
+    EXPECT_DOUBLE_EQ(runs[0].avf.sdcAvf(), reference.avf.sdcAvf());
+    EXPECT_EQ(runs[0].seed, reference.seed);
+    EXPECT_EQ(runs[0].benchmark, reference.benchmark);
+
+    // One build, shared read-only: both runs hold the same program
+    // object, and only the first-submitted run records the build
+    // phase (exactly once per program in the manifest).
+    EXPECT_EQ(runs[0].program.get(), runs[1].program.get());
+    EXPECT_TRUE(hasPhase(runs[0], "build"));
+    EXPECT_FALSE(hasPhase(runs[1], "build"));
+    EXPECT_TRUE(hasPhase(reference, "build"));
+}
+
+TEST(ConcurrentDebug, RingCapturesEveryMessage)
+{
+    unsigned saved_capture = debug::captureMask.load();
+    debug::setCaptureFlags("Pipeline");
+    debug::setRingCapacity(4096);
+    debug::clearRing();
+
+    constexpr int threads = 4, per_thread = 200;
+    harness::parallelFor(threads, threads, [&](std::size_t t) {
+        for (int i = 0; i < per_thread; ++i)
+            SER_DPRINTF(Pipeline, "worker {} message {}", t, i);
+    });
+
+    auto captured = debug::ringContents();
+    EXPECT_EQ(captured.size(),
+              static_cast<std::size_t>(threads * per_thread));
+    // Per-thread message order is preserved even under contention.
+    std::vector<int> last(threads, -1);
+    int in_order = 0;
+    for (const auto &msg : captured) {
+        unsigned long t = 0, i = 0;
+        if (std::sscanf(msg.c_str(),
+                        "[Pipeline] worker %lu message %lu", &t,
+                        &i) == 2) {
+            ASSERT_LT(t, static_cast<unsigned long>(threads));
+            if (static_cast<int>(i) > last[t])
+                ++in_order;
+            last[t] = static_cast<int>(i);
+        }
+    }
+    EXPECT_EQ(in_order, threads * per_thread);
+
+    debug::clearRing();
+    debug::setRingCapacity(64);
+    debug::captureMask.store(saved_capture);
+}
+
+} // namespace
