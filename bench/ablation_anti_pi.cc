@@ -39,8 +39,11 @@ main(int argc, char **argv)
 
     // One run per surrogate on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
-    for (const auto &profile : workloads::specSuite())
+    harness::TraceExport trace_export(opts);
+    for (const auto &profile : workloads::specSuite()) {
+        trace_export.configure(cfg);
         runner.submit(runner.addProgram(profile, insts), cfg);
+    }
     std::vector<harness::RunArtifacts> runs = runner.run();
 
     Table table({"benchmark", "false DUE (anti-pi)",
@@ -70,6 +73,8 @@ main(int argc, char **argv)
               << Table::pct(d_sum / n)
               << " (paper: 33% -> 41% — re-decoding at retire "
                  "makes Ex-ACE time readable)\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("anti_pi", table);

@@ -38,6 +38,7 @@ main(int argc, char **argv)
     // One shared program build; the 5 sizes x {base, squash-l1}
     // runs execute on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
     std::size_t prog = runner.addProgram(benchmark, insts);
     std::vector<harness::ExperimentConfig> configs;
     for (unsigned entries : sizes) {
@@ -46,10 +47,12 @@ main(int argc, char **argv)
         cfg.warmupInsts = insts / 10;
         cfg.pipeline.iqEntries = entries;
         cfg.intervalCycles = opts.intervalCycles;
+        trace_export.configure(cfg);
         runner.submit(prog, cfg);
         configs.push_back(cfg);
 
         cfg.triggerLevel = "l1";
+        trace_export.configure(cfg);
         runner.submit(prog, cfg);
         configs.push_back(cfg);
     }
@@ -83,6 +86,8 @@ main(int argc, char **argv)
                  "bigger queue holds more idle/unread state, while "
                  "the absolute exposed bit-cycles grow; squashing "
                  "matters more as occupancy rises)\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("iq_size", table);

@@ -46,8 +46,11 @@ main(int argc, char **argv)
     // --jobs plumbing and build/run phase timing are uniform across
     // the bench mains.
     harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
+    trace_export.configure(cfg);
     runner.submit(runner.addProgram(benchmark, insts), cfg);
-    harness::RunArtifacts r = std::move(runner.run().front());
+    std::vector<harness::RunArtifacts> runs = runner.run();
+    harness::RunArtifacts &r = runs.front();
 
     // A pi-bit strike is examined whenever the instruction commits
     // on the correct path; its exposure window is the entry's full
@@ -90,6 +93,8 @@ main(int argc, char **argv)
         << "\n(finer pi granularity isolates errors for byte-write "
            "ISAs but linearly multiplies the pi bits' own "
            "false-DUE exposure)\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         harness::JsonReport report;

@@ -63,6 +63,7 @@ main(int argc, char **argv)
     // eight trigger/action points; the sweep runs on the --jobs
     // worker pool with submission-order aggregation.
     harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
     std::vector<std::size_t> prog_ids;
     for (const auto &name : benchmarks)
         prog_ids.push_back(runner.addProgram(name, insts));
@@ -75,6 +76,7 @@ main(int argc, char **argv)
             cfg.triggerLevel = pt.trigger;
             cfg.triggerAction = pt.action;
             cfg.intervalCycles = opts.intervalCycles;
+            trace_export.configure(cfg);
             runner.submit(prog_ids[i], cfg);
             configs.push_back(cfg);
         }
@@ -118,6 +120,8 @@ main(int argc, char **argv)
             std::to_string(benchmarks.size()) + " benchmarks, " +
             std::to_string(insts) + " insts)");
     table.print(std::cout);
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("triggers", table);

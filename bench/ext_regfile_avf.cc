@@ -50,8 +50,11 @@ main(int argc, char **argv)
 
     // One run per surrogate on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
-    for (const auto &profile : workloads::specSuite())
+    harness::TraceExport trace_export(opts);
+    for (const auto &profile : workloads::specSuite()) {
+        trace_export.configure(cfg);
         runner.submit(runner.addProgram(profile, insts), cfg);
+    }
     std::vector<harness::RunArtifacts> runs = runner.run();
 
     std::size_t idx = 0;
@@ -86,6 +89,8 @@ main(int argc, char **argv)
               << Table::pct(dead_sum / n)
               << " is removable by the pi-bit-per-register scheme "
                  "on a parity-protected file\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("regfile_avf", table);

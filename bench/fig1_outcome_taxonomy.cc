@@ -43,6 +43,7 @@ main(int argc, char **argv)
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv,
         "Figure 1: fault-injection outcome taxonomy");
+    harness::TraceExport::warnUnsupported(opts);
     Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "gzip");
     std::uint64_t insts = config.getUint("insts", 60000);

@@ -64,8 +64,11 @@ main(int argc, char **argv)
     // One run per surrogate, executed on the --jobs worker pool;
     // aggregation below walks the results in suite order.
     harness::SuiteRunner runner(opts.jobs);
-    for (const auto &profile : workloads::specSuite())
+    harness::TraceExport trace_export(opts);
+    for (const auto &profile : workloads::specSuite()) {
+        trace_export.configure(cfg);
         runner.submit(runner.addProgram(profile, insts), cfg);
+    }
     std::vector<harness::RunArtifacts> runs = runner.run();
 
     std::size_t idx = 0;
@@ -116,6 +119,8 @@ main(int argc, char **argv)
     std::cout << "\n(cumulative coverage reaches 100% at pi-on-"
                  "memory for every benchmark, matching the paper's "
                  "complete-coverage claim)\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("coverage", table);

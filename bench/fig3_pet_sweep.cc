@@ -37,6 +37,7 @@ main(int argc, char **argv)
 {
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "Figure 3: FDD coverage vs PET-buffer size");
+    harness::TraceExport::warnUnsupported(opts);
     Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 200000);
     bool csv = opts.csv;

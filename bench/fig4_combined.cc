@@ -58,9 +58,12 @@ main(int argc, char **argv)
     // Baseline and optimized runs share one program build per
     // surrogate and execute on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
     for (const auto &profile : workloads::specSuite()) {
         std::size_t prog = runner.addProgram(profile, insts);
+        trace_export.configure(base);
         runner.submit(prog, base);
+        trace_export.configure(opt);
         runner.submit(prog, opt);
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
@@ -109,6 +112,8 @@ main(int argc, char **argv)
               << "relative DUE AVF " << Table::fmt(due_sum / n)
               << " (paper ~0.43), IPC change "
               << Table::pct(ipc_sum / n) << " (paper ~-2%)\n";
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("combined", table);

@@ -17,8 +17,10 @@
 #include "harness/suite_runner.hh"
 #include "isa/assembler.hh"
 #include "isa/executor.hh"
+#include "avf/attribution.hh"
 #include "memory/hierarchy.hh"
 #include "sim/rng.hh"
+#include "sim/trace_event.hh"
 #include "workloads/suite.hh"
 
 using namespace ser;
@@ -100,6 +102,47 @@ BM_TimingPipeline(benchmark::State &state)
 BENCHMARK(BM_TimingPipeline);
 
 void
+BM_TimingPipelineTraced(benchmark::State &state)
+{
+    // The same run as BM_TimingPipeline but with the lifetime trace
+    // writer attached: the gap between the two is the cost of
+    // --trace-events, and BM_TimingPipeline itself (tracing compiled
+    // in, disabled) must not regress against pre-tracing baselines.
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    for (auto _ : state) {
+        cpu::PipelineParams params;
+        params.maxInsts = 20000;
+        cpu::InOrderPipeline pipe(program, params);
+        trace::TraceWriter tw;
+        pipe.setTraceWriter(&tw);
+        auto trace = pipe.run();
+        benchmark::DoNotOptimize(tw.eventCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingPipelineTraced);
+
+void
+BM_TraceWriterThroughput(benchmark::State &state)
+{
+    // Raw writer throughput: one B/E residency pair per item.
+    for (auto _ : state) {
+        trace::TraceWriter tw;
+        std::uint64_t ts = 0;
+        for (std::uint64_t i = 0; i < 1000; ++i) {
+            tw.begin(trace::tracks::iqBase, "add r1 = r2, r3", ts,
+                     {{"seq", i}, {"outcome", "commit"}});
+            tw.end(trace::tracks::iqBase, ts + 10);
+            ts += 10;
+        }
+        benchmark::DoNotOptimize(tw.str().size());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceWriterThroughput);
+
+void
 BM_DeadnessAnalysis(benchmark::State &state)
 {
     static isa::Program program =
@@ -143,6 +186,29 @@ BM_AvfFold(benchmark::State &state)
                             trace.incarnations.size());
 }
 BENCHMARK(BM_AvfFold);
+
+void
+BM_AvfAttribution(benchmark::State &state)
+{
+    static isa::Program program =
+        workloads::buildBenchmark("vortex", 200000);
+    static cpu::SimTrace trace = [] {
+        cpu::PipelineParams params;
+        params.maxInsts = 400000;
+        cpu::InOrderPipeline pipe(program, params);
+        auto t = pipe.run();
+        t.program = &program;
+        return t;
+    }();
+    static avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+    for (auto _ : state) {
+        auto attr = avf::attributeAvf(trace, dead);
+        benchmark::DoNotOptimize(attr.totalAce);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.incarnations.size());
+}
+BENCHMARK(BM_AvfAttribution);
 
 void
 BM_SuiteRunnerSweep(benchmark::State &state)

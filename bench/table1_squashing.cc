@@ -96,6 +96,7 @@ main(int argc, char **argv)
     // across its design points; the one-time build phase lands in
     // the first design point's manifest run only.
     harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
     std::vector<harness::ExperimentConfig> configs;
     for (const auto &name : benchmarks) {
         std::size_t prog = runner.addProgram(name, insts);
@@ -106,6 +107,7 @@ main(int argc, char **argv)
             cfg.triggerLevel = points[d].trigger;
             cfg.triggerAction = "squash";
             cfg.intervalCycles = opts.intervalCycles;
+            trace_export.configure(cfg);
             runner.submit(prog, cfg);
             configs.push_back(cfg);
         }
@@ -175,6 +177,8 @@ main(int argc, char **argv)
              Table::fmt((ipc / due) / (ipc0 / due0), 2) + "x"});
     }
     deltas.print(std::cout);
+
+    trace_export.emit(std::cout, runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("per_benchmark", per_bench);

@@ -32,6 +32,7 @@ main(int argc, char **argv)
 {
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "Table 2: the surrogate benchmark roster");
+    harness::TraceExport::warnUnsupported(opts);
     Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 120000);
     bool csv = opts.csv;

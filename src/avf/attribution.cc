@@ -1,0 +1,183 @@
+#include "attribution.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "isa/encoding.hh"
+#include "sim/stats.hh"
+
+namespace ser
+{
+namespace avf
+{
+
+namespace
+{
+
+// Residency histograms: cycle-resolution buckets up to 512 cycles;
+// longer residencies land in the overflow bin (their percentiles pin
+// to the range maximum, which the summary documents by construction).
+constexpr double histMax = 512.0;
+constexpr double histBucket = 4.0;
+
+HistogramSummary
+summarize(const statistics::Distribution &d)
+{
+    HistogramSummary s;
+    s.count = d.count();
+    s.mean = d.value();
+    s.p50 = d.percentile(50);
+    s.p90 = d.percentile(90);
+    s.p99 = d.percentile(99);
+    return s;
+}
+
+} // namespace
+
+AttributionResult
+attributeAvf(const cpu::SimTrace &trace,
+             const DeadnessResult &deadness)
+{
+    constexpr std::uint64_t payloadBits =
+        isa::encoding::payloadBits;
+
+    AttributionResult r;
+
+    statistics::Distribution lifetime(nullptr, "lifetime",
+                                      "residency cycles", 0.0,
+                                      histMax, histBucket);
+    statistics::Distribution pre_read(nullptr, "pre_read",
+                                      "enqueue-to-issue cycles", 0.0,
+                                      histMax, histBucket);
+    statistics::Distribution post_read(nullptr, "post_read",
+                                       "issue-to-evict cycles", 0.0,
+                                       histMax, histBucket);
+
+    // staticIdx -> slot in r.pcs; a map keeps the build ordered but
+    // the final order is the ACE sort below.
+    std::map<std::uint32_t, std::size_t> slot;
+
+    for (const auto &inc : trace.incarnations) {
+        IncarnationClass c = classifyIncarnation(trace, deadness, inc);
+        const std::uint64_t pre = c.preCycles();
+        const std::uint64_t post = c.postCycles();
+        const std::uint64_t resident = c.residentCycles();
+        if (!resident)
+            continue;  // outside the measurement window
+
+        auto it = slot.find(inc.staticIdx);
+        if (it == slot.end()) {
+            it = slot.emplace(inc.staticIdx, r.pcs.size()).first;
+            r.pcs.emplace_back();
+            r.pcs.back().staticIdx = inc.staticIdx;
+        }
+        PcAttribution &pc = r.pcs[it->second];
+
+        ++pc.incarnations;
+        if (inc.flags & cpu::incCommitted)
+            ++pc.committedIncs;
+        pc.residencyCycles += resident;
+        lifetime.sample(static_cast<double>(resident));
+
+        if (!c.issued) {
+            pc.squashedUnread += pre * payloadBits;
+            continue;
+        }
+
+        pre_read.sample(static_cast<double>(pre));
+        post_read.sample(static_cast<double>(post));
+        pc.exAce += post * payloadBits;
+        pc.ace += pre * c.aceRate;
+        pc.aceRefined += pre * c.aceRefinedRate;
+        pc.unAceRead += pre * c.unAceReadRate;
+    }
+
+    for (const PcAttribution &pc : r.pcs) {
+        r.totalAce += pc.ace;
+        r.totalUnAceRead += pc.unAceRead;
+        r.totalExAce += pc.exAce;
+        r.totalSquashedUnread += pc.squashedUnread;
+        r.totalResidencyCycles += pc.residencyCycles;
+        r.totalIncarnations += pc.incarnations;
+    }
+
+    std::sort(r.pcs.begin(), r.pcs.end(),
+              [](const PcAttribution &a, const PcAttribution &b) {
+                  if (a.ace != b.ace)
+                      return a.ace > b.ace;
+                  return a.staticIdx < b.staticIdx;
+              });
+
+    r.lifetime = summarize(lifetime);
+    r.preRead = summarize(pre_read);
+    r.postRead = summarize(post_read);
+    return r;
+}
+
+void
+printHotspots(std::ostream &os, const AttributionResult &attr,
+              const isa::Program &program, std::size_t topn)
+{
+    std::size_t n = std::min(topn, attr.pcs.size());
+    os << "AVF hotspots (top " << n << " of " << attr.pcs.size()
+       << " PCs by ACE bit-cycles; run ACE total " << attr.totalAce
+       << ")\n";
+    os << std::setw(4) << "#" << "  " << std::setw(10) << "pc"
+       << "  " << std::setw(12) << "ace" << "  " << std::setw(7)
+       << "share%" << "  " << std::setw(7) << "cum%" << "  "
+       << std::setw(6) << "incs" << "  " << std::setw(8) << "cycles"
+       << "  disassembly\n";
+
+    double cum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const PcAttribution &pc = attr.pcs[i];
+        double share = attr.aceShare(pc) * 100.0;
+        cum += share;
+        std::ostringstream addr;
+        addr << "0x" << std::hex
+             << isa::Program::indexToAddr(pc.staticIdx);
+        os << std::setw(4) << i + 1 << "  " << std::setw(10)
+           << addr.str() << "  " << std::setw(12) << pc.ace << "  "
+           << std::setw(7) << std::fixed << std::setprecision(2)
+           << share << "  " << std::setw(7) << cum << "  "
+           << std::setw(6) << pc.incarnations << "  " << std::setw(8)
+           << pc.residencyCycles << "  "
+           << program.inst(pc.staticIdx).toString() << "\n";
+        os.unsetf(std::ios::fixed);
+        os << std::setprecision(6);
+    }
+    os << "residency lifetime (cycles): p50 " << attr.lifetime.p50
+       << "  p90 " << attr.lifetime.p90 << "  p99 "
+       << attr.lifetime.p99 << "  over " << attr.lifetime.count
+       << " residencies\n";
+}
+
+void
+writeHotspotCsv(std::ostream &os, const AttributionResult &attr,
+                const isa::Program &program, std::size_t topn)
+{
+    os << "rank,pc,static_idx,ace_bit_cycles,ace_share,"
+          "cum_ace_share,un_ace_read,ex_ace,squashed_unread,"
+          "incarnations,committed,residency_cycles,disassembly\n";
+    std::size_t n = std::min(topn, attr.pcs.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const PcAttribution &pc = attr.pcs[i];
+        double share = attr.aceShare(pc);
+        cum += share;
+        os << i + 1 << ",0x" << std::hex
+           << isa::Program::indexToAddr(pc.staticIdx) << std::dec
+           << "," << pc.staticIdx << "," << pc.ace << "," << share
+           << "," << cum << "," << pc.unAceRead << "," << pc.exAce
+           << "," << pc.squashedUnread << "," << pc.incarnations
+           << "," << pc.committedIncs << "," << pc.residencyCycles
+           << ",\"" << program.inst(pc.staticIdx).toString()
+           << "\"\n";
+    }
+}
+
+} // namespace avf
+} // namespace ser

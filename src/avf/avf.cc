@@ -93,6 +93,114 @@ clip(std::uint64_t lo, std::uint64_t hi, std::uint64_t wlo,
 
 } // namespace
 
+IncarnationClass
+classifyIncarnation(const cpu::SimTrace &trace,
+                    const DeadnessResult &deadness,
+                    const cpu::IncarnationRecord &inc)
+{
+    using namespace isa::encoding;
+
+    IncarnationClass c;
+    const std::uint64_t wlo = trace.startCycle;
+    const std::uint64_t whi = trace.endCycle;
+    const std::uint64_t enq = inc.enqueueCycle;
+    const std::uint64_t evict = inc.evictCycle;
+    c.issued = inc.issueCycle != cpu::noCycle32;
+
+    if (!c.issued) {
+        // Squashed before any read: a strike here is wiped by the
+        // refetch — fully un-ACE and undetectable, all rates zero.
+        Interval iv = clip(enq, evict, wlo, whi);
+        c.preLo = iv.lo;
+        c.preHi = iv.hi;
+        return c;
+    }
+
+    Interval pre_iv = clip(enq, inc.issueCycle, wlo, whi);
+    Interval post_iv = clip(inc.issueCycle, evict, wlo, whi);
+    c.preLo = pre_iv.lo;
+    c.preHi = pre_iv.hi;
+    c.postLo = post_iv.lo;
+    c.postHi = post_iv.hi;
+
+    if (inc.flags & cpu::incWrongPath) {
+        c.unAceReadRate = payloadBits;
+        c.source = UnAceSource::WrongPath;
+        return c;
+    }
+
+    const isa::StaticInst &inst = trace.program->inst(inc.staticIdx);
+    const isa::OpInfo &oi = inst.info();
+
+    if (oi.isNeutral) {
+        // Only the opcode bits could turn this into something that
+        // matters.
+        c.aceRate = opcodeBits;
+        c.aceRefinedRate = opcodeBits;
+        c.unAceReadRate = payloadBits - opcodeBits;
+        c.source = UnAceSource::Neutral;
+        return c;
+    }
+
+    if (inc.flags & cpu::incPredFalse) {
+        // Only the qualifying-predicate bits could un-nullify it.
+        c.aceRate = qpBits;
+        c.aceRefinedRate = qpBits;
+        c.unAceReadRate = payloadBits - qpBits;
+        c.source = UnAceSource::PredFalse;
+        return c;
+    }
+
+    DeadKind kind = DeadKind::Live;
+    std::uint32_t overwrite_dist = noOverwrite;
+    if (inc.oracleSeq != cpu::noSeq32 &&
+        inc.oracleSeq < deadness.kind.size()) {
+        kind = deadness.kind[inc.oracleSeq];
+        overwrite_dist = deadness.overwriteDist[inc.oracleSeq];
+    }
+
+    switch (kind) {
+      case DeadKind::Live: {
+        c.aceRate = payloadBits;
+        // Refined estimate: only the fields this opcode uses.
+        std::uint64_t used = qpBits + opcodeBits;
+        if (oi.dstClass != isa::RegClass::None)
+            used += dstBits;
+        if (oi.src1Class != isa::RegClass::None)
+            used += src1Bits;
+        if (oi.src2Class != isa::RegClass::None)
+            used += src2Bits;
+        if (oi.usesImm)
+            used += immBits;
+        c.aceRefinedRate = used;
+        break;
+      }
+      case DeadKind::FddReg:
+      case DeadKind::TddReg:
+        // Destination-specifier bits stay ACE (a strike there
+        // redirects the dead result onto a live register).
+        c.aceRate = dstBits;
+        c.aceRefinedRate = dstBits;
+        c.unAceReadRate = payloadBits - dstBits;
+        c.source = kind == DeadKind::FddReg ? UnAceSource::FddReg
+                                            : UnAceSource::TddReg;
+        c.fddRegExposure = kind == DeadKind::FddReg;
+        c.overwriteDist = overwrite_dist;
+        break;
+      case DeadKind::FddMem:
+      case DeadKind::TddMem:
+        // Address bits (base specifier + offset) stay ACE (a strike
+        // there redirects the dead store onto live memory).
+        c.aceRate = src1Bits + immBits;
+        c.aceRefinedRate = c.aceRate;
+        c.unAceReadRate = payloadBits - c.aceRate;
+        c.source = kind == DeadKind::FddMem ? UnAceSource::FddMem
+                                            : UnAceSource::TddMem;
+        break;
+    }
+    return c;
+}
+
 AvfResult
 computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness,
            std::uint64_t epoch_cycles)
@@ -136,140 +244,39 @@ computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness,
         }
     };
 
-    using namespace isa::encoding;
-
     std::uint64_t occupied = 0;
 
     for (const auto &inc : trace.incarnations) {
-        const std::uint64_t enq = inc.enqueueCycle;
-        const std::uint64_t evict = inc.evictCycle;
-        const bool issued = inc.issueCycle != cpu::noCycle32;
+        IncarnationClass c = classifyIncarnation(trace, deadness, inc);
+        Interval pre_iv{c.preLo, c.preHi};
+        Interval post_iv{c.postLo, c.postHi};
+        const std::uint64_t pre = c.preCycles();
+        const std::uint64_t post = c.postCycles();
 
-        if (!issued) {
-            // Squashed before any read: a strike here is wiped by
-            // the refetch — fully un-ACE and undetectable.
-            Interval iv = clip(enq, evict, wlo, whi);
-            r.squashedUnread += iv.length() * payloadBits;
-            occupied += iv.length() * payloadBits;
-            spread(iv, payloadBits, &EpochAce::occupied);
+        occupied += (pre + post) * payloadBits;
+        spread(pre_iv, payloadBits, &EpochAce::occupied);
+        spread(post_iv, payloadBits, &EpochAce::occupied);
+
+        if (!c.issued) {
+            r.squashedUnread += pre * payloadBits;
             continue;
         }
 
-        const std::uint64_t issue = inc.issueCycle;
-        Interval pre_iv = clip(enq, issue, wlo, whi);
-        Interval post_iv = clip(issue, evict, wlo, whi);
-        std::uint64_t pre = pre_iv.length();
-        std::uint64_t post = post_iv.length();
-        occupied += (pre + post) * payloadBits;
         r.exAce += post * payloadBits;
-        spread(pre_iv, payloadBits, &EpochAce::occupied);
-        spread(post_iv, payloadBits, &EpochAce::occupied);
         if (pre == 0)
             continue;
 
-        // Classify the pre-read residency per field. ace_rate /
-        // un_rate are the ACE and read-un-ACE bits per resident
-        // cycle, for the epoch fold.
-        std::uint64_t ace_rate = 0;
-        std::uint64_t un_rate = 0;
+        r.ace += pre * c.aceRate;
+        r.aceRefined += pre * c.aceRefinedRate;
+        if (c.unAceReadRate)
+            r.unAceRead[static_cast<int>(c.source)] +=
+                pre * c.unAceReadRate;
+        if (c.fddRegExposure)
+            r.fddRegExposures.push_back(
+                {pre * c.unAceReadRate, c.overwriteDist});
 
-        if (inc.flags & cpu::incWrongPath) {
-            un_rate = payloadBits;
-            r.unAceRead[static_cast<int>(UnAceSource::WrongPath)] +=
-                pre * payloadBits;
-        } else {
-            const isa::StaticInst &inst =
-                trace.program->inst(inc.staticIdx);
-            const isa::OpInfo &oi = inst.info();
-
-            if (oi.isNeutral) {
-                // Only the opcode bits could turn this into
-                // something that matters.
-                ace_rate = opcodeBits;
-                un_rate = payloadBits - opcodeBits;
-                r.ace += pre * opcodeBits;
-                r.aceRefined += pre * opcodeBits;
-                r.unAceRead[static_cast<int>(
-                    UnAceSource::Neutral)] += pre * un_rate;
-            } else if (inc.flags & cpu::incPredFalse) {
-                // Only the qualifying-predicate bits could
-                // un-nullify it.
-                ace_rate = qpBits;
-                un_rate = payloadBits - qpBits;
-                r.ace += pre * qpBits;
-                r.aceRefined += pre * qpBits;
-                r.unAceRead[static_cast<int>(
-                    UnAceSource::PredFalse)] += pre * un_rate;
-            } else {
-                DeadKind kind = DeadKind::Live;
-                std::uint32_t overwrite_dist = noOverwrite;
-                if (inc.oracleSeq != cpu::noSeq32 &&
-                    inc.oracleSeq < deadness.kind.size()) {
-                    kind = deadness.kind[inc.oracleSeq];
-                    overwrite_dist =
-                        deadness.overwriteDist[inc.oracleSeq];
-                }
-
-                switch (kind) {
-                  case DeadKind::Live: {
-                    ace_rate = payloadBits;
-                    r.ace += pre * payloadBits;
-                    // Refined estimate: only the fields this opcode
-                    // uses.
-                    const isa::OpInfo &info = oi;
-                    std::uint64_t used = qpBits + opcodeBits;
-                    if (info.dstClass != isa::RegClass::None)
-                        used += dstBits;
-                    if (info.src1Class != isa::RegClass::None)
-                        used += src1Bits;
-                    if (info.src2Class != isa::RegClass::None)
-                        used += src2Bits;
-                    if (info.usesImm)
-                        used += immBits;
-                    r.aceRefined += pre * used;
-                    break;
-                  }
-                  case DeadKind::FddReg:
-                  case DeadKind::TddReg: {
-                    // Destination-specifier bits stay ACE (a strike
-                    // there redirects the dead result onto a live
-                    // register).
-                    ace_rate = dstBits;
-                    un_rate = payloadBits - dstBits;
-                    std::uint64_t un = pre * un_rate;
-                    r.ace += pre * dstBits;
-                    r.aceRefined += pre * dstBits;
-                    auto src = kind == DeadKind::FddReg
-                                   ? UnAceSource::FddReg
-                                   : UnAceSource::TddReg;
-                    r.unAceRead[static_cast<int>(src)] += un;
-                    if (kind == DeadKind::FddReg)
-                        r.fddRegExposures.push_back(
-                            {un, overwrite_dist});
-                    break;
-                  }
-                  case DeadKind::FddMem:
-                  case DeadKind::TddMem: {
-                    // Address bits (base specifier + offset) stay
-                    // ACE (a strike there redirects the dead store
-                    // onto live memory).
-                    ace_rate = src1Bits + immBits;
-                    un_rate = payloadBits - ace_rate;
-                    std::uint64_t un = pre * un_rate;
-                    r.ace += pre * ace_rate;
-                    r.aceRefined += pre * ace_rate;
-                    auto src = kind == DeadKind::FddMem
-                                   ? UnAceSource::FddMem
-                                   : UnAceSource::TddMem;
-                    r.unAceRead[static_cast<int>(src)] += un;
-                    break;
-                  }
-                }
-            }
-        }
-
-        spread(pre_iv, ace_rate, &EpochAce::ace);
-        spread(pre_iv, un_rate, &EpochAce::unAceRead);
+        spread(pre_iv, c.aceRate, &EpochAce::ace);
+        spread(pre_iv, c.unAceReadRate, &EpochAce::unAceRead);
     }
 
     if (occupied > r.totalBitCycles)

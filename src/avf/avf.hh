@@ -171,6 +171,61 @@ struct AvfResult
 };
 
 /**
+ * Window-clipped ACE classification of a single incarnation record.
+ *
+ * This is the one classification routine shared by computeAvf() and
+ * the per-PC attribution fold (avf/attribution.hh): both multiply
+ * the same per-cycle bit rates by the same clipped intervals, so the
+ * per-PC ACE bit-cycle totals sum *exactly* to the run-level
+ * AvfResult::ace (and likewise for every other class).
+ */
+struct IncarnationClass
+{
+    /** Pre-read residency [preLo, preHi): enqueue to issue, clipped
+     * to the measurement window. For a never-issued incarnation this
+     * covers the whole residency (all of it squashed-unread). */
+    std::uint64_t preLo = 0;
+    std::uint64_t preHi = 0;
+
+    /** Post-read (Ex-ACE) residency [postLo, postHi), clipped.
+     * Empty for a never-issued incarnation. */
+    std::uint64_t postLo = 0;
+    std::uint64_t postHi = 0;
+
+    /** False when squashed before any read: the whole residency is
+     * un-ACE and undetectable, and every rate below is zero. */
+    bool issued = false;
+
+    // Bits per pre-read resident cycle, by class. The three rates
+    // need not cover the payload: Live instructions have no read
+    // un-ACE bits, dead ones split between ACE and read un-ACE.
+    std::uint64_t aceRate = 0;
+    std::uint64_t aceRefinedRate = 0;
+    std::uint64_t unAceReadRate = 0;
+
+    /** Source of the read un-ACE bits (valid when unAceReadRate). */
+    UnAceSource source = UnAceSource::WrongPath;
+
+    /** FDD-via-register def: callers seeing preCycles() > 0 record a
+     * PET exposure of preCycles() * unAceReadRate bit-cycles. */
+    bool fddRegExposure = false;
+    std::uint32_t overwriteDist = noOverwrite;
+
+    std::uint64_t preCycles() const { return preHi - preLo; }
+    std::uint64_t postCycles() const { return postHi - postLo; }
+    std::uint64_t residentCycles() const
+    {
+        return preCycles() + postCycles();
+    }
+};
+
+/** Classify one incarnation against the trace's window and the
+ * deadness labels (see IncarnationClass). */
+IncarnationClass classifyIncarnation(const cpu::SimTrace &trace,
+                                     const DeadnessResult &deadness,
+                                     const cpu::IncarnationRecord &inc);
+
+/**
  * Fold a run's trace + deadness labels into AVF accounting.
  *
  * When epoch_cycles is nonzero, the result additionally carries

@@ -1,6 +1,7 @@
 #include "pet_buffer.hh"
 
 #include "sim/debug.hh"
+#include "sim/trace_event.hh"
 
 namespace ser
 {
@@ -19,6 +20,14 @@ PetBuffer::PetBuffer(std::size_t size, bool track_memory,
       statSignalled(this, "signalled",
                     "pi evictions that raised a machine check")
 {
+}
+
+void
+PetBuffer::setTraceWriter(trace::TraceWriter *tw)
+{
+    _tw = tw;
+    if (_tw)
+        _tw->threadName(trace::tracks::petBuffer, "pi / PET buffer");
 }
 
 bool
@@ -100,6 +109,12 @@ PetBuffer::evict()
         ++statProvenDead;
     else
         ++statSignalled;
+    if (_tw)
+        _tw->instant(trace::tracks::petBuffer, "pet_evict",
+                     _retireTicks,
+                     {{"seq", ev.seq},
+                      {"proven_dead", ev.provenDead ? 1 : 0},
+                      {"signalled", ev.signalled ? 1 : 0}});
     SER_DPRINTF(PET, "evict seq {}: {}", ev.seq,
                 ev.provenDead ? "proven dead, suppressed"
                               : "machine check");
@@ -110,6 +125,10 @@ std::optional<PetEviction>
 PetBuffer::retire(const PetEntry &entry)
 {
     ++statRetired;
+    ++_retireTicks;
+    if (_tw && entry.pi)
+        _tw->instant(trace::tracks::petBuffer, "pi_set",
+                     _retireTicks, {{"seq", entry.seq}});
     // Log first, then trim: the eviction scan thus sees a full
     // 'capacity' window of younger instructions, so an overwrite at
     // distance <= capacity proves the victim dead (matching the

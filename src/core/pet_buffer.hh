@@ -31,6 +31,12 @@
 
 namespace ser
 {
+
+namespace trace
+{
+class TraceWriter;
+}
+
 namespace core
 {
 
@@ -81,6 +87,15 @@ class PetBuffer : public statistics::StatGroup
     std::size_t size() const { return _entries.size(); }
     std::size_t capacity() const { return _capacity; }
 
+    /**
+     * Attach a trace-event writer (may be null). Pi-bit sets (at log
+     * time) and pi evictions (proven dead and deallocated, or
+     * signalled as a machine check) are emitted as instants on the
+     * PET track, timestamped by retire index — the buffer's natural
+     * timebase, distinct from the pipeline's cycle timebase.
+     */
+    void setTraceWriter(trace::TraceWriter *tw);
+
   private:
     PetEviction evict();
     bool scanProvesDead(const PetEntry &victim) const;
@@ -92,6 +107,8 @@ class PetBuffer : public statistics::StatGroup
     std::size_t _capacity;
     bool _trackMemory;
     std::deque<PetEntry> _entries;
+    trace::TraceWriter *_tw = nullptr;
+    std::uint64_t _retireTicks = 0;  ///< trace timebase
 
     statistics::Scalar statRetired;
     statistics::Scalar statPiEvictions;

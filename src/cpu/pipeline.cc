@@ -5,6 +5,7 @@
 #include "cpu/sampler.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/trace_event.hh"
 
 namespace ser
 {
@@ -117,11 +118,21 @@ InOrderPipeline::run()
         _params.maxCycles
             ? _params.maxCycles
             : _params.maxInsts * 1000 + 1'000'000;
+    if (_tw) {
+        _tw->threadName(trace::tracks::pipeline, "pipeline events");
+        _tw->threadName(trace::tracks::throttle, "fetch throttle");
+        for (unsigned i = 0; i < _params.iqEntries; ++i)
+            _tw->threadName(trace::tracks::iqBase + i,
+                            "iq[" + std::to_string(i) + "]");
+    }
     if (_warmupInsts == 0) {
         _windowOpen = true;
         _windowStart = 0;
         if (_sampler)
             _sampler->windowOpen(0);
+        if (_tw)
+            _tw->instant(trace::tracks::pipeline, "window_open", 0,
+                         {{"warmup_commits", std::uint64_t{0}}});
     }
     SER_DPRINTF(Pipeline,
                 "run: start, warmup {} insts, max {} cycles",
@@ -141,8 +152,29 @@ InOrderPipeline::run()
         fetch();
         sampleOccupancy();
         ++statCycles;
-        if (_cycle < _throttleUntil)
+        bool throttled = _cycle < _throttleUntil;
+        if (throttled)
             ++statThrottleCycles;
+        if (_tw) {
+            if (throttled && !_throttleSliceOpen)
+                _tw->begin(trace::tracks::throttle, "fetch_throttle",
+                           _cycle, {{"until", _throttleUntil}});
+            else if (!throttled && _throttleSliceOpen)
+                _tw->end(trace::tracks::throttle, _cycle);
+            _throttleSliceOpen = throttled;
+            std::size_t waiting = _iq.size() - _iqIssued;
+            if (_iq.size() != _tracedOccupancy ||
+                waiting != _tracedWaiting) {
+                _tw->counter(
+                    "iq_occupancy", _cycle,
+                    {{"valid",
+                      static_cast<std::uint64_t>(_iq.size())},
+                     {"waiting",
+                      static_cast<std::uint64_t>(waiting)}});
+                _tracedOccupancy = _iq.size();
+                _tracedWaiting = waiting;
+            }
+        }
         if (_sampler && _windowOpen) {
             IntervalCounters c;
             c.committed =
@@ -165,6 +197,10 @@ InOrderPipeline::run()
                       "records use 32-bit cycles");
     }
 
+    if (_tw && _throttleSliceOpen) {
+        _tw->end(trace::tracks::throttle, _cycle);
+        _throttleSliceOpen = false;
+    }
     if (_sampler)
         _sampler->finish(_cycle);
     SER_DPRINTF(Pipeline, "run: drained at cycle {}, {} committed",
@@ -206,6 +242,34 @@ InOrderPipeline::finalizeIncarnation(const DynInst &di,
         flags |= incPredFalse;
     rec.flags = flags;
     _trace.incarnations.push_back(rec);
+
+    if (_tw) {
+        // One slice per residency on the physical entry's track.
+        // Residencies of one entry never overlap and are finalized
+        // in evict order, so both events can be written here and the
+        // track stays monotonic. The outcome is known now, so it
+        // rides on the B event's args.
+        const char *outcome = "evict";
+        if (extra_flags & incCommitted)
+            outcome = "commit";
+        else if (extra_flags & incSquashTrigger)
+            outcome = "trigger_squash";
+        else if (extra_flags & incSquashMispredict)
+            outcome = "mispredict_squash";
+        std::uint32_t tid = trace::tracks::iqBase + rec.iqEntry;
+        _tw->begin(
+            tid, di.inst.toString(), rec.enqueueCycle,
+            {{"seq", di.seq},
+             {"pc", static_cast<std::uint64_t>(di.pc)},
+             {"fetch", static_cast<std::uint64_t>(di.fetchCycle)},
+             {"issue",
+              rec.issueCycle == noCycle32
+                  ? std::int64_t{-1}
+                  : static_cast<std::int64_t>(rec.issueCycle)},
+             {"outcome", outcome},
+             {"wrong_path", di.wrongPath ? 1 : 0}});
+        _tw->end(tid, evict_cycle);
+    }
 }
 
 void
@@ -235,6 +299,10 @@ InOrderPipeline::evictAndCommit()
             resetStats();
             if (_sampler)
                 _sampler->windowOpen(_cycle);
+            if (_tw)
+                _tw->instant(trace::tracks::pipeline, "window_open",
+                             _cycle,
+                             {{"warmup_commits", _committedTotal}});
             SER_DPRINTF(Pipeline,
                         "cycle {}: window opens after {} warmup "
                         "commits", _cycle, _committedTotal);
@@ -266,6 +334,13 @@ InOrderPipeline::resolveBranches()
             SER_DPRINTF(Pipeline,
                         "cycle {}: mispredict resolved, branch seq "
                         "{} pc {}", _cycle, branch->seq, branch->pc);
+            if (_tw)
+                _tw->instant(
+                    trace::tracks::pipeline, "mispredict_squash",
+                    _cycle,
+                    {{"branch_pc",
+                      static_cast<std::uint64_t>(branch->pc)},
+                     {"branch_seq", branch->seq}});
             doMispredictSquash(branch);
         }
     }
@@ -337,6 +412,12 @@ InOrderPipeline::processTriggers()
         if (_policy) {
             ExposureDecision d = _policy->onLoadServiced(
                 it->level, it->detectCycle, it->fillCycle);
+            if (_tw && (d.squash || d.throttleUntilCycle))
+                _tw->instant(
+                    trace::tracks::pipeline, "trigger_fire", _cycle,
+                    {{"level", static_cast<int>(it->level)},
+                     {"squash", d.squash ? 1 : 0},
+                     {"throttle_until", d.throttleUntilCycle}});
             squash = squash || d.squash;
             throttle_until =
                 std::max(throttle_until, d.throttleUntilCycle);
@@ -367,6 +448,12 @@ InOrderPipeline::doTriggerSquash()
 
     ++statTriggerSquashes;
     statTriggerSquashedInsts += static_cast<double>(iq_victims);
+    if (_tw)
+        _tw->instant(
+            trace::tracks::pipeline, "trigger_squash", _cycle,
+            {{"iq_victims", static_cast<std::uint64_t>(iq_victims)},
+             {"fe_victims", static_cast<std::uint64_t>(
+                                victims.size() - iq_victims)}});
     SER_DPRINTF(Trigger,
                 "cycle {}: trigger squash, {} IQ victims, {} "
                 "front-end victims", _cycle, iq_victims,

@@ -47,6 +47,12 @@
 
 namespace ser
 {
+
+namespace trace
+{
+class TraceWriter;
+}
+
 namespace cpu
 {
 
@@ -83,6 +89,16 @@ class InOrderPipeline : public statistics::StatGroup
     {
         _sampler = sampler;
     }
+
+    /**
+     * Attach an instruction-lifetime trace writer (may be null).
+     * Every queue residency becomes a duration slice on its physical
+     * entry's track; squashes, trigger firings and the measurement-
+     * window opening become instants; fetch-throttle windows become
+     * slices on their own track; queue occupancy becomes a counter.
+     * Costs one branch per emission site when null.
+     */
+    void setTraceWriter(trace::TraceWriter *tw) { _tw = tw; }
 
     /** Run to completion and return the analysis trace. */
     SimTrace run();
@@ -158,7 +174,13 @@ class InOrderPipeline : public statistics::StatGroup
     PipelineParams _params;
     ExposurePolicy *_policy = nullptr;
     IntervalSampler *_sampler = nullptr;
+    trace::TraceWriter *_tw = nullptr;
     std::uint64_t _warmupInsts = 0;
+
+    // Trace-emission state (only touched when _tw is set).
+    bool _throttleSliceOpen = false;
+    std::size_t _tracedOccupancy = ~std::size_t{0};
+    std::size_t _tracedWaiting = ~std::size_t{0};
 
     std::unique_ptr<isa::Executor> _oracle;
     std::unique_ptr<memory::CacheHierarchy> _dcache;

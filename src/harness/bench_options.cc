@@ -27,7 +27,15 @@ printUsage(const char *argv0, const std::string &usage)
               << "  --json PATH      write a JSON run manifest "
                  "(+ .intervals.jsonl when sampling)\n"
               << "  --intervals N    sample the pipeline every N "
-                 "cycles\n"
+                 "cycles (the series is written as\n"
+                 "                   <manifest>.intervals.jsonl, so "
+                 "this requires --json)\n"
+              << "  --trace-events F write instruction-lifetime "
+                 "Chrome trace-event JSON to F\n"
+                 "                   (open in ui.perfetto.dev or "
+                 "chrome://tracing)\n"
+              << "  --topn N         per-PC AVF attribution: print "
+                 "the top-N hotspot table\n"
               << "  --jobs N         suite-sweep worker threads "
                  "(default: SER_JOBS or 1; output is identical "
                  "for any N)\n"
@@ -91,6 +99,21 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
             if (opts.intervalCycles == 0)
                 SER_FATAL("{}: --intervals must be positive",
                           argv[0]);
+        } else if (token == "--trace-events" ||
+                   token.rfind("--trace-events=", 0) == 0) {
+            opts.traceEventsPath =
+                optionValue(argc, argv, i, "--trace-events", token);
+            if (opts.traceEventsPath.empty())
+                SER_FATAL("{}: --trace-events needs a path",
+                          argv[0]);
+        } else if (token == "--topn" ||
+                   token.rfind("--topn=", 0) == 0) {
+            std::string text =
+                optionValue(argc, argv, i, "--topn", token);
+            std::uint64_t topn = parseCount(argv[0], "--topn", text);
+            if (topn == 0)
+                SER_FATAL("{}: --topn must be positive", argv[0]);
+            opts.topn = static_cast<std::uint32_t>(topn);
         } else if (token == "--jobs" ||
                    token.rfind("--jobs=", 0) == 0) {
             std::string text =
@@ -124,6 +147,12 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
     // decides (default: serial).
     if (!jobs_given)
         opts.jobs = defaultJobs();
+    // The interval series is only ever written next to a manifest;
+    // sampling without one silently produced nothing before.
+    if (opts.intervalCycles && opts.jsonPath.empty())
+        SER_WARN("--intervals has no effect without --json: the "
+                 "time series is written to "
+                 "<manifest>.intervals.jsonl");
     return opts;
 }
 

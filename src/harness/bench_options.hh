@@ -9,7 +9,13 @@
  *   --csv            print tables as CSV instead of aligned text
  *   --json PATH      write a JSON run manifest (and, when intervals
  *                    are on, a sibling .intervals.jsonl time series)
- *   --intervals N    sample the pipeline every N cycles
+ *   --intervals N    sample the pipeline every N cycles (the series
+ *                    is only written with --json)
+ *   --trace-events F write instruction-lifetime Chrome trace-event
+ *                    JSON (load in ui.perfetto.dev) covering every
+ *                    run of the sweep
+ *   --topn N         compute per-PC AVF attribution and print the
+ *                    top-N hotspot table per run
  *   --jobs N         run suite sweeps on N worker threads (same as
  *                    SER_JOBS; default 1 = serial). Output is
  *                    byte-identical for any N.
@@ -45,6 +51,8 @@ struct BenchOptions
     bool csv = false;            ///< --csv (or legacy csv=1)
     std::string jsonPath;        ///< --json PATH; empty = off
     std::uint64_t intervalCycles = 0;  ///< --intervals N; 0 = off
+    std::string traceEventsPath; ///< --trace-events F; empty = off
+    std::uint32_t topn = 0;      ///< --topn N; 0 = off
 
     /** Suite-sweep worker threads: --jobs N, else SER_JOBS, else 1
      * (serial). Always >= 1 after parse(). */

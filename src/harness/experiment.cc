@@ -3,9 +3,12 @@
 #include <memory>
 #include <sstream>
 
+#include "core/pet_buffer.hh"
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
 #include "sim/json.hh"
+#include "sim/logging.hh"
+#include "sim/trace_event.hh"
 #include "workloads/suite.hh"
 
 namespace ser
@@ -46,6 +49,14 @@ runProgram(std::shared_ptr<const isa::Program> program,
         pipeline.setIntervalSampler(sampler.get());
     }
 
+    std::unique_ptr<trace::TraceWriter> tw;
+    if (config.traceEventsPid) {
+        tw = std::make_unique<trace::TraceWriter>(
+            config.traceEventsPid);
+        tw->processName(name);
+        pipeline.setTraceWriter(tw.get());
+    }
+
     {
         ScopedTimer timer(out.timings, "pipeline");
         out.trace = pipeline.run();
@@ -81,6 +92,37 @@ runProgram(std::shared_ptr<const isa::Program> program,
     {
         ScopedTimer timer(out.timings, "false_due");
         out.falseDue = core::analyzeFalseDue(out.avf, config.petSize);
+    }
+    if (config.attributionTopN) {
+        ScopedTimer timer(out.timings, "attribution");
+        out.attribution = avf::attributeAvf(out.trace, out.deadness);
+    }
+    if (tw) {
+        // Post-run PET-buffer replay (tracing only): drive the
+        // operational buffer with the committed stream, pi set on
+        // first-level-dead register defs — the population the PET
+        // mechanism exists to deallocate. This puts pi_set and
+        // pet_evict instants on the PET track without touching the
+        // timing model.
+        core::PetBuffer pet(config.petSize);
+        pet.setTraceWriter(tw.get());
+        for (std::size_t i = 0; i < out.trace.commits.size(); ++i) {
+            const cpu::CommitRecord &cr = out.trace.commits[i];
+            core::PetEntry entry;
+            entry.seq = i;
+            entry.inst = out.program->inst(cr.staticIdx);
+            entry.qpTrue = cr.qpTrue != 0;
+            entry.memAddr = cr.memAddr;
+            entry.pi = i < out.deadness.kind.size() &&
+                       out.deadness.kind[i] == avf::DeadKind::FddReg;
+            pet.retire(entry);
+        }
+        pet.drain();
+
+        if (!tw->balanced())
+            SER_PANIC("trace: run '{}' left unbalanced duration "
+                      "slices", name);
+        out.traceEvents = tw->str();
     }
     return out;
 }

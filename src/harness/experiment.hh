@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "avf/attribution.hh"
 #include "avf/avf.hh"
 #include "avf/deadness.hh"
 #include "core/due_tracker.hh"
@@ -56,6 +57,16 @@ struct ExperimentConfig
      * sampler (and the per-epoch AVF fold). */
     std::uint64_t intervalCycles = 0;
 
+    /** Nonzero enables instruction-lifetime trace capture; the value
+     * becomes the run's trace process id (one distinct pid per run,
+     * so merged sweep traces keep their runs on separate process
+     * rows and stay deterministic under --jobs). */
+    std::uint32_t traceEventsPid = 0;
+
+    /** Nonzero enables the per-PC AVF attribution fold; the value is
+     * the hotspot-table depth (--topn). */
+    std::uint32_t attributionTopN = 0;
+
     cpu::PipelineParams pipeline;
 };
 
@@ -90,6 +101,14 @@ struct RunArtifacts
 
     /** Interval time series; empty unless intervalCycles was set. */
     std::vector<cpu::IntervalSample> intervals;
+
+    /** This run's Chrome trace-event fragment; empty unless
+     * traceEventsPid was set (see sim/trace_event.hh). */
+    std::string traceEvents;
+
+    /** Per-PC AVF attribution; pcs is empty unless attributionTopN
+     * was set. */
+    avf::AttributionResult attribution;
 };
 
 /** Run one program under one configuration (deep-copies the

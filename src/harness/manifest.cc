@@ -1,11 +1,13 @@
 #include "manifest.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 #include "core/tracking.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/trace_event.hh"
 
 namespace ser
 {
@@ -75,6 +77,57 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
               run.falseDue.residualFalseDue[i]);
     jw.endObject();
     jw.endObject();
+
+    if (config.attributionTopN) {
+        const avf::AttributionResult &attr = run.attribution;
+        auto histogram = [&](const char *key,
+                             const avf::HistogramSummary &h) {
+            jw.key(key);
+            jw.beginObject();
+            jw.kv("count", h.count);
+            jw.kv("mean", h.mean);
+            jw.kv("p50", h.p50);
+            jw.kv("p90", h.p90);
+            jw.kv("p99", h.p99);
+            jw.endObject();
+        };
+        jw.key("attribution");
+        jw.beginObject();
+        jw.kv("static_pcs",
+              static_cast<std::uint64_t>(attr.pcs.size()));
+        jw.kv("total_ace", attr.totalAce);
+        jw.kv("total_un_ace_read", attr.totalUnAceRead);
+        jw.kv("total_ex_ace", attr.totalExAce);
+        jw.kv("total_squashed_unread", attr.totalSquashedUnread);
+        jw.kv("total_incarnations", attr.totalIncarnations);
+        jw.kv("total_residency_cycles", attr.totalResidencyCycles);
+        histogram("lifetime", attr.lifetime);
+        histogram("pre_read", attr.preRead);
+        histogram("post_read", attr.postRead);
+        jw.key("hotspots");
+        jw.beginArray();
+        std::size_t n = std::min<std::size_t>(config.attributionTopN,
+                                              attr.pcs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const avf::PcAttribution &pc = attr.pcs[i];
+            jw.beginObject();
+            jw.kv("static_idx", pc.staticIdx);
+            jw.kv("pc", isa::Program::indexToAddr(pc.staticIdx));
+            jw.kv("disasm",
+                  run.program->inst(pc.staticIdx).toString());
+            jw.kv("ace", pc.ace);
+            jw.kv("ace_share", attr.aceShare(pc));
+            jw.kv("un_ace_read", pc.unAceRead);
+            jw.kv("ex_ace", pc.exAce);
+            jw.kv("squashed_unread", pc.squashedUnread);
+            jw.kv("incarnations", pc.incarnations);
+            jw.kv("committed", pc.committedIncs);
+            jw.kv("residency_cycles", pc.residencyCycles);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
 
     jw.key("stats");
     if (run.statsJson.empty())
@@ -221,6 +274,57 @@ JsonReport::write(const std::string &path) const
                   intervalsPath(path));
     for (const auto &line : _intervalLines)
         jl << line << "\n";
+}
+
+void
+writeTraceEventsFile(const std::string &path,
+                     const std::vector<RunArtifacts> &runs)
+{
+    std::vector<const std::string *> fragments;
+    fragments.reserve(runs.size());
+    for (const RunArtifacts &run : runs)
+        fragments.push_back(&run.traceEvents);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        SER_FATAL("trace: cannot open '{}' for writing", path);
+    trace::writeChromeTrace(os, fragments);
+    if (!os)
+        SER_FATAL("trace: write to '{}' failed", path);
+}
+
+void
+TraceExport::emit(std::ostream &os,
+                  const std::vector<RunArtifacts> &runs) const
+{
+    if (!_path.empty()) {
+        writeTraceEventsFile(_path, runs);
+        os << "\ntrace events written to " << _path << " ("
+           << runs.size() << " runs)\n";
+    }
+    if (!_topn)
+        return;
+    for (const RunArtifacts &run : runs) {
+        printHeading(os, "AVF hotspots: " + run.benchmark);
+        if (_csv)
+            avf::writeHotspotCsv(os, run.attribution, *run.program,
+                                 _topn);
+        else
+            avf::printHotspots(os, run.attribution, *run.program,
+                               _topn);
+    }
+}
+
+void
+TraceExport::warnUnsupported(const BenchOptions &opts)
+{
+    if (!opts.traceEventsPath.empty())
+        SER_WARN("--trace-events is not supported by this bench "
+                 "(it runs outside the experiment harness); no "
+                 "trace will be written");
+    if (opts.topn)
+        SER_WARN("--topn is not supported by this bench (it runs "
+                 "outside the experiment harness); no hotspot "
+                 "table will be printed");
 }
 
 } // namespace harness

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/bench_options.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "sim/config.hh"
@@ -82,6 +83,57 @@ class JsonReport
     std::vector<std::string> _runs;    ///< serialized run objects
     std::vector<std::pair<std::string, std::string>> _tables;
     std::vector<std::string> _intervalLines;  ///< JSONL, all runs
+};
+
+/**
+ * Merge the per-run trace fragments (in submission order, which is
+ * deterministic under --jobs) into one Chrome trace document at
+ * 'path'. Runs without a fragment are skipped.
+ */
+void writeTraceEventsFile(const std::string &path,
+                          const std::vector<RunArtifacts> &runs);
+
+/**
+ * Applies the --trace-events / --topn options across a sweep: hands
+ * out one trace pid per submitted run (so merged traces keep runs on
+ * separate process rows), then writes the merged trace file and
+ * prints the per-run hotspot tables once the sweep finishes.
+ *
+ *   harness::TraceExport trace_export(opts);
+ *   for (...) { trace_export.configure(cfg); runner.submit(..., cfg); }
+ *   auto runs = runner.run();
+ *   trace_export.emit(std::cout, runs);
+ */
+class TraceExport
+{
+  public:
+    explicit TraceExport(const BenchOptions &opts)
+        : _path(opts.traceEventsPath), _topn(opts.topn),
+          _csv(opts.csv)
+    {
+    }
+
+    /** Stamp the next submitted run's trace pid / attribution. */
+    void configure(ExperimentConfig &config)
+    {
+        config.traceEventsPid = _path.empty() ? 0 : _nextPid++;
+        config.attributionTopN = _topn;
+    }
+
+    /** Write the trace file and print the hotspot tables. */
+    void emit(std::ostream &os,
+              const std::vector<RunArtifacts> &runs) const;
+
+    /** For benches that run the pipeline outside the experiment
+     * harness: warn that --trace-events / --topn have no effect
+     * here instead of silently dropping them. */
+    static void warnUnsupported(const BenchOptions &opts);
+
+  private:
+    std::string _path;
+    std::uint32_t _topn;
+    bool _csv;
+    std::uint32_t _nextPid = 1;
 };
 
 } // namespace harness

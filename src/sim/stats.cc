@@ -115,6 +115,33 @@ Distribution::value() const
     return _count ? _sum / static_cast<double>(_count) : 0.0;
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (!_count)
+        return 0.0;
+    if (p <= 0.0)
+        return _min;
+    if (p > 100.0)
+        p = 100.0;
+    // The sample of rank 'target' (1-based) is the percentile; walk
+    // the cumulative counts until the rank falls inside a bucket and
+    // interpolate linearly within it.
+    double target = p / 100.0 * static_cast<double>(_count);
+    double cum = static_cast<double>(_underflow);
+    if (target <= cum)
+        return _min;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        double b = static_cast<double>(_buckets[i]);
+        if (b > 0.0 && target <= cum + b) {
+            double lo = _min + static_cast<double>(i) * _bucketSize;
+            return lo + (target - cum) / b * _bucketSize;
+        }
+        cum += b;
+    }
+    return _max;  // the rank lives in the overflow bin
+}
+
 std::uint64_t
 Distribution::bucketCount(std::size_t i) const
 {
@@ -137,6 +164,11 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
     os << prefix << name() << "::mean " << value() << " # " << desc()
        << "\n";
     os << prefix << name() << "::count " << _count << "\n";
+    if (_count) {
+        os << prefix << name() << "::p50 " << percentile(50) << "\n";
+        os << prefix << name() << "::p90 " << percentile(90) << "\n";
+        os << prefix << name() << "::p99 " << percentile(99) << "\n";
+    }
     if (_underflow)
         os << prefix << name() << "::underflows " << _underflow << "\n";
     for (std::size_t i = 0; i < _buckets.size(); ++i) {
@@ -156,6 +188,9 @@ Distribution::dumpJson(json::JsonWriter &jw) const
     jw.beginObject();
     jw.kv("mean", value());
     jw.kv("count", _count);
+    jw.kv("p50", percentile(50));
+    jw.kv("p90", percentile(90));
+    jw.kv("p99", percentile(99));
     jw.kv("min", _min);
     jw.kv("bucket_size", _bucketSize);
     jw.kv("underflows", _underflow);

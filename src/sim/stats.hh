@@ -123,6 +123,14 @@ class Distribution : public StatBase
     void sample(double v, std::uint64_t weight = 1);
 
     double value() const override;  // the mean
+    /**
+     * Exact percentile from linear interpolation inside the bucket
+     * the rank falls into (p in [0, 100]). Underflowed samples pin
+     * to the range minimum and overflowed samples to the range
+     * maximum — the histogram does not know their true values.
+     * Returns 0 when no samples have been recorded.
+     */
+    double percentile(double p) const;
     std::uint64_t count() const { return _count; }
     std::uint64_t bucketCount(std::size_t i) const;
     std::size_t numBuckets() const { return _buckets.size(); }

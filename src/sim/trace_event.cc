@@ -1,0 +1,198 @@
+#include "trace_event.hh"
+
+#include "json.hh"
+#include "logging.hh"
+
+namespace ser
+{
+namespace trace
+{
+
+namespace
+{
+
+void
+writeArg(json::JsonWriter &jw, const Arg &arg)
+{
+    jw.key(arg.key);
+    switch (arg.kind) {
+      case Arg::Kind::Uint: jw.value(arg.uintValue); break;
+      case Arg::Kind::Int: jw.value(arg.intValue); break;
+      case Arg::Kind::Real: jw.value(arg.realValue); break;
+      case Arg::Kind::Str: jw.value(arg.strValue); break;
+    }
+}
+
+} // namespace
+
+TraceWriter::TrackState &
+TraceWriter::track(std::uint32_t tid)
+{
+    return _tracks[tid];
+}
+
+void
+TraceWriter::writeEvent(char ph, std::uint32_t tid, std::uint64_t ts,
+                        std::string_view name, Args args,
+                        bool with_args)
+{
+    if (_events)
+        _buf << ",\n";
+    ++_events;
+    json::JsonWriter jw(_buf, 0);
+    jw.beginObject();
+    jw.kv("name", name);
+    jw.kv("ph", std::string_view(&ph, 1));
+    jw.kv("ts", ts);
+    jw.kv("pid", _pid);
+    jw.kv("tid", tid);
+    if (with_args) {
+        jw.key("args");
+        jw.beginObject();
+        for (const Arg &arg : args)
+            writeArg(jw, arg);
+        jw.endObject();
+    }
+    jw.endObject();
+}
+
+void
+TraceWriter::processName(std::string_view name)
+{
+    if (_events)
+        _buf << ",\n";
+    ++_events;
+    json::JsonWriter jw(_buf, 0);
+    jw.beginObject();
+    jw.kv("name", "process_name");
+    jw.kv("ph", "M");
+    jw.kv("pid", _pid);
+    jw.kv("tid", 0);
+    jw.key("args").beginObject().kv("name", name).endObject();
+    jw.endObject();
+}
+
+void
+TraceWriter::threadName(std::uint32_t tid, std::string_view name)
+{
+    if (_events)
+        _buf << ",\n";
+    ++_events;
+    json::JsonWriter jw(_buf, 0);
+    jw.beginObject();
+    jw.kv("name", "thread_name");
+    jw.kv("ph", "M");
+    jw.kv("pid", _pid);
+    jw.kv("tid", tid);
+    jw.key("args").beginObject().kv("name", name).endObject();
+    jw.endObject();
+}
+
+void
+TraceWriter::begin(std::uint32_t tid, std::string_view name,
+                   std::uint64_t ts, Args args)
+{
+    TrackState &t = track(tid);
+    if (t.sawEvent && ts < t.lastTs)
+        SER_PANIC("trace: B '{}' at ts {} before track {}'s last "
+                  "event at {}", name, ts, tid, t.lastTs);
+    t.lastTs = ts;
+    t.sawEvent = true;
+    ++t.openSlices;
+    writeEvent('B', tid, ts, name, args, args.size() != 0);
+}
+
+void
+TraceWriter::end(std::uint32_t tid, std::uint64_t ts)
+{
+    TrackState &t = track(tid);
+    if (!t.openSlices)
+        SER_PANIC("trace: E on track {} with no open slice", tid);
+    if (ts < t.lastTs)
+        SER_PANIC("trace: E at ts {} before track {}'s last event "
+                  "at {}", ts, tid, t.lastTs);
+    t.lastTs = ts;
+    --t.openSlices;
+    writeEvent('E', tid, ts, "", {}, false);
+}
+
+void
+TraceWriter::instant(std::uint32_t tid, std::string_view name,
+                     std::uint64_t ts, Args args)
+{
+    TrackState &t = track(tid);
+    if (t.sawEvent && ts < t.lastTs)
+        SER_PANIC("trace: instant '{}' at ts {} before track {}'s "
+                  "last event at {}", name, ts, tid, t.lastTs);
+    t.lastTs = ts;
+    t.sawEvent = true;
+    // "s":"t": thread-scoped instant (a small caret on the track).
+    if (_events)
+        _buf << ",\n";
+    ++_events;
+    json::JsonWriter jw(_buf, 0);
+    jw.beginObject();
+    jw.kv("name", name);
+    jw.kv("ph", "i");
+    jw.kv("s", "t");
+    jw.kv("ts", ts);
+    jw.kv("pid", _pid);
+    jw.kv("tid", tid);
+    if (args.size()) {
+        jw.key("args");
+        jw.beginObject();
+        for (const Arg &arg : args)
+            writeArg(jw, arg);
+        jw.endObject();
+    }
+    jw.endObject();
+}
+
+void
+TraceWriter::counter(std::string_view name, std::uint64_t ts,
+                     Args args)
+{
+    // Counters are process-scoped; tid 0 keeps them off the slice
+    // tracks.
+    writeEvent('C', 0, ts, name, args, true);
+}
+
+bool
+TraceWriter::balanced() const
+{
+    for (const auto &t : _tracks)
+        if (t.second.openSlices)
+            return false;
+    return true;
+}
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<const std::string *> &fragments)
+{
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const std::string *fragment : fragments) {
+        if (!fragment || fragment->empty())
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << *fragment;
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<std::string> &fragments)
+{
+    std::vector<const std::string *> refs;
+    refs.reserve(fragments.size());
+    for (const std::string &fragment : fragments)
+        refs.push_back(&fragment);
+    writeChromeTrace(os, refs);
+}
+
+} // namespace trace
+} // namespace ser

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Streaming Chrome trace-event / Perfetto-compatible JSON writing.
+ *
+ * A TraceWriter turns simulator activity into the JSON Array Format
+ * chrome://tracing and ui.perfetto.dev load natively: `B`/`E`
+ * duration events, `i` instant events, `C` counter events and `M`
+ * metadata (process/thread names), all serialized through
+ * json::JsonWriter so the output is exactly the JSON dialect the
+ * in-tree parser accepts.
+ *
+ * Mapping from simulator concepts:
+ *  - one *run* is one trace process (`pid`); its name labels the
+ *    benchmark and design point;
+ *  - one *track* (`tid`) is one hardware structure whose occupancies
+ *    never overlap — most importantly each physical IQ entry, so the
+ *    64 entry tracks render the queue's exposure "skyline" directly;
+ *  - the timestamp unit is the simulated cycle (written to `ts`,
+ *    nominally microseconds — absolute scale is meaningless for a
+ *    cycle-accurate model and Perfetto only needs ordering).
+ *
+ * A writer buffers one run's events as a comma-separated fragment;
+ * writeChromeTrace() joins the fragments of any number of runs (in
+ * submission order, so parallel sweeps stay byte-deterministic) into
+ * one valid document:
+ *
+ *     { "traceEvents": [ ... ], "displayTimeUnit": "ms" }
+ *
+ * Within a track the writer enforces what the viewers require:
+ * E events must match an open B (panic otherwise) and timestamps
+ * must be monotonically non-decreasing (panic otherwise) — the
+ * check_trace_events tool re-validates both on the written file.
+ */
+
+#ifndef SER_SIM_TRACE_EVENT_HH
+#define SER_SIM_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ser
+{
+namespace trace
+{
+
+/** One "args" member: a key with a string, integer or real value. */
+struct Arg
+{
+    enum class Kind : std::uint8_t { Uint, Int, Real, Str };
+
+    Arg(std::string_view k, std::uint64_t v)
+        : key(k), kind(Kind::Uint), uintValue(v) {}
+    Arg(std::string_view k, std::uint32_t v)
+        : Arg(k, static_cast<std::uint64_t>(v)) {}
+    Arg(std::string_view k, std::int64_t v)
+        : key(k), kind(Kind::Int), intValue(v) {}
+    Arg(std::string_view k, int v)
+        : Arg(k, static_cast<std::int64_t>(v)) {}
+    Arg(std::string_view k, double v)
+        : key(k), kind(Kind::Real), realValue(v) {}
+    Arg(std::string_view k, std::string_view v)
+        : key(k), kind(Kind::Str), strValue(v) {}
+    Arg(std::string_view k, const char *v)
+        : Arg(k, std::string_view(v)) {}
+
+    std::string_view key;
+    Kind kind;
+    std::uint64_t uintValue = 0;
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+    std::string_view strValue;
+};
+
+using Args = std::initializer_list<Arg>;
+
+/**
+ * The track-id (tid) layout shared by every emitting component, so
+ * merged traces render consistently: low tids are special-purpose
+ * tracks, instruction-queue entry tracks start at iqBase.
+ */
+namespace tracks
+{
+constexpr std::uint32_t counters = 0;   ///< counter events
+constexpr std::uint32_t pipeline = 1;   ///< squash/trigger instants
+constexpr std::uint32_t throttle = 2;   ///< fetch-throttle windows
+constexpr std::uint32_t petBuffer = 3;  ///< pi/PET instants (retire
+                                        ///< index timebase)
+constexpr std::uint32_t iqBase = 16;    ///< + physical IQ entry
+} // namespace tracks
+
+/** Buffers one run's events as a Chrome trace fragment. */
+class TraceWriter
+{
+  public:
+    /** All events carry this process id; one pid per run keeps the
+     * per-run tracks separate when fragments are merged. */
+    explicit TraceWriter(std::uint32_t pid = 1) : _pid(pid) {}
+
+    std::uint32_t pid() const { return _pid; }
+
+    /** Name this run's process row in the viewer (M event). */
+    void processName(std::string_view name);
+
+    /** Name one track (M event); emit before the track's events. */
+    void threadName(std::uint32_t tid, std::string_view name);
+
+    /** Open a duration slice on a track. Slices on one track must
+     * nest; ts must be >= the track's previous event. */
+    void begin(std::uint32_t tid, std::string_view name,
+               std::uint64_t ts, Args args = {});
+
+    /** Close the innermost open slice on the track. */
+    void end(std::uint32_t tid, std::uint64_t ts);
+
+    /** A zero-duration marker (thread-scoped instant). */
+    void instant(std::uint32_t tid, std::string_view name,
+                 std::uint64_t ts, Args args = {});
+
+    /** A counter sample; each arg is one series of the counter. */
+    void counter(std::string_view name, std::uint64_t ts, Args args);
+
+    /** Events emitted so far (metadata included). */
+    std::uint64_t eventCount() const { return _events; }
+
+    /** True when every begun slice has been ended. */
+    bool balanced() const;
+
+    /** The buffered fragment: `{...},{...},...` (may be empty). */
+    std::string str() const { return _buf.str(); }
+
+  private:
+    struct TrackState
+    {
+        std::uint64_t openSlices = 0;
+        std::uint64_t lastTs = 0;
+        bool sawEvent = false;
+    };
+
+    void writeEvent(char ph, std::uint32_t tid, std::uint64_t ts,
+                    std::string_view name, Args args, bool with_args);
+    TrackState &track(std::uint32_t tid);
+
+    std::uint32_t _pid;
+    std::uint64_t _events = 0;
+    std::ostringstream _buf;
+    std::map<std::uint32_t, TrackState> _tracks;
+};
+
+/**
+ * Join run fragments (in order) into one complete Chrome trace
+ * document. Empty fragments are skipped; an all-empty set still
+ * produces a valid document with an empty traceEvents array.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<std::string> &fragments);
+
+/** As above, without copying the (potentially large) fragments. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<const std::string *> &fragments);
+
+} // namespace trace
+} // namespace ser
+
+#endif // SER_SIM_TRACE_EVENT_HH

@@ -3,7 +3,7 @@
  * Standalone determinism checker for the parallel suite runner, used
  * by the determinism_validate ctest case (and handy interactively):
  *
- *     check_determinism A.json B.json [A.out B.out]
+ *     check_determinism A.json B.json [A.out B.out [A.trace B.trace]]
  *
  * Asserts that two manifests produced by the same bench invocation at
  * different --jobs values are identical except for wall-clock phase
@@ -12,7 +12,9 @@
  * must still match exactly — parallel runs must record the same
  * phases, including the once-per-benchmark "build" phase, just not
  * the same durations). When the optional .out pair is given, the
- * captured stdout of the two invocations must be byte-identical.
+ * captured stdout of the two invocations must be byte-identical;
+ * likewise the optional --trace-events output pair (the merged
+ * Chrome trace must not depend on worker scheduling).
  *
  * Exits 0 when the artifacts agree, 1 with a message otherwise.
  */
@@ -160,9 +162,9 @@ slurp(const char *path, std::string *out)
 int
 main(int argc, char **argv)
 {
-    if (argc != 3 && argc != 5) {
+    if (argc != 3 && argc != 5 && argc != 7) {
         std::cerr << "usage: check_determinism A.json B.json "
-                     "[A.out B.out]\n";
+                     "[A.out B.out [A.trace B.trace]]\n";
         return 2;
     }
 
@@ -180,13 +182,15 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (argc == 5) {
+    // Any further pairs (stdout captures, --trace-events output)
+    // must be byte-identical.
+    for (int i = 3; i + 1 < argc; i += 2) {
         std::string out_a, out_b;
-        if (!slurp(argv[3], &out_a) || !slurp(argv[4], &out_b))
+        if (!slurp(argv[i], &out_a) || !slurp(argv[i + 1], &out_b))
             return 1;
         if (out_a != out_b) {
-            std::cerr << "check_determinism: stdout captures '"
-                      << argv[3] << "' and '" << argv[4]
+            std::cerr << "check_determinism: captures '" << argv[i]
+                      << "' and '" << argv[i + 1]
                       << "' are not byte-identical\n";
             return 1;
         }

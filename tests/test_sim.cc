@@ -137,6 +137,67 @@ TEST(Stats, DistributionBucketsAndOverflow)
     EXPECT_EQ(d.count(), 5u);
 }
 
+TEST(Stats, DistributionPercentiles)
+{
+    statistics::StatGroup g("g");
+    statistics::Distribution d(&g, "d", "d", 0, 100, 10);
+    // One sample per unit in [0, 100): every bucket holds 10, so the
+    // interpolated percentiles land exactly on their rank.
+    for (int v = 0; v < 100; ++v)
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(90), 90.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 0.0);
+}
+
+TEST(Stats, DistributionPercentileInterpolatesWithinBucket)
+{
+    statistics::StatGroup g("g");
+    statistics::Distribution d(&g, "d", "d", 0, 10, 10);
+    // All four samples share the single bucket: the p50 rank (2 of
+    // 4) interpolates to the bucket's midpoint.
+    for (int i = 0; i < 4; ++i)
+        d.sample(5);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(25), 2.5);
+}
+
+TEST(Stats, DistributionPercentileClampsOutOfRange)
+{
+    statistics::StatGroup g("g");
+    statistics::Distribution d(&g, "d", "d", 0, 10, 2);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);  // no samples
+    d.sample(-5);
+    d.sample(-5);
+    d.sample(3);
+    d.sample(100);
+    // Underflowed ranks pin to the range minimum, overflowed ranks
+    // to the range maximum: the histogram never saw the true values.
+    EXPECT_DOUBLE_EQ(d.percentile(25), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 10.0);
+}
+
+TEST(Stats, DistributionDumpsPercentiles)
+{
+    statistics::StatGroup g("g");
+    statistics::Distribution d(&g, "d", "d", 0, 10, 2);
+    for (int v = 0; v < 10; ++v)
+        d.sample(v);
+    std::ostringstream os;
+    g.dumpStats(os);
+    EXPECT_NE(os.str().find("g.d::p50"), std::string::npos);
+    EXPECT_NE(os.str().find("g.d::p99"), std::string::npos);
+
+    std::ostringstream js;
+    {
+        json::JsonWriter jw(js);
+        g.dumpJson(jw);
+    }
+    EXPECT_NE(js.str().find("\"p90\""), std::string::npos);
+}
+
 TEST(Stats, FormulaEvaluatesLazily)
 {
     statistics::StatGroup g("g");
