@@ -55,8 +55,8 @@ main(int argc, char **argv)
         const harness::RunArtifacts &r = runs[idx++];
         if (!opts.jsonPath.empty())
             report.addRun(r, cfg);
-        double anti = r.avf.falseDueAvf();
-        double decode = r.avf.falseDueAvfDecodeAtRetire();
+        double anti = r.avf->falseDueAvf();
+        double decode = r.avf->falseDueAvfDecodeAtRetire();
         table.addRow({profile.name, Table::pct(anti),
                       Table::pct(decode),
                       Table::pct(anti > 0 ? decode / anti - 1 : 0)});

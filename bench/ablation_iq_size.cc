@@ -72,10 +72,10 @@ main(int argc, char **argv)
 
         table.addRow(
             {std::to_string(entries), Table::fmt(base.ipc),
-             Table::pct(base.avf.sdcAvf()),
-             Table::pct(base.avf.idleFraction()),
-             Table::pct(squash.avf.sdcAvf()),
-             Table::pct(squash.avf.sdcAvf() / base.avf.sdcAvf() -
+             Table::pct(base.avf->sdcAvf()),
+             Table::pct(base.avf->idleFraction()),
+             Table::pct(squash.avf->sdcAvf()),
+             Table::pct(squash.avf->sdcAvf() / base.avf->sdcAvf() -
                         1)});
     }
 

@@ -56,21 +56,21 @@ main(int argc, char **argv)
     // on the correct path; its exposure window is the entry's full
     // residency (the bit is live from allocation to retire-check).
     std::uint64_t committed_residency = 0;
-    for (const auto &inc : r.trace.incarnations) {
+    for (const auto &inc : r.trace->incarnations) {
         if (inc.flags & cpu::incCommitted)
             committed_residency +=
                 inc.evictCycle - inc.enqueueCycle;
     }
-    std::uint64_t window = r.trace.endCycle - r.trace.startCycle;
+    std::uint64_t window = r.trace->endCycle - r.trace->startCycle;
     double entry_cycles =
-        static_cast<double>(r.trace.iqEntries) * window;
+        static_cast<double>(r.trace->iqEntries) * window;
 
     harness::printHeading(
         std::cout, "pi-bit granularity self-exposure (" + benchmark +
                        ")");
     Table table({"pi bits/entry", "granularity",
                  "self false-DUE AVF", "vs payload false DUE"});
-    double payload_false = r.avf.falseDueAvf();
+    double payload_false = r.avf->falseDueAvf();
     for (int k : {1, 2, 4, 8}) {
         // Fraction of the (64 payload + k pi) bit-cycles that are
         // vulnerable pi bits on committed instructions.

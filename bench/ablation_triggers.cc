@@ -94,8 +94,8 @@ main(int argc, char **argv)
             if (!opts.jsonPath.empty())
                 report.addRun(r, configs[idx]);
             ipc += r.ipc;
-            sdc += r.avf.sdcAvf();
-            due += r.avf.dueAvf();
+            sdc += r.avf->sdcAvf();
+            due += r.avf->dueAvf();
         }
         double n = static_cast<double>(prog_ids.size());
         ipc /= n;

@@ -62,14 +62,14 @@ main(int argc, char **argv)
         const harness::RunArtifacts &r = runs[idx++];
         if (!opts.jsonPath.empty())
             report.addRun(r, cfg);
-        auto rf = avf::computeRegFileAvf(r.trace, r.deadness);
+        auto rf = avf::computeRegFileAvf(*r.trace, *r.deadness);
         table.addRow({profile.name,
                       Table::pct(rf.intFile.sdcAvf()),
                       Table::pct(rf.intFile.falseDueAvf()),
                       Table::pct(rf.fpFile.sdcAvf()),
                       Table::pct(rf.fpFile.falseDueAvf()),
                       Table::pct(rf.predFile.sdcAvf()),
-                      Table::pct(r.avf.sdcAvf())});
+                      Table::pct(r.avf->sdcAvf())});
         int_sum += rf.intFile.sdcAvf();
         dead_sum += rf.intFile.falseDueAvf();
         ++n;

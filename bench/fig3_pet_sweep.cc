@@ -12,16 +12,25 @@
  * registers; growing to ~10,000 entries and including returns covers
  * most of them.
  *
- * Usage: fig3_pet_sweep [insts=N] [csv=1]
+ * The sweep runs benchmark x PET-size points through the experiment
+ * harness on the SuiteRunner worker pool. The PET size only matters
+ * after commit (the coverage fold and the false-DUE summary), so the
+ * process-wide run cache (harness/run_cache.hh) simulates and
+ * analyzes each benchmark exactly once: with --json, every
+ * benchmark's first point records run_cache {sim, deadness, avf} =
+ * "miss" and the other sizes record "hit".
+ *
+ * Usage: fig3_pet_sweep [insts=N] [benchmarks=a,b,c] [csv=1]
+ *                       [--jobs N]
  */
 
 #include <iostream>
+#include <sstream>
 #include <vector>
 
-#include "avf/deadness.hh"
 #include "core/pet_buffer.hh"
-#include "cpu/pipeline.hh"
 #include "harness/bench_options.hh"
+#include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
@@ -32,65 +41,87 @@
 using namespace ser;
 using harness::Table;
 
+namespace
+{
+
+std::vector<std::string>
+parseList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "Figure 3: FDD coverage vs PET-buffer size");
-    harness::TraceExport::warnUnsupported(opts);
     Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 200000);
     bool csv = opts.csv;
+    std::vector<std::string> benchmarks =
+        config.has("benchmarks")
+            ? parseList(config.getString("benchmarks", ""))
+            : workloads::suiteNames();
+    harness::JsonReport report;
+    report.setArgs(config);
 
     const std::vector<std::uint32_t> sizes = {
         32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
 
-    // Aggregate the populations over the whole suite, then sweep.
+    // Queue benchmark x size: each surrogate is built once and
+    // shared read-only; each simulation/deadness/AVF is computed
+    // once per benchmark (run cache) no matter how many sizes sweep.
+    harness::SuiteRunner runner(opts.jobs);
+    harness::TraceExport trace_export(opts);
+    std::vector<harness::ExperimentConfig> configs;
+    for (const auto &name : benchmarks) {
+        std::size_t prog = runner.addProgram(name, insts);
+        for (std::uint32_t size : sizes) {
+            harness::ExperimentConfig cfg;
+            cfg.dynamicTarget = insts;
+            cfg.warmupInsts = 0;
+            cfg.petSize = size;
+            cfg.pipeline.maxInsts = insts * 2;
+            cfg.intervalCycles = opts.intervalCycles;
+            trace_export.configure(cfg);
+            runner.submit(prog, cfg);
+            configs.push_back(cfg);
+        }
+    }
+    std::vector<harness::RunArtifacts> runs = runner.run();
+
+    // Fold the coverage populations over the whole suite, in
+    // submission order: integer sums, so the table is identical for
+    // any --jobs value (and with --no-run-cache).
     struct Totals
     {
         std::uint64_t nonRet = 0, nonRetCov = 0;
         std::uint64_t ret = 0, retCov = 0;
         std::uint64_t mem = 0, memCov = 0;
     };
-    // Each benchmark's sweep is independent: run them on the --jobs
-    // worker pool into per-benchmark slots, then fold into the suite
-    // totals serially in suite order (integer sums, so the result is
-    // identical for any job count anyway).
-    const auto &suite = workloads::specSuite();
-    std::vector<std::vector<Totals>> per_bench(
-        suite.size(), std::vector<Totals>(sizes.size()));
-    harness::parallelFor(
-        suite.size(), opts.jobs, [&](std::size_t b) {
-            isa::Program program =
-                workloads::buildBenchmark(suite[b], insts);
-            cpu::PipelineParams params;
-            params.maxInsts = insts * 2;
-            cpu::InOrderPipeline pipe(program, params);
-            cpu::SimTrace trace = pipe.run();
-            trace.program = &program;
-            avf::DeadnessResult dead = avf::analyzeDeadness(trace);
-
-            for (std::size_t i = 0; i < sizes.size(); ++i) {
-                core::PetCoverage cov =
-                    core::petCoverage(dead, sizes[i]);
-                per_bench[b][i].nonRet += cov.fddRegNonReturn;
-                per_bench[b][i].nonRetCov += cov.coveredNonReturn;
-                per_bench[b][i].ret += cov.fddRegReturn;
-                per_bench[b][i].retCov += cov.coveredReturn;
-                per_bench[b][i].mem += cov.fddMem;
-                per_bench[b][i].memCov += cov.coveredMem;
-            }
-        });
-
     std::vector<Totals> totals(sizes.size());
-    for (std::size_t b = 0; b < suite.size(); ++b) {
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            totals[i].nonRet += per_bench[b][i].nonRet;
-            totals[i].nonRetCov += per_bench[b][i].nonRetCov;
-            totals[i].ret += per_bench[b][i].ret;
-            totals[i].retCov += per_bench[b][i].retCov;
-            totals[i].mem += per_bench[b][i].mem;
-            totals[i].memCov += per_bench[b][i].memCov;
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::size_t i = 0; i < sizes.size(); ++i, ++idx) {
+            const harness::RunArtifacts &r = runs[idx];
+            if (!opts.jsonPath.empty())
+                report.addRun(r, configs[idx]);
+            core::PetCoverage cov =
+                core::petCoverage(*r.deadness, sizes[i]);
+            totals[i].nonRet += cov.fddRegNonReturn;
+            totals[i].nonRetCov += cov.coveredNonReturn;
+            totals[i].ret += cov.fddRegReturn;
+            totals[i].retCov += cov.coveredReturn;
+            totals[i].mem += cov.fddMem;
+            totals[i].memCov += cov.coveredMem;
         }
     }
 
@@ -128,9 +159,9 @@ main(int argc, char **argv)
                  "most FDDs (but a 10,000-entry PET buffer may not "
                  "be implementable)\n";
 
+    trace_export.emit(std::cout, runs);
+
     if (!opts.jsonPath.empty()) {
-        harness::JsonReport report;
-        report.setArgs(config);
         report.addTable("pet_sweep", table);
         report.write(opts.jsonPath);
     }

@@ -79,8 +79,8 @@ main(int argc, char **argv)
 
         // SDC: unprotected queue, squashing only.
         double rel_sdc =
-            r_base.avf.sdcAvf() > 0
-                ? r_opt.avf.sdcAvf() / r_base.avf.sdcAvf()
+            r_base.avf->sdcAvf() > 0
+                ? r_opt.avf->sdcAvf() / r_base.avf->sdcAvf()
                 : 1.0;
         // DUE: parity-protected queue; baseline signals on detect,
         // optimized squashes and tracks pi to the store buffer.

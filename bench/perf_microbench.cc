@@ -142,71 +142,72 @@ BM_TraceWriterThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_TraceWriterThroughput);
 
+/**
+ * One vortex/200k simulation shared by every analysis benchmark
+ * (each used to run its own copy: three simulations, three programs
+ * held for the process lifetime). Heap-allocated and leaked so
+ * trace.program stays valid with a stable address.
+ */
+struct AnalysisFixture
+{
+    isa::Program program;
+    cpu::SimTrace trace;
+    avf::DeadnessResult dead;
+};
+
+const AnalysisFixture &
+analysisFixture()
+{
+    static const AnalysisFixture *fixture = [] {
+        auto *f = new AnalysisFixture;
+        f->program = workloads::buildBenchmark("vortex", 200000);
+        cpu::PipelineParams params;
+        params.maxInsts = 400000;
+        cpu::InOrderPipeline pipe(f->program, params);
+        f->trace = pipe.run();
+        f->trace.program = &f->program;
+        f->dead = avf::analyzeDeadness(f->trace);
+        return f;
+    }();
+    return *fixture;
+}
+
 void
 BM_DeadnessAnalysis(benchmark::State &state)
 {
-    static isa::Program program =
-        workloads::buildBenchmark("vortex", 200000);
-    static cpu::SimTrace trace = [] {
-        cpu::PipelineParams params;
-        params.maxInsts = 400000;
-        cpu::InOrderPipeline pipe(program, params);
-        auto t = pipe.run();
-        t.program = &program;
-        return t;
-    }();
+    const AnalysisFixture &f = analysisFixture();
     for (auto _ : state) {
-        auto dead = avf::analyzeDeadness(trace);
+        auto dead = avf::analyzeDeadness(f.trace);
         benchmark::DoNotOptimize(dead.numDead());
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.commits.size());
+                            f.trace.commits.size());
 }
 BENCHMARK(BM_DeadnessAnalysis);
 
 void
 BM_AvfFold(benchmark::State &state)
 {
-    static isa::Program program =
-        workloads::buildBenchmark("vortex", 200000);
-    static cpu::SimTrace trace = [] {
-        cpu::PipelineParams params;
-        params.maxInsts = 400000;
-        cpu::InOrderPipeline pipe(program, params);
-        auto t = pipe.run();
-        t.program = &program;
-        return t;
-    }();
-    static avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+    const AnalysisFixture &f = analysisFixture();
     for (auto _ : state) {
-        auto avf = avf::computeAvf(trace, dead);
+        auto avf = avf::computeAvf(f.trace, f.dead);
         benchmark::DoNotOptimize(avf.sdcAvf());
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.incarnations.size());
+                            f.trace.incarnations.size());
 }
 BENCHMARK(BM_AvfFold);
 
 void
 BM_AvfAttribution(benchmark::State &state)
 {
-    static isa::Program program =
-        workloads::buildBenchmark("vortex", 200000);
-    static cpu::SimTrace trace = [] {
-        cpu::PipelineParams params;
-        params.maxInsts = 400000;
-        cpu::InOrderPipeline pipe(program, params);
-        auto t = pipe.run();
-        t.program = &program;
-        return t;
-    }();
-    static avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+    const AnalysisFixture &f = analysisFixture();
     for (auto _ : state) {
-        auto attr = avf::attributeAvf(trace, dead);
+        auto attr = avf::attributeAvf(f.trace, f.dead);
         benchmark::DoNotOptimize(attr.totalAce);
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.incarnations.size());
+                            f.trace.incarnations.size());
 }
 BENCHMARK(BM_AvfAttribution);
 
@@ -220,6 +221,10 @@ BM_SuiteRunnerSweep(benchmark::State &state)
     const std::uint64_t insts = 20000;
     auto jobs = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
+        // Each design point has a distinct sim key, but iterations
+        // repeat them: drop the run cache so every iteration
+        // measures real simulation work.
+        harness::RunCache::instance().clear();
         harness::SuiteRunner runner(jobs);
         std::size_t prog = runner.addProgram("gzip", insts);
         for (unsigned entries : {16u, 32u, 64u, 128u}) {
@@ -236,6 +241,31 @@ BM_SuiteRunnerSweep(benchmark::State &state)
 }
 BENCHMARK(BM_SuiteRunnerSweep)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_RunProgramCacheHit(benchmark::State &state)
+{
+    // End-to-end harness::runProgram when every run-cache section
+    // hits: what each additional sweep point costs once the first
+    // point has paid for simulation and analysis (the remaining
+    // work is the false-DUE fold plus artifact plumbing).
+    static auto program = std::make_shared<const isa::Program>(
+        workloads::buildBenchmark("gzip", 20000));
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = 20000;
+    cfg.warmupInsts = 0;
+    harness::RunCache &cache = harness::RunCache::instance();
+    cache.clear();
+    auto warm = harness::runProgram(program, cfg, "gzip");
+    benchmark::DoNotOptimize(warm.ipc);
+    for (auto _ : state) {
+        auto r = harness::runProgram(program, cfg, "gzip");
+        benchmark::DoNotOptimize(r.avf->sdcAvf());
+    }
+    cache.clear();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunProgramCacheHit);
 
 } // namespace
 

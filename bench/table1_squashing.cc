@@ -123,15 +123,15 @@ main(int argc, char **argv)
             if (!opts.jsonPath.empty())
                 report.addRun(r, configs[idx]);
             totals[d].ipc += r.ipc;
-            totals[d].sdc += r.avf.sdcAvf();
-            totals[d].due += r.avf.dueAvf();
+            totals[d].sdc += r.avf->sdcAvf();
+            totals[d].due += r.avf->dueAvf();
             per_bench.addRow(
                 {name, points[d].trigger, Table::fmt(r.ipc),
-                 Table::pct(r.avf.sdcAvf()),
-                 Table::pct(r.avf.dueAvf()),
-                 Table::pct(r.avf.idleFraction()),
-                 Table::pct(r.avf.exAceFraction()),
-                 Table::pct(r.deadness.deadFraction())});
+                 Table::pct(r.avf->sdcAvf()),
+                 Table::pct(r.avf->dueAvf()),
+                 Table::pct(r.avf->idleFraction()),
+                 Table::pct(r.avf->exAceFraction()),
+                 Table::pct(r.deadness->deadFraction())});
         }
     }
 

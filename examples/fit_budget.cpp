@@ -66,11 +66,11 @@ main(int argc, char **argv)
         double ipc;
     };
     const DesignPoint points[] = {
-        {"unprotected, no techniques", r_base.avf.sdcAvf(), 0.0,
+        {"unprotected, no techniques", r_base.avf->sdcAvf(), 0.0,
          r_base.ipc},
-        {"unprotected + squash(l1)", r_opt.avf.sdcAvf(), 0.0,
+        {"unprotected + squash(l1)", r_opt.avf->sdcAvf(), 0.0,
          r_opt.ipc},
-        {"parity, signal-on-detect", 0.0, r_base.avf.dueAvf(),
+        {"parity, signal-on-detect", 0.0, r_base.avf->dueAvf(),
          r_base.ipc},
         {"parity + squash + pi(store-buffer)", 0.0,
          r_opt.falseDue.dueAvf(core::TrackingLevel::PiStoreBuffer),

@@ -47,36 +47,36 @@ main(int argc, char **argv)
     auto squashed = harness::runBenchmark(benchmark, squash);
 
     harness::printHeading(std::cout, "baseline (no squashing)");
-    std::cout << baseline.avf.summary();
+    std::cout << baseline.avf->summary();
     std::cout << "IPC " << baseline.ipc << "\n";
     std::cout << "dynamically dead instructions: "
               << harness::Table::pct(
-                     baseline.deadness.deadFraction())
+                     baseline.deadness->deadFraction())
               << "\n";
 
     harness::printHeading(std::cout,
                           "squash on " + trigger + " load miss");
-    std::cout << squashed.avf.summary();
+    std::cout << squashed.avf->summary();
     std::cout << "IPC " << squashed.ipc << "\n";
 
     harness::printHeading(std::cout, "the trade-off (MITF)");
     double sdc_ratio = avf::mitfRatio(
-        baseline.ipc, baseline.avf.sdcAvf(), squashed.ipc,
-        squashed.avf.sdcAvf());
+        baseline.ipc, baseline.avf->sdcAvf(), squashed.ipc,
+        squashed.avf->sdcAvf());
     double due_ratio = avf::mitfRatio(
-        baseline.ipc, baseline.avf.dueAvf(), squashed.ipc,
-        squashed.avf.dueAvf());
+        baseline.ipc, baseline.avf->dueAvf(), squashed.ipc,
+        squashed.avf->dueAvf());
     std::cout << "IPC change        "
               << harness::Table::pct(squashed.ipc / baseline.ipc - 1)
               << "\n";
     std::cout << "SDC AVF change    "
               << harness::Table::pct(
-                     squashed.avf.sdcAvf() / baseline.avf.sdcAvf() -
+                     squashed.avf->sdcAvf() / baseline.avf->sdcAvf() -
                      1)
               << "\n";
     std::cout << "DUE AVF change    "
               << harness::Table::pct(
-                     squashed.avf.dueAvf() / baseline.avf.dueAvf() -
+                     squashed.avf->dueAvf() / baseline.avf->dueAvf() -
                      1)
               << "\n";
     std::cout << "SDC MITF ratio    " << harness::Table::fmt(sdc_ratio)

@@ -64,21 +64,21 @@ main(int argc, char **argv)
             report.addRun(r, cfg);
         if (std::string(pt.trigger) == "none") {
             base_ipc = r.ipc;
-            base_sdc = r.avf.sdcAvf();
-            base_due = r.avf.dueAvf();
+            base_sdc = r.avf->sdcAvf();
+            base_due = r.avf->dueAvf();
         }
         double sdc_mitf = avf::mitfRatio(base_ipc, base_sdc, r.ipc,
-                                         r.avf.sdcAvf());
+                                         r.avf->sdcAvf());
         double due_mitf = avf::mitfRatio(base_ipc, base_due, r.ipc,
-                                         r.avf.dueAvf());
+                                         r.avf->dueAvf());
         const char *verdict =
             sdc_mitf > 1.02 ? "worthwhile"
             : sdc_mitf < 0.98 ? "counterproductive"
                               : "neutral";
         table.addRow({pt.trigger, pt.action, Table::fmt(r.ipc),
-                      Table::pct(r.avf.sdcAvf()),
-                      Table::pct(r.avf.dueAvf()),
-                      Table::pct(r.avf.idleFraction()),
+                      Table::pct(r.avf->sdcAvf()),
+                      Table::pct(r.avf->dueAvf()),
+                      Table::pct(r.avf->idleFraction()),
                       Table::fmt(sdc_mitf) + "x",
                       Table::fmt(due_mitf) + "x", verdict});
     }

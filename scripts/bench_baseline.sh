@@ -1,0 +1,79 @@
+#!/bin/sh
+# Capture the simulator microbenchmarks (google-benchmark JSON) and
+# fold them into a committed before/after record.
+#
+# Usage:
+#     scripts/bench_baseline.sh [BUILD_DIR] [OUT.json]
+#
+# Runs BUILD_DIR/bench/perf_microbench (default: build) and writes
+# the capture to OUT.json (default: bench_after.json, gitignored).
+# When BENCH_BEFORE names an earlier capture, the script instead
+# writes a merged {"before", "after", "summary"} document — the
+# format committed as BENCH_PR4.json — where summary holds one
+# {before, after, speedup} row per benchmark (real time, in each
+# benchmark's own time_unit).
+#
+# The filter keeps the stable macro-level benchmarks: the timing
+# pipeline, the two analysis folds, the end-to-end sweep, and the
+# run-cache hit path (absent from pre-pool/pre-cache captures, so
+# the merge tolerates rows missing on either side).
+set -eu
+
+build="${1:-build}"
+out="${2:-bench_after.json}"
+bin="$build/bench/perf_microbench"
+if [ ! -x "$bin" ]; then
+    echo "bench_baseline.sh: $bin not built (cmake --build $build)" >&2
+    exit 1
+fi
+
+filter='BM_TimingPipeline$|BM_DeadnessAnalysis|BM_AvfFold|BM_SuiteRunnerSweep|BM_RunProgramCacheHit'
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+"$bin" --benchmark_filter="$filter" \
+       --benchmark_out="$tmp" --benchmark_out_format=json \
+       --benchmark_format=console
+
+if [ -z "${BENCH_BEFORE:-}" ]; then
+    cp "$tmp" "$out"
+    echo "bench_baseline.sh: capture written to $out"
+    echo "  (set BENCH_BEFORE=old_capture.json to emit a merged" \
+         "before/after record)"
+    exit 0
+fi
+
+python3 - "$BENCH_BEFORE" "$tmp" "$out" <<'EOF'
+import json, sys
+
+before_path, after_path, out_path = sys.argv[1:4]
+before = json.load(open(before_path))
+after = json.load(open(after_path))
+
+def rows(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+b, a = rows(before), rows(after)
+summary = {}
+for name in sorted(set(b) | set(a)):
+    row = {}
+    if name in b:
+        row["before"] = b[name]["real_time"]
+        row["time_unit"] = b[name].get("time_unit", "ns")
+    if name in a:
+        row["after"] = a[name]["real_time"]
+        row["time_unit"] = a[name].get("time_unit", "ns")
+    if name in b and name in a and a[name]["real_time"] > 0:
+        row["speedup"] = round(
+            b[name]["real_time"] / a[name]["real_time"], 3)
+    summary[name] = row
+
+doc = {"before": before, "after": after, "summary": summary}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_baseline.sh: merged before/after written to {out_path}")
+for name, row in summary.items():
+    if "speedup" in row:
+        print(f"  {name}: {row['before']:.0f} -> {row['after']:.0f} "
+              f"{row['time_unit']} ({row['speedup']}x)")
+EOF

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
 
 #include "branch/predictor.hh"
 #include "branch/ras.hh"
@@ -80,7 +79,15 @@ struct DynInst
     }
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+/**
+ * In-flight instructions are pool slots (cpu/dyn_inst_pool.hh) owned
+ * by the pipeline's DynInstPool and recycled at retire/squash; the
+ * handle is a raw pointer, so the fetch→commit loop carries no
+ * refcount traffic. A DynInstPtr must not be dereferenced after its
+ * incarnation was finalized (committed or squashed) — the slot may
+ * already be hosting a younger instruction.
+ */
+using DynInstPtr = DynInst *;
 
 } // namespace cpu
 } // namespace ser

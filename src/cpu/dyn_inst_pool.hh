@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A slab-backed DynInst allocator.
+ *
+ * The fetch→commit loop used to heap-allocate one
+ * shared_ptr<DynInst> per fetched incarnation — two allocations and
+ * refcount traffic per instruction on the hottest path in the
+ * simulator. The pool replaces that with fixed slots recycled at
+ * retire/squash: slots live in large slabs, a LIFO freelist hands
+ * them out, and resetting a slot is a trivially-copyable assignment.
+ * The in-flight population is architecturally bounded (front-end pipe
+ * capacity plus instruction-queue entries), so the pipeline reserves
+ * that bound up front and steady state performs zero allocations.
+ *
+ * The freelist is strictly LIFO: the next allocation reuses the most
+ * recently released slot (cache-warm), and the recycling order is a
+ * pure function of the simulation — no allocator nondeterminism can
+ * leak into iteration order anywhere.
+ *
+ * Not thread-safe; each pipeline owns its own pool (suite-runner
+ * workers each drive their own pipeline).
+ */
+
+#ifndef SER_CPU_DYN_INST_POOL_HH
+#define SER_CPU_DYN_INST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+/** Freelist of fixed DynInst slots, recycled at retire/squash. */
+class DynInstPool
+{
+  public:
+    explicit DynInstPool(std::size_t slab_size = 256)
+        : _slabSize(slab_size ? slab_size : 1)
+    {
+    }
+
+    /** Take a slot, reset to a default-constructed DynInst. Grows by
+     * one slab when the freelist is dry (never in steady state once
+     * reserve() covered the in-flight bound). */
+    DynInst *allocate()
+    {
+        if (_free.empty())
+            grow(_slabSize);
+        DynInst *p = _free.back();
+        _free.pop_back();
+        *p = DynInst{};
+        ++_live;
+        if (_live > _highWater)
+            _highWater = _live;
+        return p;
+    }
+
+    /** Return a slot; the pointer must have come from allocate() and
+     * must not be used afterwards. */
+    void release(DynInst *p)
+    {
+        _free.push_back(p);
+        --_live;
+    }
+
+    /** Ensure capacity for at least n slots in total. */
+    void reserve(std::size_t n)
+    {
+        if (n > _capacity)
+            grow(n - _capacity);
+    }
+
+    /** Slots currently handed out. */
+    std::size_t live() const { return _live; }
+
+    /** Most slots ever simultaneously live (manifest observability:
+     * proves the in-flight population stayed within the reserved
+     * architectural bound). */
+    std::size_t highWater() const { return _highWater; }
+
+    /** Total slots across all slabs. */
+    std::size_t capacity() const { return _capacity; }
+
+  private:
+    void grow(std::size_t n)
+    {
+        _slabs.push_back(std::make_unique<DynInst[]>(n));
+        DynInst *base = _slabs.back().get();
+        _free.reserve(_free.size() + n);
+        // Push in reverse so the first allocations walk the slab in
+        // address order.
+        for (std::size_t i = n; i-- > 0;)
+            _free.push_back(base + i);
+        _capacity += n;
+    }
+
+    std::size_t _slabSize;
+    std::vector<std::unique_ptr<DynInst[]>> _slabs;
+    std::vector<DynInst *> _free;
+    std::size_t _capacity = 0;
+    std::size_t _live = 0;
+    std::size_t _highWater = 0;
+};
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_DYN_INST_POOL_HH

@@ -93,6 +93,23 @@ InOrderPipeline::InOrderPipeline(const isa::Program &program,
     _fpByLoad.assign(isa::numFpRegs, false);
     _trace.program = &program;
     _trace.iqEntries = _params.iqEntries;
+
+    // The in-flight population is bounded by the front-end pipe
+    // capacity plus the queue; reserving it up front makes the
+    // fetch→commit loop allocation-free.
+    const std::size_t fe_cap =
+        static_cast<std::size_t>(_params.frontEndDepth) *
+        _params.enqueueWidth;
+    _pool.reserve(fe_cap + _params.iqEntries);
+
+    // Pre-size the trace from the maxInsts hint (clamped: the vector
+    // blocks are virtual until touched, but stay reasonable for the
+    // pathological hint values some tests use). Incarnations get
+    // headroom for replays and wrong-path fetches.
+    const std::uint64_t hint =
+        std::min<std::uint64_t>(_params.maxInsts, 4'000'000);
+    _trace.commits.reserve(hint);
+    _trace.incarnations.reserve(hint + hint / 2);
 }
 
 InOrderPipeline::~InOrderPipeline() = default;
@@ -276,7 +293,7 @@ void
 InOrderPipeline::evictAndCommit()
 {
     while (!_iq.empty()) {
-        const DynInstPtr &front = _iq.front();
+        DynInstPtr front = _iq.front();
         if (!front->issued() || front->completeCycle > _cycle)
             break;
         if (front->wrongPath)
@@ -287,6 +304,7 @@ InOrderPipeline::evictAndCommit()
         finalizeIncarnation(*front, _cycle, incCommitted);
         _freeEntries.push_back(front->iqEntry);
         _iq.pop_front();
+        _pool.release(front);
         --_iqIssued;
 
         ++_committedTotal;
@@ -364,18 +382,21 @@ InOrderPipeline::doMispredictSquash(const DynInstPtr &branch)
                   branch->seq);
 
     for (std::size_t i = bi + 1; i < _iq.size(); ++i) {
-        const DynInstPtr &victim = _iq[i];
+        DynInstPtr victim = _iq[i];
         if (!victim->wrongPath)
             SER_PANIC("pipeline: correct-path instruction younger "
                       "than an unresolved mispredict (seq {})",
                       victim->seq);
         finalizeIncarnation(*victim, _cycle, incSquashMispredict);
         _freeEntries.push_back(victim->iqEntry);
+        _pool.release(victim);
     }
     _iq.resize(bi + 1);
     _iqIssued = std::min(_iqIssued, bi + 1);
 
     // Everything in the front end is younger than the branch.
+    for (DynInstPtr di : _fePipe)
+        _pool.release(di);
     _fePipe.clear();
 
     // Repair speculative predictor state: history as of just after
@@ -501,6 +522,11 @@ InOrderPipeline::doTriggerSquash()
     // New victims are older than anything already awaiting replay.
     for (auto it = replaced.rbegin(); it != replaced.rend(); ++it)
         _replay.push_front(*it);
+
+    // Everything a victim carried has been copied out (incarnation
+    // record, predictor repair, replay item); recycle the slots.
+    for (DynInstPtr victim : victims)
+        _pool.release(victim);
 }
 
 bool
@@ -741,7 +767,7 @@ InOrderPipeline::fetchOracle(bool &taken_break)
         SER_FATAL("pipeline: program trapped at pc {} after {} "
                   "instructions", _oracle->pc(), _oracle->steps());
 
-    auto di = std::make_shared<DynInst>();
+    DynInstPtr di = _pool.allocate();
     di->seq = _nextSeq++;
     di->oracleSeq = si.seq;
     di->pc = si.pc;
@@ -776,7 +802,7 @@ InOrderPipeline::fetchReplay(bool &taken_break)
     ReplayItem item = _replay.front();
     _replay.pop_front();
 
-    auto di = std::make_shared<DynInst>();
+    DynInstPtr di = _pool.allocate();
     di->seq = _nextSeq++;
     di->oracleSeq = item.oracleSeq;
     di->pc = item.pc;
@@ -796,7 +822,7 @@ InOrderPipeline::fetchReplay(bool &taken_break)
 DynInstPtr
 InOrderPipeline::fetchWrongPath(bool &taken_break)
 {
-    auto di = std::make_shared<DynInst>();
+    DynInstPtr di = _pool.allocate();
     di->seq = _nextSeq++;
     di->pc = _wrongPc;
     di->inst = _program.inst(_wrongPc);

@@ -37,6 +37,7 @@
 #include "branch/predictor.hh"
 #include "branch/ras.hh"
 #include "cpu/dyn_inst.hh"
+#include "cpu/dyn_inst_pool.hh"
 #include "cpu/hooks.hh"
 #include "cpu/params.hh"
 #include "cpu/trace.hh"
@@ -105,6 +106,15 @@ class InOrderPipeline : public statistics::StatGroup
 
     std::uint64_t cycle() const { return _cycle; }
     std::uint64_t committed() const { return _committedTotal; }
+
+    /** Most DynInst slots simultaneously live (must stay within the
+     * reserved front-end + queue bound; reported in the manifest). */
+    std::size_t poolHighWater() const { return _pool.highWater(); }
+
+    /** Total DynInst slots reserved (fixed unless the bound is ever
+     * exceeded, which would indicate a leak). */
+    std::size_t poolCapacity() const { return _pool.capacity(); }
+
     const memory::CacheHierarchy &dcache() const { return *_dcache; }
     const branch::DirectionPredictor &predictor() const
     {
@@ -189,6 +199,7 @@ class InOrderPipeline : public statistics::StatGroup
     std::unique_ptr<branch::Ras> _ras;
 
     // --- machine state ---
+    DynInstPool _pool;  ///< owns every in-flight DynInst slot
     std::uint64_t _cycle = 0;
     std::uint64_t _nextSeq = 0;
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/run_cache.hh"
 #include "harness/suite_runner.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -39,6 +40,10 @@ printUsage(const char *argv0, const std::string &usage)
               << "  --jobs N         suite-sweep worker threads "
                  "(default: SER_JOBS or 1; output is identical "
                  "for any N)\n"
+              << "  --no-run-cache   disable the memoized run cache "
+                 "(re-simulate every sweep point;\n"
+                 "                   output is byte-identical either "
+                 "way)\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -124,6 +129,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
                 SER_FATAL("{}: --jobs must be positive", argv[0]);
             opts.jobs = static_cast<unsigned>(jobs);
             jobs_given = true;
+        } else if (token == "--no-run-cache") {
+            opts.runCache = false;
+            RunCache::instance().setEnabled(false);
         } else if (token == "--debug" ||
                    token.rfind("--debug=", 0) == 0) {
             debug::setFlags(

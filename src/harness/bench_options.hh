@@ -19,6 +19,9 @@
  *   --jobs N         run suite sweeps on N worker threads (same as
  *                    SER_JOBS; default 1 = serial). Output is
  *                    byte-identical for any N.
+ *   --no-run-cache   disable the memoized run cache (sweep points
+ *                    re-simulate instead of sharing artifacts;
+ *                    output is byte-identical either way)
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
@@ -57,6 +60,10 @@ struct BenchOptions
     /** Suite-sweep worker threads: --jobs N, else SER_JOBS, else 1
      * (serial). Always >= 1 after parse(). */
     unsigned jobs = 1;
+
+    /** False after --no-run-cache (parse() also flips the
+     * process-wide harness::RunCache switch). */
+    bool runCache = true;
 
     /**
      * Parse argv. Prints usage and exits on --help; fatal on an

@@ -24,6 +24,63 @@ runProgram(const isa::Program &program,
                       config, name);
 }
 
+namespace
+{
+
+/**
+ * One full pipeline simulation: the miss path of the run cache's sim
+ * section, and the direct path when the cache is bypassed. The
+ * returned bundle owns the program it ran, so its trace.program
+ * pointer stays valid for as long as any cache hit shares it.
+ */
+SimProducts
+simulate(std::shared_ptr<const isa::Program> program,
+         const ExperimentConfig &config,
+         const cpu::PipelineParams &params, trace::TraceWriter *tw)
+{
+    SimProducts products;
+    products.program = std::move(program);
+
+    cpu::InOrderPipeline pipeline(*products.program, params);
+    auto policy = core::makeTriggerPolicy(config.triggerLevel,
+                                          config.triggerAction);
+    pipeline.setExposurePolicy(policy.get());
+    pipeline.setWarmupInsts(config.warmupInsts);
+
+    std::unique_ptr<cpu::IntervalSampler> sampler;
+    if (config.intervalCycles) {
+        sampler = std::make_unique<cpu::IntervalSampler>(
+            config.intervalCycles);
+        pipeline.setIntervalSampler(sampler.get());
+    }
+    if (tw)
+        pipeline.setTraceWriter(tw);
+
+    products.trace = pipeline.run();
+    products.ipc = products.trace.ipc();
+    products.poolHighWater = pipeline.poolHighWater();
+    if (sampler)
+        products.intervals = sampler->samples();
+
+    std::ostringstream stats;
+    pipeline.dumpStats(stats);
+    policy->dumpStats(stats);
+    products.statsDump = stats.str();
+
+    std::ostringstream stats_json;
+    {
+        json::JsonWriter jw(stats_json);
+        jw.beginObject();
+        pipeline.dumpJson(jw);
+        policy->dumpJson(jw);
+        jw.endObject();
+    }
+    products.statsJson = stats_json.str();
+    return products;
+}
+
+} // namespace
+
 RunArtifacts
 runProgram(std::shared_ptr<const isa::Program> program,
            const ExperimentConfig &config, const std::string &name)
@@ -36,66 +93,85 @@ runProgram(std::shared_ptr<const isa::Program> program,
     if (params.maxInsts < config.dynamicTarget * 2)
         params.maxInsts = config.dynamicTarget * 2;
 
-    cpu::InOrderPipeline pipeline(*out.program, params);
-    auto policy = core::makeTriggerPolicy(config.triggerLevel,
-                                          config.triggerAction);
-    pipeline.setExposurePolicy(policy.get());
-    pipeline.setWarmupInsts(config.warmupInsts);
-
-    std::unique_ptr<cpu::IntervalSampler> sampler;
-    if (config.intervalCycles) {
-        sampler = std::make_unique<cpu::IntervalSampler>(
-            config.intervalCycles);
-        pipeline.setIntervalSampler(sampler.get());
-    }
+    // Trace-event capture needs a live pipeline (per-run pid, PET
+    // replay), so those runs bypass the cache entirely.
+    RunCache &cache = RunCache::instance();
+    const bool cacheable =
+        cache.enabled() && config.traceEventsPid == 0;
 
     std::unique_ptr<trace::TraceWriter> tw;
     if (config.traceEventsPid) {
         tw = std::make_unique<trace::TraceWriter>(
             config.traceEventsPid);
         tw->processName(name);
-        pipeline.setTraceWriter(tw.get());
     }
 
+    // The phase timers always run so the manifest records the same
+    // phase keys with or without the cache (a hit is just ~0s).
+    std::string sim_key;
+    std::shared_ptr<const SimProducts> sim;
     {
         ScopedTimer timer(out.timings, "pipeline");
-        out.trace = pipeline.run();
+        if (cacheable) {
+            sim_key = RunCache::simKey(*out.program, config, params);
+            sim = cache.getSim(
+                sim_key,
+                [&] {
+                    return simulate(out.program, config, params,
+                                    nullptr);
+                },
+                &out.cacheSim);
+        } else {
+            sim = std::make_shared<const SimProducts>(simulate(
+                out.program, config, params, tw.get()));
+        }
     }
-    out.ipc = out.trace.ipc();
-    if (sampler)
-        out.intervals = sampler->samples();
-
-    std::ostringstream stats;
-    pipeline.dumpStats(stats);
-    policy->dumpStats(stats);
-    out.statsDump = stats.str();
-
-    std::ostringstream stats_json;
-    {
-        json::JsonWriter jw(stats_json);
-        jw.beginObject();
-        pipeline.dumpJson(jw);
-        policy->dumpJson(jw);
-        jw.endObject();
-    }
-    out.statsJson = stats_json.str();
+    // Adopt the bundle's (possibly cached, content-identical)
+    // program so trace->program stays valid for the artifact's
+    // lifetime, and alias the trace to the bundle that owns it.
+    out.program = sim->program;
+    out.trace = std::shared_ptr<const cpu::SimTrace>(sim,
+                                                     &sim->trace);
+    out.ipc = sim->ipc;
+    out.statsDump = sim->statsDump;
+    out.statsJson = sim->statsJson;
+    out.intervals = sim->intervals;
+    out.poolHighWater = sim->poolHighWater;
 
     {
         ScopedTimer timer(out.timings, "deadness");
-        out.deadness = avf::analyzeDeadness(out.trace);
+        auto compute = [&] { return avf::analyzeDeadness(*out.trace); };
+        if (cacheable)
+            out.deadness = cache.getDeadness(
+                RunCache::deadnessKey(sim_key), compute,
+                &out.cacheDeadness);
+        else
+            out.deadness =
+                std::make_shared<const avf::DeadnessResult>(
+                    compute());
     }
     {
         ScopedTimer timer(out.timings, "avf");
-        out.avf = avf::computeAvf(out.trace, out.deadness,
-                                  config.intervalCycles);
+        auto compute = [&] {
+            return avf::computeAvf(*out.trace, *out.deadness,
+                                   config.intervalCycles);
+        };
+        if (cacheable)
+            out.avf = cache.getAvf(RunCache::avfKey(sim_key),
+                                   compute, &out.cacheAvf);
+        else
+            out.avf = std::make_shared<const avf::AvfResult>(
+                compute());
     }
     {
         ScopedTimer timer(out.timings, "false_due");
-        out.falseDue = core::analyzeFalseDue(out.avf, config.petSize);
+        out.falseDue =
+            core::analyzeFalseDue(*out.avf, config.petSize);
     }
     if (config.attributionTopN) {
         ScopedTimer timer(out.timings, "attribution");
-        out.attribution = avf::attributeAvf(out.trace, out.deadness);
+        out.attribution =
+            avf::attributeAvf(*out.trace, *out.deadness);
     }
     if (tw) {
         // Post-run PET-buffer replay (tracing only): drive the
@@ -106,15 +182,16 @@ runProgram(std::shared_ptr<const isa::Program> program,
         // timing model.
         core::PetBuffer pet(config.petSize);
         pet.setTraceWriter(tw.get());
-        for (std::size_t i = 0; i < out.trace.commits.size(); ++i) {
-            const cpu::CommitRecord &cr = out.trace.commits[i];
+        for (std::size_t i = 0; i < out.trace->commits.size(); ++i) {
+            const cpu::CommitRecord &cr = out.trace->commits[i];
             core::PetEntry entry;
             entry.seq = i;
             entry.inst = out.program->inst(cr.staticIdx);
             entry.qpTrue = cr.qpTrue != 0;
             entry.memAddr = cr.memAddr;
-            entry.pi = i < out.deadness.kind.size() &&
-                       out.deadness.kind[i] == avf::DeadKind::FddReg;
+            entry.pi = i < out.deadness->kind.size() &&
+                       out.deadness->kind[i] ==
+                           avf::DeadKind::FddReg;
             pet.retire(entry);
         }
         pet.drain();

@@ -26,6 +26,7 @@
 #include "cpu/params.hh"
 #include "cpu/sampler.hh"
 #include "cpu/trace.hh"
+#include "harness/run_cache.hh"
 #include "isa/program.hh"
 #include "sim/timing.hh"
 #include "workloads/profile.hh"
@@ -80,15 +81,32 @@ struct RunArtifacts
     std::uint64_t seed = 0;
 
     /** The artifacts share ownership of the program so
-     * trace.program stays valid for post-hoc analyses after the
+     * trace->program stays valid for post-hoc analyses after the
      * caller's copy is gone. Const: a suite sweep hands the same
-     * program to many concurrent runs read-only. */
+     * program to many concurrent runs read-only. On a run-cache hit
+     * this is the cache's canonical program (content-identical to
+     * the one submitted). */
     std::shared_ptr<const isa::Program> program;
 
-    cpu::SimTrace trace;
-    avf::DeadnessResult deadness;
-    avf::AvfResult avf;
+    /** Heavyweight artifacts are shared const: sweep points with
+     * identical timing behaviour receive pointer-identical traces
+     * and analyses from the run cache (run_cache.hh) instead of
+     * recomputing them. falseDue stays a value — it depends on the
+     * per-point PET size. */
+    std::shared_ptr<const cpu::SimTrace> trace;
+    std::shared_ptr<const avf::DeadnessResult> deadness;
+    std::shared_ptr<const avf::AvfResult> avf;
     core::FalseDueAnalysis falseDue;
+
+    /** Most DynInst pool slots simultaneously live in this run's
+     * pipeline (shared across cache hits of the same simulation). */
+    std::uint64_t poolHighWater = 0;
+
+    /** Per-section run-cache outcome for the manifest. "off" when
+     * the cache is disabled or the run captures trace events. */
+    CacheOutcome cacheSim = CacheOutcome::Off;
+    CacheOutcome cacheDeadness = CacheOutcome::Off;
+    CacheOutcome cacheAvf = CacheOutcome::Off;
 
     /** Stats dump of the pipeline tree (cache, predictor, ...). */
     std::string statsDump;

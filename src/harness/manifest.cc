@@ -36,8 +36,23 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
     jw.endObject();
 
     jw.kv("ipc", run.ipc);
-    jw.kv("committed_insts", run.trace.committedInsts);
-    jw.kv("window_cycles", run.avf.windowCycles);
+    jw.kv("committed_insts", run.trace->committedInsts);
+    jw.kv("window_cycles", run.avf->windowCycles);
+
+    // Allocation observability: most DynInst pool slots ever live
+    // (deterministic — a pure function of the simulation).
+    jw.kv("pool_high_water", run.poolHighWater);
+
+    // Which sections the memoized run cache answered. These values
+    // legitimately differ between cache-enabled and --no-run-cache
+    // runs (and, under --jobs, with worker scheduling), so the
+    // determinism checker masks them like wall-clock timings.
+    jw.key("run_cache");
+    jw.beginObject();
+    jw.kv("sim", cacheOutcomeName(run.cacheSim));
+    jw.kv("deadness", cacheOutcomeName(run.cacheDeadness));
+    jw.kv("avf", cacheOutcomeName(run.cacheAvf));
+    jw.endObject();
 
     jw.key("timings_seconds");
     jw.beginObject();
@@ -46,7 +61,7 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
     jw.kv("total", run.timings.totalSeconds());
     jw.endObject();
 
-    const avf::AvfResult &avf = run.avf;
+    const avf::AvfResult &avf = *run.avf;
     jw.key("avf");
     jw.beginObject();
     jw.kv("sdc_avf", avf.sdcAvf());
@@ -184,8 +199,8 @@ JsonReport::addRun(const RunArtifacts &run,
         jw.kv("iq_valid_entry_cycles", s.iqValidEntryCycles);
         jw.kv("iq_waiting_entry_cycles", s.iqWaitingEntryCycles);
         jw.kv("avg_iq_occupancy", s.avgIqOccupancy());
-        if (i < run.avf.epochs.size()) {
-            const avf::EpochAce &e = run.avf.epochs[i];
+        if (i < run.avf->epochs.size()) {
+            const avf::EpochAce &e = run.avf->epochs[i];
             jw.kv("occupied_bit_cycles", e.occupied);
             jw.kv("ace_bit_cycles", e.ace);
             jw.kv("un_ace_read_bit_cycles", e.unAceRead);

@@ -1,0 +1,207 @@
+#include "run_cache.hh"
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+const char *
+cacheOutcomeName(CacheOutcome outcome)
+{
+    switch (outcome) {
+      case CacheOutcome::Off: return "off";
+      case CacheOutcome::Miss: return "miss";
+      case CacheOutcome::Hit: return "hit";
+    }
+    return "off";
+}
+
+RunCache &
+RunCache::instance()
+{
+    static RunCache cache;
+    return cache;
+}
+
+void
+RunCache::setCapacity(std::size_t entries)
+{
+    _capacity.store(entries);
+}
+
+void
+RunCache::clear()
+{
+    for (Section *section : {&_sim, &_deadness, &_avf}) {
+        std::lock_guard<std::mutex> guard(section->lock);
+        section->map.clear();
+        section->fifo.clear();
+        section->counters = Counters{};
+    }
+}
+
+template <typename T>
+std::shared_ptr<const T>
+RunCache::get(Section &section, const std::string &key,
+              const std::function<T()> &compute,
+              CacheOutcome *outcome)
+{
+    std::shared_ptr<Entry> entry;
+    bool hit;
+    {
+        std::lock_guard<std::mutex> guard(section.lock);
+        auto it = section.map.find(key);
+        hit = it != section.map.end();
+        if (hit) {
+            entry = it->second;
+            ++section.counters.hits;
+        } else {
+            entry = std::make_shared<Entry>();
+            section.map.emplace(key, entry);
+            section.fifo.push_back(key);
+            ++section.counters.misses;
+            std::size_t capacity = _capacity.load();
+            if (capacity && section.map.size() > capacity) {
+                // FIFO: the front is strictly older than the entry
+                // just pushed. Holders of the evicted value keep it
+                // alive through their shared_ptr.
+                section.map.erase(section.fifo.front());
+                section.fifo.pop_front();
+            }
+        }
+    }
+    if (outcome)
+        *outcome = hit ? CacheOutcome::Hit : CacheOutcome::Miss;
+    // Compute outside the section lock: concurrent misses on
+    // *different* keys overlap; racers on the same key block here
+    // and share the first thread's result.
+    std::call_once(entry->once, [&] {
+        entry->value = std::make_shared<T>(compute());
+    });
+    return std::static_pointer_cast<const T>(entry->value);
+}
+
+std::shared_ptr<const SimProducts>
+RunCache::getSim(const std::string &key,
+                 const std::function<SimProducts()> &compute,
+                 CacheOutcome *outcome)
+{
+    return get<SimProducts>(_sim, key, compute, outcome);
+}
+
+std::shared_ptr<const avf::DeadnessResult>
+RunCache::getDeadness(const std::string &key,
+                      const std::function<avf::DeadnessResult()> &
+                          compute,
+                      CacheOutcome *outcome)
+{
+    return get<avf::DeadnessResult>(_deadness, key, compute, outcome);
+}
+
+std::shared_ptr<const avf::AvfResult>
+RunCache::getAvf(const std::string &key,
+                 const std::function<avf::AvfResult()> &compute,
+                 CacheOutcome *outcome)
+{
+    return get<avf::AvfResult>(_avf, key, compute, outcome);
+}
+
+RunCache::Counters
+RunCache::simCounters() const
+{
+    std::lock_guard<std::mutex> guard(_sim.lock);
+    return _sim.counters;
+}
+
+RunCache::Counters
+RunCache::deadnessCounters() const
+{
+    std::lock_guard<std::mutex> guard(_deadness.lock);
+    return _deadness.counters;
+}
+
+RunCache::Counters
+RunCache::avfCounters() const
+{
+    std::lock_guard<std::mutex> guard(_avf.lock);
+    return _avf.counters;
+}
+
+std::uint64_t
+RunCache::programHash(const isa::Program &program)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i)
+        mix(program.inst(i).encode());
+    mix(program.dataInits().size());
+    for (const isa::DataInit &init : program.dataInits()) {
+        mix(init.addr);
+        mix(init.value);
+    }
+    mix(program.entry());
+    return h;
+}
+
+std::string
+RunCache::simKey(const isa::Program &program,
+                 const ExperimentConfig &config,
+                 const cpu::PipelineParams &p)
+{
+    const memory::HierarchyParams &m = p.hierarchy;
+    auto cache = [](std::ostringstream &os,
+                    const memory::CacheParams &c) {
+        os << c.sizeBytes << ',' << c.lineBytes << ',' << c.assoc
+           << ',' << c.hitLatency;
+    };
+    std::ostringstream os;
+    os << std::hex << programHash(program) << std::dec
+       << "|warmup=" << config.warmupInsts
+       << "|trigger=" << config.triggerLevel << '/'
+       << config.triggerAction
+       << "|interval=" << config.intervalCycles
+       << "|w=" << p.fetchWidth << ',' << p.enqueueWidth << ','
+       << p.issueWidth << "|iq=" << p.iqEntries
+       << "|fe=" << p.frontEndDepth << "|evict=" << p.evictDelay
+       << "|br=" << p.branchResolveDelay << ',' << p.redirectDelay
+       << ',' << p.takenBranchBubble << "|pred=" << p.predictor
+       << ',' << p.predictorEntries << ',' << p.historyBits << ','
+       << p.btbEntries << ',' << p.rasEntries
+       << "|lat=" << p.latIntAlu << ',' << p.latIntMul << ','
+       << p.latIntDiv << ',' << p.latFpAdd << ',' << p.latFpMul
+       << ',' << p.latFpDiv << ',' << p.latFpCvt
+       << "|max=" << p.maxInsts << ',' << p.maxCycles << "|l0=";
+    cache(os, m.l0);
+    os << "|l1=";
+    cache(os, m.l1);
+    os << "|l2=";
+    cache(os, m.l2);
+    os << "|mem=" << m.memLatency;
+    return os.str();
+}
+
+std::string
+RunCache::deadnessKey(const std::string &sim_key,
+                      const std::string &options)
+{
+    return sim_key + "|deadness=" + options;
+}
+
+std::string
+RunCache::avfKey(const std::string &sim_key)
+{
+    return sim_key + "|avf";
+}
+
+} // namespace harness
+} // namespace ser

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The memoized run cache: content-addressed sharing of simulation
+ * traces and post-hoc analyses across sweep points.
+ *
+ * Every figure and table in the paper sweeps a post-commit parameter
+ * (PET size, π granularity, anti-π roster, attribution depth) over
+ * the same committed instruction stream; only the post-commit fold
+ * differs between sweep points. The cache keys a finished simulation
+ * by the *content* of its inputs — a hash of the program image plus
+ * every timing-relevant parameter — so sweep points whose timing
+ * behaviour is provably identical simulate once and analyze once per
+ * process, and merely share `shared_ptr<const ...>` artifacts
+ * afterwards.
+ *
+ * Three sections, each keyed by an exact (collision-free modulo the
+ * 64-bit program hash) string:
+ *
+ *   sim       (program content, effective PipelineParams, trigger
+ *              policy, warmup, interval grid)    → SimProducts
+ *   deadness  (sim key, deadness options)        → DeadnessResult
+ *   avf       (sim key; the epoch grid is already in the sim key)
+ *                                                → AvfResult
+ *
+ * Thread-safety: lookups run concurrently under --jobs. The first
+ * thread to miss computes the value under a per-entry once_flag;
+ * late arrivals for the same key block on that flag and then share
+ * the result, so a sweep never simulates the same point twice even
+ * when two workers race to it. Eviction is FIFO with a settable
+ * per-section capacity (default unlimited — a full suite sweep is
+ * tens of MB per benchmark, freed when the process exits).
+ *
+ * Escape hatch: `--no-run-cache` (BenchOptions) disables the cache
+ * process-wide; outputs are byte-identical either way, which
+ * tests/check_determinism.cc enforces.
+ */
+
+#ifndef SER_HARNESS_RUN_CACHE_HH
+#define SER_HARNESS_RUN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "cpu/params.hh"
+#include "cpu/sampler.hh"
+#include "cpu/trace.hh"
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+struct ExperimentConfig;
+
+/** How one cache section answered for one run (manifest
+ * observability; "off" covers --no-run-cache and trace-event runs,
+ * which need a live pipeline). */
+enum class CacheOutcome
+{
+    Off,
+    Miss,
+    Hit,
+};
+
+const char *cacheOutcomeName(CacheOutcome outcome);
+
+/**
+ * Everything one pipeline simulation produces, bundled so a cache
+ * hit reproduces the full miss result (stats text included) and so
+ * the trace's program pointer stays valid: the bundle owns the
+ * program the pipeline ran.
+ */
+struct SimProducts
+{
+    std::shared_ptr<const isa::Program> program;
+    cpu::SimTrace trace;
+    double ipc = 0.0;
+    std::string statsDump;
+    std::string statsJson;
+    std::vector<cpu::IntervalSample> intervals;
+    std::uint64_t poolHighWater = 0;
+};
+
+/** The process-wide memoization cache (see the file comment). */
+class RunCache
+{
+  public:
+    static RunCache &instance();
+
+    /** Master switch (--no-run-cache). Disabled lookups are not
+     * routed here at all; runProgram computes directly. */
+    void setEnabled(bool on) { _enabled.store(on); }
+    bool enabled() const { return _enabled.load(); }
+
+    /** Max entries retained per section; inserting beyond evicts
+     * FIFO (in-flight results stay alive via their shared_ptr).
+     * 0 = unlimited (the default). */
+    void setCapacity(std::size_t entries);
+
+    /** Drop every entry and zero the counters (tests). */
+    void clear();
+
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    Counters simCounters() const;
+    Counters deadnessCounters() const;
+    Counters avfCounters() const;
+
+    std::shared_ptr<const SimProducts>
+    getSim(const std::string &key,
+           const std::function<SimProducts()> &compute,
+           CacheOutcome *outcome = nullptr);
+
+    std::shared_ptr<const avf::DeadnessResult>
+    getDeadness(const std::string &key,
+                const std::function<avf::DeadnessResult()> &compute,
+                CacheOutcome *outcome = nullptr);
+
+    std::shared_ptr<const avf::AvfResult>
+    getAvf(const std::string &key,
+           const std::function<avf::AvfResult()> &compute,
+           CacheOutcome *outcome = nullptr);
+
+    /** FNV-1a over the canonical encoding of every instruction, the
+     * data initialisers and the entry point: equal-content programs
+     * hash equal regardless of object identity. */
+    static std::uint64_t programHash(const isa::Program &program);
+
+    /**
+     * The sim-section key: program content plus every parameter that
+     * can change the timing trace (effective_params must be the
+     * post-adjustment PipelineParams the pipeline actually runs
+     * with). Post-commit knobs — petSize, attributionTopN,
+     * traceEventsPid — are deliberately absent: that is the whole
+     * point of the cache.
+     */
+    static std::string simKey(const isa::Program &program,
+                              const ExperimentConfig &config,
+                              const cpu::PipelineParams &
+                                  effective_params);
+
+    /** Deadness is a pure function of the trace; options is reserved
+     * for future analysis variants. */
+    static std::string deadnessKey(const std::string &sim_key,
+                                   const std::string &options = "");
+
+    /** The AVF fold's epoch grid rides in the sim key already. */
+    static std::string avfKey(const std::string &sim_key);
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<void> value;
+    };
+
+    struct Section
+    {
+        mutable std::mutex lock;
+        std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+        std::deque<std::string> fifo;
+        Counters counters;
+    };
+
+    RunCache() = default;
+
+    template <typename T>
+    std::shared_ptr<const T> get(Section &section,
+                                 const std::string &key,
+                                 const std::function<T()> &compute,
+                                 CacheOutcome *outcome);
+
+    std::atomic<bool> _enabled{true};
+    std::atomic<std::size_t> _capacity{0};
+    Section _sim;
+    Section _deadness;
+    Section _avf;
+};
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_RUN_CACHE_HH

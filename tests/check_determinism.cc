@@ -7,8 +7,9 @@
  *
  * Asserts that two manifests produced by the same bench invocation at
  * different --jobs values are identical except for wall-clock phase
- * timings: the documents must match member for member once every
- * value inside a "timings_seconds" object is masked (the phase *keys*
+ * timings and run-cache outcomes: the documents must match member for
+ * member once every value inside a "timings_seconds" or "run_cache"
+ * object is masked (the phase *keys*
  * must still match exactly — parallel runs must record the same
  * phases, including the once-per-benchmark "build" phase, just not
  * the same durations). When the optional .out pair is given, the
@@ -32,7 +33,10 @@ namespace
 {
 
 /** Mask the values (not the keys) of every timings_seconds object so
- * wall-clock noise does not participate in the comparison. */
+ * wall-clock noise does not participate in the comparison, and of
+ * every run_cache object: which worker's sweep point misses and
+ * which hits depends on scheduling (and on --no-run-cache), while
+ * every simulated result must not. */
 void
 maskTimings(JsonValue &v)
 {
@@ -43,6 +47,13 @@ maskTimings(JsonValue &v)
                 for (auto &phase : member.second.object) {
                     phase.second = JsonValue{};
                     phase.second.kind = JsonValue::Kind::Number;
+                }
+            } else if (member.first == "run_cache" &&
+                       member.second.isObject()) {
+                for (auto &section : member.second.object) {
+                    section.second = JsonValue{};
+                    section.second.kind = JsonValue::Kind::String;
+                    section.second.string = "masked";
                 }
             } else {
                 maskTimings(member.second);

@@ -149,9 +149,9 @@ TEST(Harness, ArtifactsOwnTheirProgram)
         r = harness::runBenchmark("art", cfg);
     }
     // The trace's program pointer must still be valid (owned).
-    ASSERT_NE(r.trace.program, nullptr);
-    EXPECT_GT(r.trace.program->size(), 0u);
-    auto rf = avf::computeRegFileAvf(r.trace, r.deadness);
+    ASSERT_NE(r.trace->program, nullptr);
+    EXPECT_GT(r.trace->program->size(), 0u);
+    auto rf = avf::computeRegFileAvf(*r.trace, *r.deadness);
     EXPECT_GT(rf.intFile.totalBitCycles, 0u);
 }
 

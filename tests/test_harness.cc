@@ -158,8 +158,15 @@ TEST(SuiteRunner, ParallelMatchesSerial)
         }
         return runner.run();
     };
+    // With the run cache on, the second sweep would just be handed
+    // the first sweep's artifacts; disable it so the parallel
+    // schedule really recomputes everything it compares.
+    harness::RunCache &cache = harness::RunCache::instance();
+    cache.setEnabled(false);
     auto serial = sweep(1);
     auto parallel = sweep(4);
+    cache.setEnabled(true);
+    cache.clear();
 
     ASSERT_EQ(serial.size(), 4u);
     ASSERT_EQ(parallel.size(), 4u);
@@ -167,12 +174,12 @@ TEST(SuiteRunner, ParallelMatchesSerial)
         EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
         EXPECT_EQ(serial[i].seed, parallel[i].seed);
         EXPECT_DOUBLE_EQ(serial[i].ipc, parallel[i].ipc);
-        EXPECT_DOUBLE_EQ(serial[i].avf.sdcAvf(),
-                         parallel[i].avf.sdcAvf());
-        EXPECT_DOUBLE_EQ(serial[i].avf.falseDueAvf(),
-                         parallel[i].avf.falseDueAvf());
-        EXPECT_EQ(serial[i].trace.commits.size(),
-                  parallel[i].trace.commits.size());
+        EXPECT_DOUBLE_EQ(serial[i].avf->sdcAvf(),
+                         parallel[i].avf->sdcAvf());
+        EXPECT_DOUBLE_EQ(serial[i].avf->falseDueAvf(),
+                         parallel[i].avf->falseDueAvf());
+        EXPECT_EQ(serial[i].trace->commits.size(),
+                  parallel[i].trace->commits.size());
         EXPECT_EQ(serial[i].statsJson, parallel[i].statsJson);
     }
 }
@@ -192,7 +199,7 @@ TEST(SuiteRunner, MatchesRunBenchmarkAndBuildsOnce)
 
     auto reference = harness::runBenchmark("vortex", cfg);
     EXPECT_DOUBLE_EQ(runs[0].ipc, reference.ipc);
-    EXPECT_DOUBLE_EQ(runs[0].avf.sdcAvf(), reference.avf.sdcAvf());
+    EXPECT_DOUBLE_EQ(runs[0].avf->sdcAvf(), reference.avf->sdcAvf());
     EXPECT_EQ(runs[0].seed, reference.seed);
     EXPECT_EQ(runs[0].benchmark, reference.benchmark);
 

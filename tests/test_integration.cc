@@ -37,19 +37,19 @@ TEST(Integration, BaselineRunProducesSaneNumbers)
     auto r = runBenchmark("gzip", smallConfig());
     EXPECT_GT(r.ipc, 0.2);
     EXPECT_LT(r.ipc, 6.0);
-    double sdc = r.avf.sdcAvf();
+    double sdc = r.avf->sdcAvf();
     EXPECT_GT(sdc, 0.02);
     EXPECT_LT(sdc, 0.95);
-    EXPECT_GE(r.avf.dueAvf(), sdc);  // DUE = true (=SDC) + false
-    EXPECT_GT(r.deadness.deadFraction(), 0.05);
-    EXPECT_LT(r.deadness.deadFraction(), 0.40);
+    EXPECT_GE(r.avf->dueAvf(), sdc);  // DUE = true (=SDC) + false
+    EXPECT_GT(r.deadness->deadFraction(), 0.05);
+    EXPECT_LT(r.deadness->deadFraction(), 0.40);
 
     // The AVF classes must tile the queue's bit-cycles exactly.
-    std::uint64_t sum = r.avf.idle + r.avf.exAce +
-                        r.avf.squashedUnread + r.avf.ace;
+    std::uint64_t sum = r.avf->idle + r.avf->exAce +
+                        r.avf->squashedUnread + r.avf->ace;
     for (int s = 0; s < avf::numUnAceSources; ++s)
-        sum += r.avf.unAceRead[s] + r.avf.unAceUnread[s];
-    EXPECT_EQ(sum, r.avf.totalBitCycles);
+        sum += r.avf->unAceRead[s] + r.avf->unAceUnread[s];
+    EXPECT_EQ(sum, r.avf->totalBitCycles);
 }
 
 TEST(Integration, SquashingTradesIpcForAvf)
@@ -58,11 +58,11 @@ TEST(Integration, SquashingTradesIpcForAvf)
     // substantially at only a small IPC cost — the paper's headline.
     auto base = runBenchmark("ammp", smallConfig("none"));
     auto squash = runBenchmark("ammp", smallConfig("l0"));
-    EXPECT_LT(squash.avf.sdcAvf(), base.avf.sdcAvf() * 0.9);
+    EXPECT_LT(squash.avf->sdcAvf(), base.avf->sdcAvf() * 0.9);
     EXPECT_GT(squash.ipc, base.ipc * 0.80);
     // MITF (IPC/AVF) improves.
-    EXPECT_GT(squash.ipc / squash.avf.sdcAvf(),
-              base.ipc / base.avf.sdcAvf());
+    EXPECT_GT(squash.ipc / squash.avf->sdcAvf(),
+              base.ipc / base.avf->sdcAvf());
 }
 
 TEST(Integration, FalseDueCoverageIsOrderedAndComplete)
@@ -81,7 +81,7 @@ TEST(Integration, FalseDueCoverageIsOrderedAndComplete)
     EXPECT_NEAR(f.residualFalseDue[core::numTrackingLevels - 1], 0.0,
                 1e-12);
     // DUE AVF at parity-only equals true+false.
-    EXPECT_NEAR(f.dueAvf(core::TrackingLevel::None), r.avf.dueAvf(),
+    EXPECT_NEAR(f.dueAvf(core::TrackingLevel::None), r.avf->dueAvf(),
                 1e-9);
 }
 
@@ -90,16 +90,16 @@ TEST(Integration, PetCoverageGrowsWithSize)
     auto r = runBenchmark("cc", smallConfig());
     double prev = -1;
     for (std::uint32_t size : {32u, 128u, 512u, 4096u, 16384u}) {
-        auto cov = core::petCoverage(r.deadness, size);
+        auto cov = core::petCoverage(*r.deadness, size);
         double frac = cov.fracNonReturn();
         EXPECT_GE(frac, prev) << "PET size " << size;
         prev = frac;
     }
     // Return-established FDDs exist in call-heavy code and need
     // bigger buffers than the near overwrites (Figure 3's story).
-    auto small = core::petCoverage(r.deadness, 64);
-    auto large = core::petCoverage(r.deadness, 16384);
-    EXPECT_GT(r.deadness.numReturnFdd, 0u);
+    auto small = core::petCoverage(*r.deadness, 64);
+    auto large = core::petCoverage(*r.deadness, 16384);
+    EXPECT_GT(r.deadness->numReturnFdd, 0u);
     EXPECT_GT(large.fracRegWithReturns(),
               small.fracRegWithReturns());
 }
@@ -112,11 +112,11 @@ TEST(Integration, IntegerCodesHaveMoreWrongPathExposure)
     auto integer = runBenchmark("crafty", smallConfig());
     auto frac = [](const RunArtifacts &r) {
         std::uint64_t covered =
-            r.avf.unAceRead[static_cast<int>(
+            r.avf->unAceRead[static_cast<int>(
                 avf::UnAceSource::WrongPath)] +
-            r.avf.unAceRead[static_cast<int>(
+            r.avf->unAceRead[static_cast<int>(
                 avf::UnAceSource::PredFalse)];
-        std::uint64_t total = r.avf.unAceReadTotal();
+        std::uint64_t total = r.avf->unAceReadTotal();
         return total ? double(covered) / double(total) : 0.0;
     };
     EXPECT_GT(frac(integer), frac(fp));
@@ -129,8 +129,8 @@ TEST(Integration, FpCodesGainMoreFromAntiPi)
     auto fp = runBenchmark("mgrid", smallConfig());
     auto integer = runBenchmark("crafty", smallConfig());
     auto neutral_share = [](const RunArtifacts &r) {
-        std::uint64_t total = r.avf.unAceReadTotal();
-        return total ? double(r.avf.unAceRead[static_cast<int>(
+        std::uint64_t total = r.avf->unAceReadTotal();
+        return total ? double(r.avf->unAceRead[static_cast<int>(
                            avf::UnAceSource::Neutral)]) /
                            double(total)
                      : 0.0;
@@ -169,7 +169,7 @@ TEST(Integration, CombinedTechniquesReduceBothRates)
     auto base = runBenchmark("facerec", smallConfig("none"));
     auto opt = runBenchmark("facerec", smallConfig("l1"));
 
-    double rel_sdc = opt.avf.sdcAvf() / base.avf.sdcAvf();
+    double rel_sdc = opt.avf->sdcAvf() / base.avf->sdcAvf();
     double due_base = base.falseDue.dueAvf(core::TrackingLevel::None);
     double due_opt =
         opt.falseDue.dueAvf(core::TrackingLevel::PiStoreBuffer);
