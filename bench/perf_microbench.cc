@@ -123,6 +123,53 @@ BM_TimingPipelineTraced(benchmark::State &state)
 }
 BENCHMARK(BM_TimingPipelineTraced);
 
+cpu::PipelineParams
+longLatencyParams(bool cycle_skip)
+{
+    // The cycle-skipping showcase: a hierarchy slow enough that the
+    // pipeline spends most simulated cycles waiting on misses. With
+    // skipping the scheduler jumps those spans; without it every one
+    // is ticked. The gap between the two benchmarks below is the
+    // event-driven speedup (small on the default low-latency config,
+    // which rarely goes idle for long; growing with miss latency as
+    // idle spans come to dominate the cycle count).
+    cpu::PipelineParams params;
+    params.maxInsts = 20000;
+    params.cycleSkip = cycle_skip;
+    params.hierarchy.l1.hitLatency = 60;
+    params.hierarchy.l2.hitLatency = 300;
+    params.hierarchy.memLatency = 2500;
+    return params;
+}
+
+void
+BM_TimingPipelineLongLat(benchmark::State &state)
+{
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    for (auto _ : state) {
+        cpu::InOrderPipeline pipe(program, longLatencyParams(true));
+        auto trace = pipe.run();
+        benchmark::DoNotOptimize(trace.commits.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingPipelineLongLat);
+
+void
+BM_TimingPipelineLongLatNoSkip(benchmark::State &state)
+{
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    for (auto _ : state) {
+        cpu::InOrderPipeline pipe(program, longLatencyParams(false));
+        auto trace = pipe.run();
+        benchmark::DoNotOptimize(trace.commits.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingPipelineLongLatNoSkip);
+
 void
 BM_TraceWriterThroughput(benchmark::State &state)
 {

@@ -16,7 +16,16 @@
  * any job count (timings aside).
  *
  * Usage: table1_squashing [insts=N] [benchmarks=a,b,c] [csv=1]
+ *                         [action=squash|throttle|both]
+ *                         [l1_lat=N] [l2_lat=N] [mem_lat=N]
  *                         [--jobs N]
+ *
+ * action= overrides the trigger action of every design point;
+ * l1_lat=/l2_lat=/mem_lat= override the memory-hierarchy latencies
+ * (0 or absent keeps the defaults). The latency keys exist so the
+ * cycle_skip_identical_* ctest fixtures can build a long-latency
+ * stress configuration where idle-cycle fast-forward actually has
+ * spans to skip.
  */
 
 #include <iostream>
@@ -74,6 +83,13 @@ main(int argc, char **argv)
     Config &config = opts.config;
     std::uint64_t insts = config.getUint("insts", 300000);
     bool csv = opts.csv;
+    std::string action = config.getString("action", "squash");
+    std::uint32_t l1_lat =
+        static_cast<std::uint32_t>(config.getUint("l1_lat", 0));
+    std::uint32_t l2_lat =
+        static_cast<std::uint32_t>(config.getUint("l2_lat", 0));
+    std::uint32_t mem_lat =
+        static_cast<std::uint32_t>(config.getUint("mem_lat", 0));
     std::vector<std::string> benchmarks =
         config.has("benchmarks")
             ? parseList(config.getString("benchmarks", ""))
@@ -105,8 +121,14 @@ main(int argc, char **argv)
             cfg.dynamicTarget = insts;
             cfg.warmupInsts = insts / 10;
             cfg.triggerLevel = points[d].trigger;
-            cfg.triggerAction = "squash";
+            cfg.triggerAction = action;
             cfg.intervalCycles = opts.intervalCycles;
+            if (l1_lat)
+                cfg.pipeline.hierarchy.l1.hitLatency = l1_lat;
+            if (l2_lat)
+                cfg.pipeline.hierarchy.l2.hitLatency = l2_lat;
+            if (mem_lat)
+                cfg.pipeline.hierarchy.memLatency = mem_lat;
             trace_export.configure(cfg);
             runner.submit(prog, cfg);
             configs.push_back(cfg);

@@ -27,7 +27,7 @@ if [ ! -x "$bin" ]; then
     exit 1
 fi
 
-filter='BM_TimingPipeline$|BM_DeadnessAnalysis|BM_AvfFold|BM_SuiteRunnerSweep|BM_RunProgramCacheHit'
+filter='BM_TimingPipeline$|BM_TimingPipelineLongLat|BM_DeadnessAnalysis|BM_AvfFold|BM_SuiteRunnerSweep|BM_RunProgramCacheHit'
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 "$bin" --benchmark_filter="$filter" \
@@ -77,3 +77,7 @@ for name, row in summary.items():
         print(f"  {name}: {row['before']:.0f} -> {row['after']:.0f} "
               f"{row['time_unit']} ({row['speedup']}x)")
 EOF
+
+# Regression gate: any shared benchmark more than 10% slower than
+# the BENCH_BEFORE capture fails the script.
+python3 "$(dirname "$0")/bench_compare.py" "$BENCH_BEFORE" "$out"

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON captures.
+
+Usage:
+    scripts/bench_compare.py BEFORE.json AFTER.json [--threshold PCT]
+
+Prints one row per benchmark with the before/after real_time and the
+delta, then exits nonzero when any benchmark present in both captures
+regressed by more than the threshold (default 10% real_time). Rows
+present on only one side are reported but never fail the check (new
+benchmarks appear, retired ones disappear).
+
+Either input may be a raw capture (a google-benchmark JSON document
+with a top-level "benchmarks" array) or a merged before/after record
+as committed in BENCH_PR*.json; for the merged form the "after"
+section is used, so
+
+    scripts/bench_compare.py BENCH_PR4.json bench_after.json
+
+compares the PR 4 state against a fresh capture.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Map benchmark name -> {real_time, time_unit} from a capture."""
+    with open(path) as f:
+        doc = json.load(f)
+    # A merged {"before", "after", "summary"} record: take "after".
+    if "benchmarks" not in doc and "after" in doc:
+        doc = doc["after"]
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rows[bench["name"]] = {
+            "real_time": bench["real_time"],
+            "time_unit": bench.get("time_unit", "ns"),
+        }
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON captures.")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="fail on real_time regressions above this percentage "
+             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    before = load_rows(args.before)
+    after = load_rows(args.after)
+
+    width = max((len(n) for n in set(before) | set(after)), default=4)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'before':>12}  {'after':>12}  "
+          f"{'delta':>8}")
+    for name in sorted(set(before) | set(after)):
+        b = before.get(name)
+        a = after.get(name)
+        if b is None:
+            print(f"{name:<{width}}  {'-':>12}  "
+                  f"{a['real_time']:>12.0f}  {'new':>8}")
+            continue
+        if a is None:
+            print(f"{name:<{width}}  {b['real_time']:>12.0f}  "
+                  f"{'-':>12}  {'gone':>8}")
+            continue
+        delta = ((a["real_time"] - b["real_time"]) / b["real_time"]
+                 * 100.0 if b["real_time"] else 0.0)
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b['real_time']:>12.0f}  "
+              f"{a['real_time']:>12.0f}  {delta:>+7.1f}%{flag}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} benchmark(s) "
+              f"regressed more than {args.threshold:.1f}%:",
+              file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regressions above "
+          f"{args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

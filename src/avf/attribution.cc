@@ -60,8 +60,11 @@ attributeAvf(const cpu::SimTrace &trace,
     // the final order is the ACE sort below.
     std::map<std::uint32_t, std::size_t> slot;
 
+    const StaticClassTable table =
+        buildStaticClassTable(*trace.program);
     for (const auto &inc : trace.incarnations) {
-        IncarnationClass c = classifyIncarnation(trace, deadness, inc);
+        IncarnationClass c =
+            classifyIncarnation(trace, deadness, inc, table);
         const std::uint64_t pre = c.preCycles();
         const std::uint64_t post = c.postCycles();
         const std::uint64_t resident = c.residentCycles();

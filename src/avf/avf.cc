@@ -93,10 +93,17 @@ clip(std::uint64_t lo, std::uint64_t hi, std::uint64_t wlo,
 
 } // namespace
 
+namespace
+{
+
+/** Shared body of the two classifyIncarnation overloads: 'entry',
+ * when non-null, supplies the memoized opcode-derived constants
+ * instead of re-deriving them from OpInfo per incarnation. */
 IncarnationClass
-classifyIncarnation(const cpu::SimTrace &trace,
-                    const DeadnessResult &deadness,
-                    const cpu::IncarnationRecord &inc)
+classifyImpl(const cpu::SimTrace &trace,
+             const DeadnessResult &deadness,
+             const cpu::IncarnationRecord &inc,
+             const StaticClassInfo *entry)
 {
     using namespace isa::encoding;
 
@@ -129,10 +136,11 @@ classifyIncarnation(const cpu::SimTrace &trace,
         return c;
     }
 
-    const isa::StaticInst &inst = trace.program->inst(inc.staticIdx);
-    const isa::OpInfo &oi = inst.info();
+    const bool neutral =
+        entry ? entry->isNeutral
+              : trace.program->inst(inc.staticIdx).info().isNeutral;
 
-    if (oi.isNeutral) {
+    if (neutral) {
         // Only the opcode bits could turn this into something that
         // matters.
         c.aceRate = opcodeBits;
@@ -163,15 +171,22 @@ classifyIncarnation(const cpu::SimTrace &trace,
       case DeadKind::Live: {
         c.aceRate = payloadBits;
         // Refined estimate: only the fields this opcode uses.
-        std::uint64_t used = qpBits + opcodeBits;
-        if (oi.dstClass != isa::RegClass::None)
-            used += dstBits;
-        if (oi.src1Class != isa::RegClass::None)
-            used += src1Bits;
-        if (oi.src2Class != isa::RegClass::None)
-            used += src2Bits;
-        if (oi.usesImm)
-            used += immBits;
+        std::uint64_t used;
+        if (entry) {
+            used = entry->liveRefinedRate;
+        } else {
+            const isa::OpInfo &oi =
+                trace.program->inst(inc.staticIdx).info();
+            used = qpBits + opcodeBits;
+            if (oi.dstClass != isa::RegClass::None)
+                used += dstBits;
+            if (oi.src1Class != isa::RegClass::None)
+                used += src1Bits;
+            if (oi.src2Class != isa::RegClass::None)
+                used += src2Bits;
+            if (oi.usesImm)
+                used += immBits;
+        }
         c.aceRefinedRate = used;
         break;
       }
@@ -199,6 +214,49 @@ classifyIncarnation(const cpu::SimTrace &trace,
         break;
     }
     return c;
+}
+
+} // namespace
+
+IncarnationClass
+classifyIncarnation(const cpu::SimTrace &trace,
+                    const DeadnessResult &deadness,
+                    const cpu::IncarnationRecord &inc)
+{
+    return classifyImpl(trace, deadness, inc, nullptr);
+}
+
+IncarnationClass
+classifyIncarnation(const cpu::SimTrace &trace,
+                    const DeadnessResult &deadness,
+                    const cpu::IncarnationRecord &inc,
+                    const StaticClassTable &table)
+{
+    return classifyImpl(trace, deadness, inc, &table[inc.staticIdx]);
+}
+
+StaticClassTable
+buildStaticClassTable(const isa::Program &program)
+{
+    using namespace isa::encoding;
+    StaticClassTable table(program.size());
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const isa::OpInfo &oi = program.inst(
+            static_cast<std::uint32_t>(i)).info();
+        StaticClassInfo &e = table[i];
+        e.isNeutral = oi.isNeutral;
+        std::uint64_t used = qpBits + opcodeBits;
+        if (oi.dstClass != isa::RegClass::None)
+            used += dstBits;
+        if (oi.src1Class != isa::RegClass::None)
+            used += src1Bits;
+        if (oi.src2Class != isa::RegClass::None)
+            used += src2Bits;
+        if (oi.usesImm)
+            used += immBits;
+        e.liveRefinedRate = static_cast<std::uint16_t>(used);
+    }
+    return table;
 }
 
 AvfResult
@@ -245,9 +303,12 @@ computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness,
     };
 
     std::uint64_t occupied = 0;
+    const StaticClassTable table =
+        buildStaticClassTable(*trace.program);
 
     for (const auto &inc : trace.incarnations) {
-        IncarnationClass c = classifyIncarnation(trace, deadness, inc);
+        IncarnationClass c =
+            classifyIncarnation(trace, deadness, inc, table);
         Interval pre_iv{c.preLo, c.preHi};
         Interval post_iv{c.postLo, c.postHi};
         const std::uint64_t pre = c.preCycles();

@@ -226,6 +226,32 @@ IncarnationClass classifyIncarnation(const cpu::SimTrace &trace,
                                      const cpu::IncarnationRecord &inc);
 
 /**
+ * Memoized static-instruction constants of the classification:
+ * everything classifyIncarnation derives from the opcode alone — the
+ * neutral flag and the field-refined used-bits sum of a Live def.
+ * (The per-DeadKind rates are already compile-time constants of the
+ * encoding and need no table.) computeAvf() and the per-PC
+ * attribution fold build this once per program and hand it to the
+ * table overload below, so their per-incarnation loops stop
+ * re-deriving OpInfo fields; results are bit-identical.
+ */
+struct StaticClassInfo
+{
+    bool isNeutral = false;
+    std::uint16_t liveRefinedRate = 0;  ///< used bits of a Live def
+};
+using StaticClassTable = std::vector<StaticClassInfo>;
+
+/** One StaticClassInfo per static instruction of the program. */
+StaticClassTable buildStaticClassTable(const isa::Program &program);
+
+/** classifyIncarnation with the per-program memo table. */
+IncarnationClass classifyIncarnation(const cpu::SimTrace &trace,
+                                     const DeadnessResult &deadness,
+                                     const cpu::IncarnationRecord &inc,
+                                     const StaticClassTable &table);
+
+/**
  * Fold a run's trace + deadness labels into AVF accounting.
  *
  * When epoch_cycles is nonzero, the result additionally carries

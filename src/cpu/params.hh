@@ -13,6 +13,7 @@
 #ifndef SER_CPU_PARAMS_HH
 #define SER_CPU_PARAMS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,30 @@ namespace ser
 {
 namespace cpu
 {
+
+namespace detail
+{
+/** Backing store for the process-wide cycle-skip default; see
+ * setDefaultCycleSkip(). */
+inline std::atomic<bool> cycle_skip_default{true};
+} // namespace detail
+
+/** Process-wide default for PipelineParams::cycleSkip. The benches
+ * construct their ExperimentConfigs with default PipelineParams, so
+ * the --no-cycle-skip escape hatch flips this before any config is
+ * built (mirroring how --no-run-cache disables the process-wide run
+ * cache). */
+inline bool
+defaultCycleSkip()
+{
+    return detail::cycle_skip_default.load(std::memory_order_relaxed);
+}
+
+inline void
+setDefaultCycleSkip(bool on)
+{
+    detail::cycle_skip_default.store(on, std::memory_order_relaxed);
+}
 
 /** All knobs of the pipeline model. */
 struct PipelineParams
@@ -75,6 +100,14 @@ struct PipelineParams
 
     /** Hard safety bound on simulated cycles (0 = derived). */
     std::uint64_t maxCycles = 0;
+
+    /** Event-driven idle-cycle fast-forward in run(): when a tick
+     * provably cannot change state until a known future cycle, jump
+     * there in one step (accounting the skipped span exactly). Every
+     * simulated result is byte-identical either way — this is purely
+     * a simulator-speed knob, with --no-cycle-skip as the escape
+     * hatch. */
+    bool cycleSkip = defaultCycleSkip();
 
     /** Execution latency for an op class. */
     unsigned latencyFor(isa::OpClass oc) const;

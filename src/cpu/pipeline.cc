@@ -167,11 +167,29 @@ InOrderPipeline::run()
         issue();
         enqueue();
         fetch();
-        sampleOccupancy();
-        ++statCycles;
+
+        // Event-driven fast-forward: after ticking cycle C, every
+        // cycle before the next event provably repeats this tick's
+        // no-op, so the whole idle span [C, next) is accounted in
+        // closed form and _cycle jumps straight to the event. The
+        // drained() guard keeps the final tick advancing by exactly
+        // one cycle, preserving the non-skipping end cycle.
+        std::uint64_t next = _cycle + 1;
+        if (_params.cycleSkip && !drained()) {
+            std::uint64_t ev = nextEventCycle(max_cycles);
+            if (ev > next) {
+                _cyclesSkipped += ev - next;
+                next = ev;
+            }
+        }
+        const std::uint64_t span = next - _cycle;
+
+        sampleOccupancy(span);
+        statCycles += static_cast<double>(span);
         bool throttled = _cycle < _throttleUntil;
         if (throttled)
-            ++statThrottleCycles;
+            statThrottleCycles += static_cast<double>(
+                std::min(next, _throttleUntil) - _cycle);
         if (_tw) {
             if (throttled && !_throttleSliceOpen)
                 _tw->begin(trace::tracks::throttle, "fetch_throttle",
@@ -191,24 +209,38 @@ InOrderPipeline::run()
                 _tracedOccupancy = _iq.size();
                 _tracedWaiting = waiting;
             }
+            if (_throttleSliceOpen && _throttleUntil < next) {
+                // The throttle expires inside the skipped span: emit
+                // the end event at the cycle the per-cycle loop
+                // would have, keeping the trace byte-identical.
+                _tw->end(trace::tracks::throttle, _throttleUntil);
+                _throttleSliceOpen = false;
+            }
         }
         if (_sampler && _windowOpen) {
-            IntervalCounters c;
-            c.committed =
-                static_cast<std::uint64_t>(statCommitted.value());
-            c.fetched =
-                static_cast<std::uint64_t>(statFetched.value());
-            c.mispredicts =
-                static_cast<std::uint64_t>(statMispredicts.value());
-            c.triggerSquashes = static_cast<std::uint64_t>(
-                statTriggerSquashes.value());
-            c.triggerSquashedInsts = static_cast<std::uint64_t>(
-                statTriggerSquashedInsts.value());
-            c.iqOccupancy = _iq.size();
-            c.iqWaiting = _iq.size() - _iqIssued;
-            _sampler->tick(_cycle, c);
+            // The cumulative counters (and the queue state) hold
+            // their post-tick values through the whole idle span, so
+            // one batch advance covers [C, next). Materializing the
+            // counter snapshot costs five double->int conversions;
+            // only pay it when the span closes an epoch.
+            if (_sampler->needsCounters(span)) {
+                _sampler->advance(_cycle, span, snapshotCounters());
+            } else {
+                _sampler->advanceMidEpoch(span, _iq.size(),
+                                          _iq.size() - _iqIssued);
+            }
         }
-        ++_cycle;
+        if (span > 1) {
+            // The issue stage's per-cycle bookkeeping for the inert
+            // cycles: zero-width issue samples, and the stall reason
+            // (constant across the span by construction — every
+            // classification flip is itself an event).
+            statIssueWidth.sample(0.0, span - 1);
+            if (_params.issueWidth > 0)
+                stallReasonAt(_cycle + 1) +=
+                    static_cast<double>(span - 1);
+        }
+        _cycle = next;
         if (_cycle >= 0xffffffffULL)
             SER_FATAL("pipeline: run exceeded 2^32 cycles; trace "
                       "records use 32-bit cycles");
@@ -219,21 +251,130 @@ InOrderPipeline::run()
         _throttleSliceOpen = false;
     }
     if (_sampler)
-        _sampler->finish(_cycle);
-    SER_DPRINTF(Pipeline, "run: drained at cycle {}, {} committed",
-                _cycle, _committedTotal);
+        _sampler->finish(_cycle, snapshotCounters());
+    SER_DPRINTF(Pipeline,
+                "run: drained at cycle {}, {} committed, {} cycles "
+                "skipped", _cycle, _committedTotal, _cyclesSkipped);
 
     _trace.startCycle = _windowStart;
     _trace.endCycle = _cycle;
     return std::move(_trace);
 }
 
-void
-InOrderPipeline::sampleOccupancy()
+IntervalCounters
+InOrderPipeline::snapshotCounters() const
 {
-    statIqOccupancy.sample(static_cast<double>(_iq.size()));
+    IntervalCounters c;
+    c.committed = static_cast<std::uint64_t>(statCommitted.value());
+    c.fetched = static_cast<std::uint64_t>(statFetched.value());
+    c.mispredicts =
+        static_cast<std::uint64_t>(statMispredicts.value());
+    c.triggerSquashes =
+        static_cast<std::uint64_t>(statTriggerSquashes.value());
+    c.triggerSquashedInsts = static_cast<std::uint64_t>(
+        statTriggerSquashedInsts.value());
+    c.iqOccupancy = _iq.size();
+    c.iqWaiting = _iq.size() - _iqIssued;
+    return c;
+}
+
+/**
+ * The earliest cycle after _cycle at which any pipeline stage could
+ * act (or any stat/trace observation could change), given that the
+ * tick of _cycle just completed. Every stage is driven by a
+ * scoreboard cycle, a queued event cycle, or a structural condition
+ * that only another stage can change, so the minimum below is a
+ * provable lower bound: every cycle strictly before it repeats the
+ * just-executed no-op tick exactly. Returns at most `limit`
+ * (clamped also to the 32-bit trace ceiling) so a hang still hits
+ * the same panic as per-cycle ticking.
+ */
+std::uint64_t
+InOrderPipeline::nextEventCycle(std::uint64_t limit) const
+{
+    std::uint64_t next =
+        std::min<std::uint64_t>(limit, 0xffffffffULL);
+    auto consider = [&](std::uint64_t c) {
+        if (c > _cycle && c < next)
+            next = c;
+    };
+
+    // Evict/commit: the queue head is issued and completes later (the
+    // issued prefix completes in order, so the head is the minimum).
+    if (!_iq.empty() && _iq.front()->issued())
+        consider(_iq.front()->completeCycle);
+
+    // Branch resolution: the deque is ordered by resolve cycle.
+    if (!_resolutions.empty())
+        consider(_resolutions.front().cycle);
+
+    // Trigger detections (unordered, but tiny).
+    for (const TriggerEvent &t : _triggers)
+        consider(t.detectCycle);
+
+    // Issue: the oldest non-issued instruction can issue once its
+    // age and operand gates all pass...
+    if (_iqIssued < _iq.size()) {
+        const DynInst &head = *_iq[_iqIssued];
+        const isa::StaticInst &inst = head.inst;
+        const isa::OpInfo &oi = inst.info();
+        using isa::RegClass;
+        auto ready_cycle = [&](RegClass rc,
+                               std::uint8_t reg) -> std::uint64_t {
+            switch (rc) {
+              case RegClass::Int: return _intReady[reg];
+              case RegClass::Fp: return _fpReady[reg];
+              case RegClass::Pred: return _predReady[reg];
+              case RegClass::None: return 0;
+            }
+            return 0;
+        };
+        std::uint64_t r1 = ready_cycle(oi.src1Class, inst.src1());
+        std::uint64_t r2 = ready_cycle(oi.src2Class, inst.src2());
+        std::uint64_t rp = _predReady[inst.qp()];
+        std::uint64_t t = std::max(head.enqueueCycle + 1, _cycle + 1);
+        t = std::max(t, rp);
+        if (head.wrongPath || head.qpTrue)
+            t = std::max({t, r1, r2});
+        consider(t);
+        // ...and the stall-reason classification (load vs exec)
+        // re-evaluates whenever any pending operand write lands,
+        // even for operands issue itself would not wait on.
+        consider(r1);
+        consider(r2);
+        consider(rp);
+    }
+
+    // Enqueue: the front-end head ages into a free queue entry.
+    if (!_fePipe.empty() && !_freeEntries.empty())
+        consider(std::max(
+            _fePipe.front()->fetchCycle + _params.frontEndDepth,
+            _cycle + 1));
+
+    // Fetch: something is fetchable (wrong-path image pc in range, a
+    // replay pending, or the oracle stream not yet flagged done —
+    // flagging done *is* fetch's act) and the front end has room;
+    // it resumes once both the redirect and the throttle lift.
+    const std::size_t fe_cap =
+        static_cast<std::size_t>(_params.frontEndDepth) *
+        _params.enqueueWidth;
+    bool fetchable =
+        _wrongPathMode
+            ? _wrongPc < _program.size()
+            : (!_replay.empty() || !_doneFetching);
+    if (fetchable && _fePipe.size() < fe_cap)
+        consider(std::max(
+            {_fetchResumeCycle, _throttleUntil, _cycle + 1}));
+
+    return next;
+}
+
+void
+InOrderPipeline::sampleOccupancy(std::uint64_t weight)
+{
+    statIqOccupancy.sample(static_cast<double>(_iq.size()), weight);
     statIqValid.sample(
-        static_cast<double>(_iq.size() - _iqIssued));
+        static_cast<double>(_iq.size() - _iqIssued), weight);
 }
 
 void
@@ -631,36 +772,41 @@ InOrderPipeline::issueOne(DynInst &di)
     }
 }
 
-/** Why the oldest non-issued instruction cannot issue (stats). */
-void
-InOrderPipeline::recordStallReason()
+/** Why the oldest non-issued instruction cannot issue at `cycle`,
+ * as the scalar to charge. Factored out of recordStallReason so the
+ * cycle-skipping scheduler can charge a whole idle span to the same
+ * (provably constant) classification in one weighted add. */
+statistics::Scalar &
+InOrderPipeline::stallReasonAt(std::uint64_t cycle)
 {
-    if (_iqIssued >= _iq.size()) {
-        ++statStallEmpty;
-        return;
-    }
+    if (_iqIssued >= _iq.size())
+        return statStallEmpty;
     const DynInst &di = *_iq[_iqIssued];
-    if (di.enqueueCycle >= _cycle) {
-        ++statStallEmpty;
-        return;
-    }
+    if (di.enqueueCycle >= cycle)
+        return statStallEmpty;
     const isa::StaticInst &inst = di.inst;
     const isa::OpInfo &oi = inst.info();
     bool on_load = false;
     auto check = [&](isa::RegClass rc, std::uint8_t reg) {
-        if (rc == isa::RegClass::Int && _intReady[reg] > _cycle &&
+        if (rc == isa::RegClass::Int && _intReady[reg] > cycle &&
             _intByLoad[reg])
             on_load = true;
-        if (rc == isa::RegClass::Fp && _fpReady[reg] > _cycle &&
+        if (rc == isa::RegClass::Fp && _fpReady[reg] > cycle &&
             _fpByLoad[reg])
             on_load = true;
     };
     check(oi.src1Class, inst.src1());
     check(oi.src2Class, inst.src2());
     if (on_load)
-        ++statStallLoad;
-    else
-        ++statStallExec;
+        return statStallLoad;
+    return statStallExec;
+}
+
+/** Why the oldest non-issued instruction cannot issue (stats). */
+void
+InOrderPipeline::recordStallReason()
+{
+    ++stallReasonAt(_cycle);
 }
 
 void

@@ -58,6 +58,7 @@ namespace cpu
 {
 
 class IntervalSampler;
+struct IntervalCounters;
 
 /** The in-order core. One instance simulates one program run. */
 class InOrderPipeline : public statistics::StatGroup
@@ -110,6 +111,13 @@ class InOrderPipeline : public statistics::StatGroup
     /** Most DynInst slots simultaneously live (must stay within the
      * reserved front-end + queue bound; reported in the manifest). */
     std::size_t poolHighWater() const { return _pool.highWater(); }
+
+    /** Cycles the event-driven scheduler fast-forwarded over instead
+     * of ticking (0 with cycleSkip off; reported in the manifest).
+     * Deliberately not a registered stat: it is a simulator-speed
+     * observation, and the stats dump must stay byte-identical
+     * across --no-cycle-skip. */
+    std::uint64_t cyclesSkipped() const { return _cyclesSkipped; }
 
     /** Total DynInst slots reserved (fixed unless the bound is ever
      * exceeded, which would indicate a leak). */
@@ -164,6 +172,9 @@ class InOrderPipeline : public statistics::StatGroup
     // --- helpers ---
     bool operandsReady(const DynInst &di) const;
     void recordStallReason();
+    statistics::Scalar &stallReasonAt(std::uint64_t cycle);
+    std::uint64_t nextEventCycle(std::uint64_t limit) const;
+    IntervalCounters snapshotCounters() const;
     void issueOne(DynInst &di);
     void handleControlPrediction(DynInstPtr &di, bool &taken_break);
     DynInstPtr fetchOracle(bool &taken_break);
@@ -174,7 +185,7 @@ class InOrderPipeline : public statistics::StatGroup
     void finalizeIncarnation(const DynInst &di,
                              std::uint64_t evict_cycle,
                              std::uint8_t extra_flags);
-    void sampleOccupancy();
+    void sampleOccupancy(std::uint64_t weight);
     bool drained() const;
 
     unsigned latencyOf(const isa::StaticInst &inst) const;
@@ -229,6 +240,7 @@ class InOrderPipeline : public statistics::StatGroup
 
     // --- results ---
     SimTrace _trace;
+    std::uint64_t _cyclesSkipped = 0;
     std::uint64_t _committedTotal = 0;
     std::uint64_t _windowStart = 0;
     bool _windowOpen = false;

@@ -73,22 +73,58 @@ void
 IntervalSampler::tick(std::uint64_t cycle,
                       const IntervalCounters &counters)
 {
-    if (!_active)
+    advance(cycle, 1, counters);
+}
+
+void
+IntervalSampler::advance(std::uint64_t cycle, std::uint64_t span,
+                         const IntervalCounters &counters)
+{
+    if (!_active || span == 0)
         return;  // warmup: the measurement window is not open yet
-    _current.iqValidEntryCycles += counters.iqOccupancy;
-    _current.iqWaitingEntryCycles += counters.iqWaiting;
-    ++_epochTicks;
-    if (_epochTicks >= _intervalCycles)
-        closeEpoch(cycle + 1, counters);
-    else
-        _lastSeen = counters;
+    while (span > 0) {
+        // Fill the current epoch (possibly exactly), close it at its
+        // grid boundary, repeat until the span is consumed.
+        std::uint64_t take =
+            std::min(span, _intervalCycles - _epochTicks);
+        _current.iqValidEntryCycles += counters.iqOccupancy * take;
+        _current.iqWaitingEntryCycles += counters.iqWaiting * take;
+        _epochTicks += take;
+        cycle += take;
+        span -= take;
+        if (_epochTicks >= _intervalCycles)
+            closeEpoch(cycle, counters);
+    }
+    _lastSeen = counters;
+}
+
+void
+IntervalSampler::advanceMidEpoch(std::uint64_t span,
+                                 std::uint64_t occupancy,
+                                 std::uint64_t waiting)
+{
+    if (!_active || span == 0)
+        return;
+    if (_epochTicks + span >= _intervalCycles)
+        SER_FATAL("sampler: advanceMidEpoch would close an epoch "
+                  "(use advance with real counters)");
+    _current.iqValidEntryCycles += occupancy * span;
+    _current.iqWaitingEntryCycles += waiting * span;
+    _epochTicks += span;
 }
 
 void
 IntervalSampler::finish(std::uint64_t end_cycle)
 {
+    finish(end_cycle, _lastSeen);
+}
+
+void
+IntervalSampler::finish(std::uint64_t end_cycle,
+                        const IntervalCounters &counters)
+{
     if (_active && _epochTicks > 0)
-        closeEpoch(end_cycle, _lastSeen);
+        closeEpoch(end_cycle, counters);
 }
 
 void

@@ -103,12 +103,52 @@ class IntervalSampler
     /** Record the end of one simulated cycle. */
     void tick(std::uint64_t cycle, const IntervalCounters &counters);
 
+    /**
+     * Batch tick: cover the `span` cycles [cycle, cycle + span)
+     * during which every cumulative counter — and the instantaneous
+     * queue occupancy — held the values in `counters`. Closes every
+     * epoch the span crosses (an idle span can cross several), with
+     * arithmetic identical to `span` repeated tick() calls: interior
+     * closes see the same cumulative values on both sides, so their
+     * deltas are zero, exactly as per-cycle ticking would record.
+     */
+    void advance(std::uint64_t cycle, std::uint64_t span,
+                 const IntervalCounters &counters);
+
+    /**
+     * True when advance(cycle, span, ...) would close an epoch, i.e.
+     * the caller must materialize real cumulative counters.
+     * Otherwise only the occupancy accumulators are touched and the
+     * caller may use the snapshot-free advanceMidEpoch() fast path —
+     * this is what keeps the five Stat::value() conversions off the
+     * per-cycle path.
+     */
+    bool
+    needsCounters(std::uint64_t span) const
+    {
+        return _active && _epochTicks + span >= _intervalCycles;
+    }
+
+    /**
+     * Counter-free fast path for a span that stays strictly inside
+     * the current epoch (!needsCounters(span)). Does not refresh the
+     * last-seen counters, so callers mixing this in must finish with
+     * the finish(end_cycle, counters) overload.
+     */
+    void advanceMidEpoch(std::uint64_t span, std::uint64_t occupancy,
+                         std::uint64_t waiting);
+
     /** The measurement window opened at 'cycle': discard warmup
      * accumulation and restart the epoch grid there. */
     void windowOpen(std::uint64_t cycle);
 
     /** The run drained at 'end_cycle': close any partial epoch. */
     void finish(std::uint64_t end_cycle);
+
+    /** As finish(end_cycle), but with an explicit final snapshot —
+     * required when advanceMidEpoch() may have been used. */
+    void finish(std::uint64_t end_cycle,
+                const IntervalCounters &counters);
 
     const std::vector<IntervalSample> &samples() const
     {

@@ -44,6 +44,10 @@ printUsage(const char *argv0, const std::string &usage)
                  "(re-simulate every sweep point;\n"
                  "                   output is byte-identical either "
                  "way)\n"
+              << "  --no-cycle-skip  disable idle-cycle fast-forward "
+                 "in the timing pipeline\n"
+                 "                   (tick every cycle; output is "
+                 "byte-identical either way)\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -132,6 +136,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
         } else if (token == "--no-run-cache") {
             opts.runCache = false;
             RunCache::instance().setEnabled(false);
+        } else if (token == "--no-cycle-skip") {
+            opts.cycleSkip = false;
+            cpu::setDefaultCycleSkip(false);
         } else if (token == "--debug" ||
                    token.rfind("--debug=", 0) == 0) {
             debug::setFlags(

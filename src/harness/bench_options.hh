@@ -22,6 +22,9 @@
  *   --no-run-cache   disable the memoized run cache (sweep points
  *                    re-simulate instead of sharing artifacts;
  *                    output is byte-identical either way)
+ *   --no-cycle-skip  disable event-driven idle-cycle fast-forward
+ *                    in the timing pipeline (tick every cycle;
+ *                    output is byte-identical either way)
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
@@ -64,6 +67,12 @@ struct BenchOptions
     /** False after --no-run-cache (parse() also flips the
      * process-wide harness::RunCache switch). */
     bool runCache = true;
+
+    /** False after --no-cycle-skip (parse() also flips the
+     * process-wide cpu::PipelineParams default, which is how the
+     * flag reaches benches that build their configs from default
+     * params). */
+    bool cycleSkip = true;
 
     /**
      * Parse argv. Prints usage and exits on --help; fatal on an

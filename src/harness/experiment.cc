@@ -59,6 +59,7 @@ simulate(std::shared_ptr<const isa::Program> program,
     products.trace = pipeline.run();
     products.ipc = products.trace.ipc();
     products.poolHighWater = pipeline.poolHighWater();
+    products.cyclesSkipped = pipeline.cyclesSkipped();
     if (sampler)
         products.intervals = sampler->samples();
 
@@ -137,6 +138,7 @@ runProgram(std::shared_ptr<const isa::Program> program,
     out.statsJson = sim->statsJson;
     out.intervals = sim->intervals;
     out.poolHighWater = sim->poolHighWater;
+    out.cyclesSkipped = sim->cyclesSkipped;
 
     {
         ScopedTimer timer(out.timings, "deadness");

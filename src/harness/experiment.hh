@@ -102,6 +102,11 @@ struct RunArtifacts
      * pipeline (shared across cache hits of the same simulation). */
     std::uint64_t poolHighWater = 0;
 
+    /** Cycles the pipeline's event-driven scheduler fast-forwarded
+     * over instead of ticking (0 under --no-cycle-skip; shared
+     * across cache hits of the same simulation). */
+    std::uint64_t cyclesSkipped = 0;
+
     /** Per-section run-cache outcome for the manifest. "off" when
      * the cache is disabled or the run captures trace events. */
     CacheOutcome cacheSim = CacheOutcome::Off;

@@ -59,6 +59,12 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
     for (const auto &phase : run.timings.phases)
         jw.kv(phase.first, phase.second);
     jw.kv("total", run.timings.totalSeconds());
+    // Like the phase timings, cycles_skipped is a simulator-speed
+    // observation, not a simulated result: it is zero under
+    // --no-cycle-skip while everything else in the manifest stays
+    // byte-identical. Recording it inside this block keeps it under
+    // the determinism checker's existing timing mask.
+    jw.kv("cycles_skipped", run.cyclesSkipped);
     jw.endObject();
 
     const avf::AvfResult &avf = *run.avf;

@@ -180,7 +180,11 @@ RunCache::simKey(const isa::Program &program,
        << "|lat=" << p.latIntAlu << ',' << p.latIntMul << ','
        << p.latIntDiv << ',' << p.latFpAdd << ',' << p.latFpMul
        << ',' << p.latFpDiv << ',' << p.latFpCvt
-       << "|max=" << p.maxInsts << ',' << p.maxCycles << "|l0=";
+       << "|max=" << p.maxInsts << ',' << p.maxCycles
+       // cycleSkip changes no simulated result, but keying on it
+       // keeps the reported cycles_skipped truthful if one process
+       // ever mixes both settings.
+       << "|skip=" << p.cycleSkip << "|l0=";
     cache(os, m.l0);
     os << "|l1=";
     cache(os, m.l1);

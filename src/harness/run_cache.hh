@@ -89,6 +89,10 @@ struct SimProducts
     std::string statsJson;
     std::vector<cpu::IntervalSample> intervals;
     std::uint64_t poolHighWater = 0;
+
+    /** Cycles the event-driven scheduler fast-forwarded (0 under
+     * --no-cycle-skip; every simulated result is identical). */
+    std::uint64_t cyclesSkipped = 0;
 };
 
 /** The process-wide memoization cache (see the file comment). */

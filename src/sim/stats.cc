@@ -32,12 +32,14 @@ StatBase::dumpJson(json::JsonWriter &jw) const
 }
 
 void
-Average::sample(double v)
+Average::sample(double v, std::uint64_t weight)
 {
-    _sum += v;
+    if (weight == 0)
+        return;
+    _sum += v * static_cast<double>(weight);
     _min = std::min(_min, v);
     _max = std::max(_max, v);
-    ++_count;
+    _count += weight;
 }
 
 double

@@ -93,7 +93,16 @@ class Average : public StatBase
   public:
     using StatBase::StatBase;
 
-    void sample(double v);
+    /**
+     * Record `weight` identical observations of `v` in one call
+     * (mirrors Distribution::sample). The accumulation is exact for
+     * the integral values the pipeline samples — `v * weight` equals
+     * `weight` repeated additions whenever both fit in the 53-bit
+     * mantissa — which is what lets the cycle-skipping scheduler fold
+     * a whole idle span into a single weighted sample without
+     * perturbing any printed statistic.
+     */
+    void sample(double v, std::uint64_t weight = 1);
 
     double value() const override;  // the mean
     std::uint64_t count() const { return _count; }

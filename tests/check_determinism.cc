@@ -3,19 +3,19 @@
  * Standalone determinism checker for the parallel suite runner, used
  * by the determinism_validate ctest case (and handy interactively):
  *
- *     check_determinism A.json B.json [A.out B.out [A.trace B.trace]]
+ *     check_determinism A.json B.json [A.extra B.extra]...
  *
  * Asserts that two manifests produced by the same bench invocation at
- * different --jobs values are identical except for wall-clock phase
+ * different --jobs values (or across --no-cycle-skip / --no-run-cache
+ * settings) are identical except for wall-clock phase
  * timings and run-cache outcomes: the documents must match member for
  * member once every value inside a "timings_seconds" or "run_cache"
  * object is masked (the phase *keys*
  * must still match exactly — parallel runs must record the same
  * phases, including the once-per-benchmark "build" phase, just not
- * the same durations). When the optional .out pair is given, the
- * captured stdout of the two invocations must be byte-identical;
- * likewise the optional --trace-events output pair (the merged
- * Chrome trace must not depend on worker scheduling).
+ * the same durations). Any number of further file pairs (captured
+ * stdout, --trace-events output, interval .jsonl series) must each
+ * be byte-identical.
  *
  * Exits 0 when the artifacts agree, 1 with a message otherwise.
  */
@@ -173,9 +173,9 @@ slurp(const char *path, std::string *out)
 int
 main(int argc, char **argv)
 {
-    if (argc != 3 && argc != 5 && argc != 7) {
+    if (argc < 3 || argc % 2 == 0) {
         std::cerr << "usage: check_determinism A.json B.json "
-                     "[A.out B.out [A.trace B.trace]]\n";
+                     "[A.extra B.extra]...\n";
         return 2;
     }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
@@ -350,6 +351,96 @@ TEST(Pipeline, WarmupWindowShrinksMeasuredRegion)
     EXPECT_EQ(t_cold.startCycle, 0u);
     EXPECT_GT(t_warm.startCycle, 0u);
     EXPECT_LT(t_warm.committedInsts, t_cold.committedInsts);
+}
+
+TEST(Pipeline, CycleSkipIsExactUnderLongLatencies)
+{
+    // A long-latency memory hierarchy plus a squash+throttle trigger
+    // is the stress case for idle-cycle fast-forward: the queue
+    // drains behind 900-cycle misses, throttling pins fetch, and the
+    // event scheduler must jump those dead spans without perturbing
+    // one cycle of the simulated result.
+    std::string src = R"(
+        movi r2 = 12345
+        movi r3 = 1103515245
+        movi r8 = 0x100000
+        movi r4 = 400
+        loop:
+        mul r2 = r2, r3
+        addi r2 = r2, 12345
+        shri r5 = r2, 13
+        andi r5 = r5, 0x7ffff8
+        add r6 = r8, r5
+        ld8 r7 = [r6, 0]
+        xor r9 = r9, r7
+        mul r10 = r7, r7
+        addi r4 = r4, -1
+        cmplt p3 = r0, r4
+        (p3) br loop
+        out r9
+        halt
+    )";
+    isa::Program program = isa::assembleOrDie(src);
+
+    auto run = [&](bool skip, std::uint64_t *skipped,
+                   std::string *stats) {
+        PipelineParams p = quietParams();
+        p.cycleSkip = skip;
+        p.hierarchy.l1.hitLatency = 30;
+        p.hierarchy.l2.hitLatency = 120;
+        p.hierarchy.memLatency = 900;
+        InOrderPipeline pipe(program, p);
+        core::MissTriggerPolicy policy(
+            core::TriggerLevel::L0Miss,
+            core::TriggerAction::SquashThrottle);
+        pipe.setExposurePolicy(&policy);
+        pipe.setWarmupInsts(1000);
+        SimTrace t = pipe.run();
+        *skipped = pipe.cyclesSkipped();
+        std::ostringstream os;
+        pipe.dumpStats(os);
+        *stats = os.str();
+        return t;
+    };
+
+    std::uint64_t skipped_on = 0, skipped_off = 0;
+    std::string stats_on, stats_off;
+    SimTrace fast = run(true, &skipped_on, &stats_on);
+    SimTrace slow = run(false, &skipped_off, &stats_off);
+
+    EXPECT_GT(skipped_on, 0u);
+    EXPECT_EQ(skipped_off, 0u);
+
+    // Identical simulated outcome, field for field.
+    EXPECT_EQ(fast.startCycle, slow.startCycle);
+    EXPECT_EQ(fast.endCycle, slow.endCycle);
+    EXPECT_EQ(fast.committedInsts, slow.committedInsts);
+    EXPECT_EQ(fast.programHalted, slow.programHalted);
+    ASSERT_EQ(fast.commits.size(), slow.commits.size());
+    for (std::size_t i = 0; i < fast.commits.size(); ++i) {
+        EXPECT_EQ(fast.commits[i].staticIdx, slow.commits[i].staticIdx);
+        EXPECT_EQ(fast.commits[i].qpTrue, slow.commits[i].qpTrue);
+        EXPECT_EQ(fast.commits[i].memAddr, slow.commits[i].memAddr);
+    }
+    ASSERT_EQ(fast.incarnations.size(), slow.incarnations.size());
+    for (std::size_t i = 0; i < fast.incarnations.size(); ++i) {
+        const IncarnationRecord &a = fast.incarnations[i];
+        const IncarnationRecord &b = slow.incarnations[i];
+        EXPECT_EQ(a.staticIdx, b.staticIdx) << i;
+        EXPECT_EQ(a.oracleSeq, b.oracleSeq) << i;
+        EXPECT_EQ(a.enqueueCycle, b.enqueueCycle) << i;
+        EXPECT_EQ(a.issueCycle, b.issueCycle) << i;
+        EXPECT_EQ(a.evictCycle, b.evictCycle) << i;
+        EXPECT_EQ(a.iqEntry, b.iqEntry) << i;
+        EXPECT_EQ(a.flags, b.flags) << i;
+    }
+
+    // Even the formatted stats tree (cycle counts, stall breakdown,
+    // occupancy averages, trigger counters) must be byte-identical.
+    EXPECT_EQ(stats_on, stats_off);
+
+    fast.program = new isa::Program(program);
+    checkTraceInvariants(fast);
 }
 
 TEST(Pipeline, RandomProgramsAgreeWithFunctionalExecution)

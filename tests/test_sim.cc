@@ -121,6 +121,30 @@ TEST(Stats, AverageTracksMinMaxMean)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(Stats, AverageWeightedSampleMatchesRepeatedSamples)
+{
+    // The cycle-skipping pipeline folds an N-cycle idle span into one
+    // weighted sample; for integer-valued samples the products are
+    // exact, so the aggregate must be bit-identical to N plain calls.
+    statistics::StatGroup g("g");
+    statistics::Average batched(&g, "batched", "d");
+    statistics::Average ticked(&g, "ticked", "d");
+    batched.sample(3.0, 1000);
+    batched.sample(7.0);
+    for (int i = 0; i < 1000; ++i)
+        ticked.sample(3.0);
+    ticked.sample(7.0, 1);
+    EXPECT_EQ(batched.count(), ticked.count());
+    EXPECT_EQ(batched.value(), ticked.value());
+    EXPECT_EQ(batched.minValue(), ticked.minValue());
+    EXPECT_EQ(batched.maxValue(), ticked.maxValue());
+
+    // Zero weight is a no-op and must not disturb min/max.
+    batched.sample(99.0, 0);
+    EXPECT_EQ(batched.count(), 1001u);
+    EXPECT_DOUBLE_EQ(batched.maxValue(), 7.0);
+}
+
 TEST(Stats, DistributionBucketsAndOverflow)
 {
     statistics::StatGroup g("g");
@@ -570,6 +594,58 @@ TEST(Sampler, ExactMultipleLeavesNoPartialEpoch)
     sampler.finish(10);
     ASSERT_EQ(sampler.samples().size(), 2u);
     EXPECT_EQ(sampler.samples()[1].endCycle, 10u);
+}
+
+TEST(Sampler, BatchAdvanceMatchesPerCycleTicks)
+{
+    // An inert span batch-advanced in one call must leave the sampler
+    // in exactly the state that per-cycle ticking with unchanged
+    // counters would, including spans that cross several epoch
+    // boundaries and the snapshot-free mid-epoch fast path.
+    cpu::IntervalSampler ticked(10);
+    cpu::IntervalSampler batched(10);
+    ticked.windowOpen(0);
+    batched.windowOpen(0);
+
+    struct Span
+    {
+        std::uint64_t cycles;
+        std::uint64_t committed;
+        std::uint64_t occupancy;
+    };
+    const Span spans[] = {
+        {3, 4, 2}, {12, 4, 5}, {1, 6, 1}, {9, 8, 7}, {25, 9, 3},
+    };
+    std::uint64_t cycle = 0;
+    cpu::IntervalCounters c;
+    for (const Span &sp : spans) {
+        c = countersAt(sp.committed, sp.occupancy);
+        for (std::uint64_t i = 0; i < sp.cycles; ++i)
+            ticked.tick(cycle + i, c);
+        if (batched.needsCounters(sp.cycles))
+            batched.advance(cycle, sp.cycles, c);
+        else
+            batched.advanceMidEpoch(sp.cycles, c.iqOccupancy,
+                                    c.iqWaiting);
+        cycle += sp.cycles;
+    }
+    ticked.finish(cycle, c);
+    batched.finish(cycle, c);
+
+    const auto &a = ticked.samples();
+    const auto &b = batched.samples();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].startCycle, b[i].startCycle) << i;
+        EXPECT_EQ(a[i].endCycle, b[i].endCycle) << i;
+        EXPECT_EQ(a[i].committed, b[i].committed) << i;
+        EXPECT_EQ(a[i].fetched, b[i].fetched) << i;
+        EXPECT_EQ(a[i].iqValidEntryCycles, b[i].iqValidEntryCycles)
+            << i;
+        EXPECT_EQ(a[i].iqWaitingEntryCycles,
+                  b[i].iqWaitingEntryCycles)
+            << i;
+    }
 }
 
 TEST(Sampler, JsonlLinesAreCompactAndParse)
