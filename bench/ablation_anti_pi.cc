@@ -17,6 +17,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 
 using namespace ser;
@@ -39,12 +40,17 @@ main(int argc, char **argv)
 
     // One run per surrogate on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("ablation_anti_pi");
     harness::TraceExport trace_export(opts);
     for (const auto &profile : workloads::specSuite()) {
         trace_export.configure(cfg);
         runner.submit(runner.addProgram(profile, insts), cfg);
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     Table table({"benchmark", "false DUE (anti-pi)",
                  "false DUE (decode-at-retire)", "inflation"});

@@ -16,6 +16,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
@@ -38,6 +39,7 @@ main(int argc, char **argv)
     // One shared program build; the 5 sizes x {base, squash-l1}
     // runs execute on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("ablation_iq_size");
     harness::TraceExport trace_export(opts);
     std::size_t prog = runner.addProgram(benchmark, insts);
     std::vector<harness::ExperimentConfig> configs;
@@ -57,6 +59,10 @@ main(int argc, char **argv)
         configs.push_back(cfg);
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     Table table({"IQ entries", "IPC", "SDC AVF", "idle",
                  "SDC AVF (squash l1)", "squash dSDC"});

@@ -23,6 +23,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/suite.hh"
 
 using namespace ser;
@@ -46,10 +47,15 @@ main(int argc, char **argv)
     // --jobs plumbing and build/run phase timing are uniform across
     // the bench mains.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("ablation_pi_granularity");
     harness::TraceExport trace_export(opts);
     trace_export.configure(cfg);
     runner.submit(runner.addProgram(benchmark, insts), cfg);
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
     harness::RunArtifacts &r = runs.front();
 
     // A pi-bit strike is examined whenever the instruction commits

@@ -21,6 +21,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
@@ -63,6 +64,7 @@ main(int argc, char **argv)
     // eight trigger/action points; the sweep runs on the --jobs
     // worker pool with submission-order aggregation.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("ablation_triggers");
     harness::TraceExport trace_export(opts);
     std::vector<std::size_t> prog_ids;
     for (const auto &name : benchmarks)
@@ -82,6 +84,10 @@ main(int argc, char **argv)
         }
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     Table table({"trigger", "action", "IPC", "SDC AVF", "DUE AVF",
                  "SDC MITF", "DUE MITF"});

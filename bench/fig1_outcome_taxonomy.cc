@@ -28,10 +28,12 @@
 #include "faults/campaign.hh"
 #include "harness/bench_options.hh"
 #include "harness/manifest.hh"
+#include "harness/progress.hh"
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "isa/executor.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/suite.hh"
 
 using namespace ser;
@@ -85,9 +87,14 @@ main(int argc, char **argv)
     // The four campaigns share the injector and trace read-only
     // (FaultInjector::classify is const), so they fan out on the
     // --jobs worker pool. Each campaign seeds its own RNG from the
-    // config, so results are independent of scheduling.
+    // config, so results are independent of scheduling. This bench
+    // bypasses SuiteRunner, so it drives the --progress reporter
+    // itself.
+    harness::Progress &progress = harness::Progress::instance();
+    progress.beginSweep(4, "fig1_outcome_taxonomy");
     faults::CampaignResult unprot, parity, ecc, tracked;
     harness::parallelFor(4, opts.jobs, [&](std::size_t i) {
+        SER_PROF_SCOPE("campaign");
         faults::CampaignConfig c = cfg;
         switch (i) {
           case 0:
@@ -114,7 +121,9 @@ main(int argc, char **argv)
             break;
           }
         }
+        progress.runCompleted();
     });
+    progress.endSweep();
 
     for (int o = 0; o < faults::numOutcomes; ++o) {
         auto oc = static_cast<faults::Outcome>(o);

@@ -22,6 +22,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 
 using namespace ser;
@@ -64,12 +65,17 @@ main(int argc, char **argv)
     // One run per surrogate, executed on the --jobs worker pool;
     // aggregation below walks the results in suite order.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("fig2_false_due");
     harness::TraceExport trace_export(opts);
     for (const auto &profile : workloads::specSuite()) {
         trace_export.configure(cfg);
         runner.submit(runner.addProgram(profile, insts), cfg);
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     std::size_t idx = 0;
     for (const auto &profile : workloads::specSuite()) {

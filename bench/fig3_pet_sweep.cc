@@ -35,6 +35,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
@@ -80,6 +81,7 @@ main(int argc, char **argv)
     // shared read-only; each simulation/deadness/AVF is computed
     // once per benchmark (run cache) no matter how many sizes sweep.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("fig3_pet_sweep");
     harness::TraceExport trace_export(opts);
     std::vector<harness::ExperimentConfig> configs;
     for (const auto &name : benchmarks) {
@@ -97,6 +99,10 @@ main(int argc, char **argv)
         }
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     // Fold the coverage populations over the whole suite, in
     // submission order: integer sums, so the table is identical for

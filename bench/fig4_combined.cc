@@ -24,6 +24,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 
 using namespace ser;
@@ -58,6 +59,7 @@ main(int argc, char **argv)
     // Baseline and optimized runs share one program build per
     // surrogate and execute on the --jobs worker pool.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("fig4_combined");
     harness::TraceExport trace_export(opts);
     for (const auto &profile : workloads::specSuite()) {
         std::size_t prog = runner.addProgram(profile, insts);
@@ -67,6 +69,10 @@ main(int argc, char **argv)
         runner.submit(prog, opt);
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     std::size_t idx = 0;
     for (const auto &profile : workloads::specSuite()) {

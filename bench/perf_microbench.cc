@@ -19,6 +19,7 @@
 #include "isa/executor.hh"
 #include "avf/attribution.hh"
 #include "memory/hierarchy.hh"
+#include "sim/prof.hh"
 #include "sim/rng.hh"
 #include "sim/trace_event.hh"
 #include "workloads/suite.hh"
@@ -100,6 +101,30 @@ BM_TimingPipeline(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 20000);
 }
 BENCHMARK(BM_TimingPipeline);
+
+void
+BM_TimingPipelineProfiled(benchmark::State &state)
+{
+    // The same run as BM_TimingPipeline but with sim::prof enabled
+    // (as --metrics-out arms it): the gap between the two is the
+    // live telemetry cost, and BM_TimingPipeline itself (telemetry
+    // compiled in, disabled) carries the <2% disabled-overhead
+    // budget the perf_regression_gate enforces.
+    isa::Program program =
+        workloads::buildBenchmark("gzip", 1000000);
+    prof::setEnabled(true);
+    for (auto _ : state) {
+        cpu::PipelineParams params;
+        params.maxInsts = 20000;
+        cpu::InOrderPipeline pipe(program, params);
+        auto trace = pipe.run();
+        benchmark::DoNotOptimize(trace.commits.size());
+    }
+    prof::setEnabled(false);
+    prof::reset();
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingPipelineProfiled);
 
 void
 BM_TimingPipelineTraced(benchmark::State &state)

@@ -38,6 +38,7 @@
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "sim/logging.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
@@ -112,6 +113,7 @@ main(int argc, char **argv)
     // across its design points; the one-time build phase lands in
     // the first design point's manifest run only.
     harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("table1_squashing");
     harness::TraceExport trace_export(opts);
     std::vector<harness::ExperimentConfig> configs;
     for (const auto &name : benchmarks) {
@@ -135,6 +137,10 @@ main(int argc, char **argv)
         }
     }
     std::vector<harness::RunArtifacts> runs = runner.run();
+    // Everything after the sweep (fold, tables, manifest) under
+    // one profiled scope, so snapshots show sweep vs aggregation
+    // time at a glance.
+    SER_PROF_SCOPE("aggregate");
 
     // Aggregate in submission order: identical tables, averages and
     // manifest for any --jobs value.

@@ -18,9 +18,11 @@
 #include "cpu/pipeline.hh"
 #include "harness/bench_options.hh"
 #include "harness/manifest.hh"
+#include "harness/progress.hh"
 #include "harness/reporting.hh"
 #include "harness/suite_runner.hh"
 #include "sim/config.hh"
+#include "sim/prof.hh"
 #include "workloads/profile.hh"
 #include "workloads/suite.hh"
 
@@ -48,8 +50,13 @@ main(int argc, char **argv)
     // suite order so the table is identical for any job count.
     const auto &suite = workloads::specSuite();
     std::vector<avf::DeadnessResult> deadness(suite.size());
+    // Bare parallelFor (no SuiteRunner), so this bench drives the
+    // --progress reporter itself.
+    harness::Progress &progress = harness::Progress::instance();
+    progress.beginSweep(suite.size(), "table2_roster");
     harness::parallelFor(
         suite.size(), opts.jobs, [&](std::size_t i) {
+            SER_PROF_SCOPE("roster_point");
             isa::Program program =
                 workloads::buildBenchmark(suite[i], insts);
             cpu::PipelineParams params;
@@ -58,8 +65,11 @@ main(int argc, char **argv)
             cpu::SimTrace trace = pipe.run();
             trace.program = &program;
             deadness[i] = avf::analyzeDeadness(trace);
+            progress.runCompleted();
         });
+    progress.endSweep();
 
+    SER_PROF_SCOPE("aggregate");
     double dead_sum = 0;
     int count = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {

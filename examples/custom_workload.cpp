@@ -18,6 +18,7 @@
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
 #include "harness/bench_options.hh"
+#include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/assembler.hh"
@@ -73,47 +74,54 @@ main(int argc, char **argv)
 {
     harness::BenchOptions opts = harness::BenchOptions::parse(
         argc, argv, "End-to-end API tour on a hand-written kernel");
-    isa::Program program = isa::assembleOrDie(kernelSource);
-    std::cout << "assembled " << program.size()
+    auto program = std::make_shared<const isa::Program>(
+        isa::assembleOrDie(kernelSource));
+    std::cout << "assembled " << program->size()
               << " static instructions\n";
 
+    // Both design points go through the experiment harness (instead
+    // of raw pipelines): same parameters as before — no warmup, same
+    // instruction cap — plus run manifests for --json, telemetry for
+    // --metrics-out, and the shared run cache.
+    harness::TraceExport trace_export(opts);
     auto run = [&](const char *trigger) {
-        cpu::PipelineParams params;
-        params.maxInsts = 1000000;
-        cpu::InOrderPipeline pipe(program, params);
-        auto policy = core::makeTriggerPolicy(trigger, "squash");
-        pipe.setExposurePolicy(policy.get());
-        cpu::SimTrace trace = pipe.run();
-        trace.program = &program;
-        return trace;
+        harness::ExperimentConfig cfg;
+        cfg.dynamicTarget = 100'000;  // the kernel halts well before
+        cfg.warmupInsts = 0;
+        cfg.triggerLevel = trigger;
+        cfg.triggerAction = "squash";
+        cfg.pipeline.maxInsts = 1000000;
+        cfg.intervalCycles = opts.intervalCycles;
+        trace_export.configure(cfg);
+        return std::make_pair(
+            harness::runProgram(program, cfg, "histogram"), cfg);
     };
 
-    cpu::SimTrace base = run("none");
-    avf::DeadnessResult dead = avf::analyzeDeadness(base);
-    avf::AvfResult avf = avf::computeAvf(base, dead);
+    auto [baseline, base_cfg] = run("none");
+    const avf::DeadnessResult &dead = *baseline.deadness;
+    const avf::AvfResult &avf = *baseline.avf;
 
     harness::printHeading(std::cout, "baseline AVF breakdown");
     std::cout << avf.summary();
-    std::cout << "IPC " << Table::fmt(base.ipc(), 3) << ", "
-              << base.commits.size() << " committed instructions, "
+    std::cout << "IPC " << Table::fmt(baseline.ipc, 3) << ", "
+              << baseline.trace->commits.size()
+              << " committed instructions, "
               << Table::pct(dead.deadFraction())
               << " dynamically dead (" << dead.numFddReg
               << " FDD-reg, " << dead.numTddReg << " TDD-reg, "
               << dead.numFddMem + dead.numTddMem << " via memory)\n";
 
-    cpu::SimTrace squashed = run("l1");
-    avf::AvfResult avf2 =
-        avf::computeAvf(squashed, avf::analyzeDeadness(squashed));
+    auto [squashed, squash_cfg] = run("l1");
+    const avf::AvfResult &avf2 = *squashed.avf;
     harness::printHeading(std::cout, "with squash-on-L1-miss");
-    std::cout << "IPC " << Table::fmt(squashed.ipc(), 3) << " ("
-              << Table::pct(squashed.ipc() / base.ipc() - 1)
+    std::cout << "IPC " << Table::fmt(squashed.ipc, 3) << " ("
+              << Table::pct(squashed.ipc / baseline.ipc - 1)
               << "), SDC AVF " << Table::pct(avf2.sdcAvf()) << " ("
               << Table::pct(avf2.sdcAvf() / avf.sdcAvf() - 1)
               << "), DUE AVF " << Table::pct(avf2.dueAvf()) << "\n";
 
     harness::printHeading(std::cout, "false-DUE tracking levels");
-    core::FalseDueAnalysis fda = core::analyzeFalseDue(avf2, 512);
-    std::cout << fda.summary();
+    std::cout << squashed.falseDue.summary();
 
     harness::printHeading(std::cout, "PET buffer sizing");
     Table pet({"entries", "FDD-reg coverage"});
@@ -124,9 +132,13 @@ main(int argc, char **argv)
     }
     pet.print(std::cout);
 
+    trace_export.emit(std::cout, {baseline, squashed});
+
     if (!opts.jsonPath.empty()) {
         harness::JsonReport report;
         report.setArgs(opts.config);
+        report.addRun(baseline, base_cfg);
+        report.addRun(squashed, squash_cfg);
         report.addTable("pet_sizing", pet);
         report.write(opts.jsonPath);
     }

@@ -19,6 +19,7 @@
 #include "cpu/pipeline.hh"
 #include "faults/campaign.hh"
 #include "harness/bench_options.hh"
+#include "harness/experiment.hh"
 #include "harness/manifest.hh"
 #include "harness/reporting.hh"
 #include "isa/encoding.hh"
@@ -48,13 +49,20 @@ main(int argc, char **argv)
         return 1;
     }
 
-    cpu::PipelineParams params;
-    params.maxInsts = insts * 3;
-    cpu::InOrderPipeline pipe(program, params);
-    cpu::SimTrace trace = pipe.run();
-    trace.program = &program;
+    // The timing run goes through the experiment harness (instead of
+    // a raw pipeline) with the same parameters as before — no
+    // warmup, same instruction cap — so --json gets a full run
+    // manifest and --metrics-out sees the run's phases.
+    harness::ExperimentConfig run_cfg;
+    run_cfg.dynamicTarget = insts;
+    run_cfg.warmupInsts = 0;
+    run_cfg.pipeline.maxInsts = insts * 3;
+    run_cfg.intervalCycles = opts.intervalCycles;
+    harness::RunArtifacts run =
+        harness::runProgram(program, run_cfg, benchmark);
+    const cpu::SimTrace &trace = *run.trace;
 
-    faults::FaultInjector injector(program, trace,
+    faults::FaultInjector injector(*run.program, trace,
                                    golden.state().output());
 
     harness::printHeading(std::cout, "outcome distribution (" +
@@ -102,7 +110,7 @@ main(int argc, char **argv)
             continue;  // idle entries make dull stories
         const auto &inc = trace.incarnations[static_cast<std::size_t>(
             fr.incarnationIndex)];
-        const isa::StaticInst &inst = program.inst(inc.staticIdx);
+        const isa::StaticInst &inst = run.program->inst(inc.staticIdx);
         std::cout << "cycle " << site.cycle << ", entry "
                   << site.entry << ", bit " << int(site.bit) << " ("
                   << isa::fieldName(isa::fieldForBit(site.bit))
@@ -122,6 +130,7 @@ main(int argc, char **argv)
     if (!opts.jsonPath.empty()) {
         harness::JsonReport report;
         report.setArgs(config);
+        report.addRun(run, run_cfg);
         report.addTable("outcomes", outcomes);
         report.write(opts.jsonPath);
     }

@@ -31,11 +31,13 @@ main(int argc, char **argv)
     std::uint64_t insts = config.getUint("insts", 300000);
     std::string trigger = config.getString("trigger", "l1");
 
+    harness::TraceExport trace_export(opts);
     harness::ExperimentConfig base;
     base.dynamicTarget = insts;
     base.warmupInsts = insts / 10;
     base.triggerLevel = "none";
     base.intervalCycles = opts.intervalCycles;
+    trace_export.configure(base);
 
     std::cout << "Running '" << benchmark << "' ("
               << insts << " dynamic instructions)...\n";
@@ -44,6 +46,7 @@ main(int argc, char **argv)
     harness::ExperimentConfig squash = base;
     squash.triggerLevel = trigger;
     squash.triggerAction = "squash";
+    trace_export.configure(squash);
     auto squashed = harness::runBenchmark(benchmark, squash);
 
     harness::printHeading(std::cout, "baseline (no squashing)");
@@ -83,6 +86,8 @@ main(int argc, char **argv)
               << "x\n";
     std::cout << "DUE MITF ratio    " << harness::Table::fmt(due_ratio)
               << "x\n";
+
+    trace_export.emit(std::cout, {baseline, squashed});
 
     if (!opts.jsonPath.empty()) {
         harness::JsonReport report;

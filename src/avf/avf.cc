@@ -5,6 +5,7 @@
 
 #include "isa/encoding.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 
 namespace ser
 {
@@ -263,6 +264,13 @@ AvfResult
 computeAvf(const cpu::SimTrace &trace, const DeadnessResult &deadness,
            std::uint64_t epoch_cycles)
 {
+    SER_PROF_SCOPE("avf_fold");
+    static prof::Counter folded(
+        "avf.incarnations_folded",
+        "Instruction-queue incarnation records folded into "
+        "bit-cycle classes.");
+    folded.add(trace.incarnations.size());
+
     AvfResult r;
     const std::uint64_t wlo = trace.startCycle;
     const std::uint64_t whi = trace.endCycle;

@@ -5,6 +5,7 @@
 
 #include "avf/range_min.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 
 namespace ser
 {
@@ -155,9 +156,16 @@ hardwiredPred(std::uint8_t reg)
 DeadnessResult
 analyzeDeadness(const cpu::SimTrace &trace)
 {
+    SER_PROF_SCOPE("deadness_scan");
+    static prof::Counter scanned(
+        "deadness.commits_scanned",
+        "Committed instructions classified by the deadness "
+        "backward pass.");
+
     const isa::Program &program = *trace.program;
     const auto &commits = trace.commits;
     const std::size_t n = commits.size();
+    scanned.add(n);
 
     DeadnessResult result;
     result.kind.assign(n, DeadKind::Live);

@@ -5,6 +5,7 @@
 #include "cpu/sampler.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 #include "sim/trace_event.hh"
 
 namespace ser
@@ -131,6 +132,8 @@ InOrderPipeline::drained() const
 SimTrace
 InOrderPipeline::run()
 {
+    SER_PROF_SCOPE("tick_loop");
+    std::uint64_t loop_ticks = 0;
     std::uint64_t max_cycles =
         _params.maxCycles
             ? _params.maxCycles
@@ -161,6 +164,7 @@ InOrderPipeline::run()
                       "(committed {}, iq {}, fe {})",
                       max_cycles, _committedTotal, _iq.size(),
                       _fePipe.size());
+        ++loop_ticks;
         evictAndCommit();
         resolveBranches();
         processTriggers();
@@ -255,6 +259,34 @@ InOrderPipeline::run()
     SER_DPRINTF(Pipeline,
                 "run: drained at cycle {}, {} committed, {} cycles "
                 "skipped", _cycle, _committedTotal, _cyclesSkipped);
+
+    // Flush the run's totals to the prof layer in one batch — a
+    // local accumulator in the loop, one Counter::add here, so the
+    // tick loop itself carries no telemetry cost. The tick/skip
+    // counts are simulator-speed observations (they change under
+    // --no-cycle-skip); committed instructions and the drain cycle
+    // are architectural and byte-stable across jobs and skip modes.
+    {
+        static prof::Counter ticks(
+            "speed.tick_loop_iterations",
+            "Tick-loop iterations executed (events, not cycles, "
+            "under cycle skipping).");
+        static prof::Counter skipped(
+            "speed.cycles_skipped",
+            "Idle cycles fast-forwarded by the event-driven "
+            "scheduler.");
+        static prof::Counter cycles(
+            "pipeline.simulated_cycles",
+            "Total simulated cycles (identical with or without "
+            "cycle skipping).");
+        static prof::Counter commits(
+            "pipeline.committed_insts",
+            "Committed instructions across all simulations.");
+        ticks.add(loop_ticks);
+        skipped.add(_cyclesSkipped);
+        cycles.add(_cycle);
+        commits.add(_committedTotal);
+    }
 
     _trace.startCycle = _windowStart;
     _trace.endCycle = _cycle;

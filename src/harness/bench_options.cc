@@ -3,10 +3,13 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/metrics.hh"
+#include "harness/progress.hh"
 #include "harness/run_cache.hh"
 #include "harness/suite_runner.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 
 namespace ser
 {
@@ -48,6 +51,12 @@ printUsage(const char *argv0, const std::string &usage)
                  "in the timing pipeline\n"
                  "                   (tick every cycle; output is "
                  "byte-identical either way)\n"
+              << "  --metrics-out F  write Prometheus text-exposition "
+                 "telemetry snapshots to F\n"
+                 "                   (every sweep epoch and at exit; "
+                 "also enables sim::prof)\n"
+              << "  --progress       live one-line sweep progress on "
+                 "stderr\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -139,6 +148,15 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
         } else if (token == "--no-cycle-skip") {
             opts.cycleSkip = false;
             cpu::setDefaultCycleSkip(false);
+        } else if (token == "--metrics-out" ||
+                   token.rfind("--metrics-out=", 0) == 0) {
+            opts.metricsOutPath =
+                optionValue(argc, argv, i, "--metrics-out", token);
+            if (opts.metricsOutPath.empty())
+                SER_FATAL("{}: --metrics-out needs a path", argv[0]);
+        } else if (token == "--progress") {
+            opts.progress = true;
+            Progress::instance().setEnabled(true);
         } else if (token == "--debug" ||
                    token.rfind("--debug=", 0) == 0) {
             debug::setFlags(
@@ -168,6 +186,17 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
         SER_WARN("--intervals has no effect without --json: the "
                  "time series is written to "
                  "<manifest>.intervals.jsonl");
+    // Arm telemetry last, so a --help/usage error never leaves a
+    // half-armed registry. The atexit snapshot makes plain
+    // (non-suite) binaries emit a final exposition file too.
+    if (!opts.metricsOutPath.empty()) {
+        prof::setEnabled(true);
+        MetricsRegistry::instance().setOutputPath(
+            opts.metricsOutPath);
+        std::atexit([] {
+            MetricsRegistry::instance().writeSnapshot();
+        });
+    }
     return opts;
 }
 

@@ -25,6 +25,11 @@
  *   --no-cycle-skip  disable event-driven idle-cycle fast-forward
  *                    in the timing pipeline (tick every cycle;
  *                    output is byte-identical either way)
+ *   --metrics-out F  enable telemetry (sim::prof counters and scope
+ *                    timers) and write a Prometheus text-exposition
+ *                    snapshot to F at every sweep epoch and at exit
+ *   --progress       live one-line sweep progress on stderr
+ *                    (completed/total, runs/s, cache hit rate, ETA)
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
@@ -73,6 +78,16 @@ struct BenchOptions
      * flag reaches benches that build their configs from default
      * params). */
     bool cycleSkip = true;
+
+    /** --metrics-out F; empty = off. parse() arms the process-wide
+     * MetricsRegistry, enables sim::prof, and registers an atexit
+     * final snapshot, so every binary that parses its argv through
+     * here gets telemetry with no further wiring. */
+    std::string metricsOutPath;
+
+    /** True after --progress (parse() also arms the process-wide
+     * harness::Progress reporter). */
+    bool progress = false;
 
     /**
      * Parse argv. Prints usage and exits on --help; fatal on an

@@ -6,8 +6,10 @@
 #include "core/pet_buffer.hh"
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
+#include "harness/metrics.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 #include "sim/trace_event.hh"
 #include "workloads/suite.hh"
 
@@ -80,12 +82,14 @@ simulate(std::shared_ptr<const isa::Program> program,
     return products;
 }
 
-} // namespace
-
+/** The body of runProgram; the public wrapper adds the run-status
+ * accounting around it. */
 RunArtifacts
-runProgram(std::shared_ptr<const isa::Program> program,
-           const ExperimentConfig &config, const std::string &name)
+runProgramImpl(std::shared_ptr<const isa::Program> program,
+               const ExperimentConfig &config,
+               const std::string &name)
 {
+    SER_PROF_SCOPE("run");
     RunArtifacts out;
     out.benchmark = name;
     out.program = std::move(program);
@@ -113,6 +117,7 @@ runProgram(std::shared_ptr<const isa::Program> program,
     std::shared_ptr<const SimProducts> sim;
     {
         ScopedTimer timer(out.timings, "pipeline");
+        SER_PROF_SCOPE("pipeline");
         if (cacheable) {
             sim_key = RunCache::simKey(*out.program, config, params);
             sim = cache.getSim(
@@ -142,6 +147,7 @@ runProgram(std::shared_ptr<const isa::Program> program,
 
     {
         ScopedTimer timer(out.timings, "deadness");
+        SER_PROF_SCOPE("deadness");
         auto compute = [&] { return avf::analyzeDeadness(*out.trace); };
         if (cacheable)
             out.deadness = cache.getDeadness(
@@ -154,6 +160,7 @@ runProgram(std::shared_ptr<const isa::Program> program,
     }
     {
         ScopedTimer timer(out.timings, "avf");
+        SER_PROF_SCOPE("avf");
         auto compute = [&] {
             return avf::computeAvf(*out.trace, *out.deadness,
                                    config.intervalCycles);
@@ -167,15 +174,18 @@ runProgram(std::shared_ptr<const isa::Program> program,
     }
     {
         ScopedTimer timer(out.timings, "false_due");
+        SER_PROF_SCOPE("false_due");
         out.falseDue =
             core::analyzeFalseDue(*out.avf, config.petSize);
     }
     if (config.attributionTopN) {
         ScopedTimer timer(out.timings, "attribution");
+        SER_PROF_SCOPE("attribution");
         out.attribution =
             avf::attributeAvf(*out.trace, *out.deadness);
     }
     if (tw) {
+        SER_PROF_SCOPE("trace_export");
         // Post-run PET-buffer replay (tracing only): drive the
         // operational buffer with the committed stream, pi set on
         // first-level-dead register defs — the population the PET
@@ -201,14 +211,55 @@ runProgram(std::shared_ptr<const isa::Program> program,
         if (!tw->balanced())
             SER_PANIC("trace: run '{}' left unbalanced duration "
                       "slices", name);
+        MetricsRegistry::instance().add(
+            "ser_trace_events_total", tw->eventCount(),
+            "Chrome trace events emitted by instruction-lifetime "
+            "capture runs.");
         out.traceEvents = tw->str();
     }
+    return out;
+}
+
+} // namespace
+
+RunArtifacts
+runProgram(std::shared_ptr<const isa::Program> program,
+           const ExperimentConfig &config, const std::string &name)
+{
+    MetricsRegistry &metrics = MetricsRegistry::instance();
+    RunArtifacts out;
+    try {
+        out = runProgramImpl(std::move(program), config, name);
+    } catch (...) {
+        metrics.add("ser_runs_total", 1,
+                    "Experiment runs by final status.", "status",
+                    "failed");
+        throw;
+    }
+    metrics.add("ser_runs_total", 1,
+                "Experiment runs by final status.", "status", "ok");
+    for (const auto &phase : out.timings.phases)
+        metrics.addSeconds(
+            "ser_run_phase_seconds_total", phase.second,
+            "Wall-clock seconds per experiment phase.", "phase",
+            phase.first);
+    metrics.maxGauge(
+        "ser_dyninst_pool_high_water", out.poolHighWater,
+        "Largest in-flight DynInst pool size observed in any run.");
     return out;
 }
 
 void
 prependTimings(PhaseTimings head, RunArtifacts &run)
 {
+    // Phases recorded outside runProgram (the one-time program
+    // build) reach the metrics registry here — called exactly once
+    // per build, so nothing double-counts.
+    for (const auto &phase : head.phases)
+        MetricsRegistry::instance().addSeconds(
+            "ser_run_phase_seconds_total", phase.second,
+            "Wall-clock seconds per experiment phase.", "phase",
+            phase.first);
     head.phases.insert(head.phases.end(),
                        run.timings.phases.begin(),
                        run.timings.phases.end());

@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "core/tracking.hh"
+#include "harness/run_cache.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/prof.hh"
 #include "sim/trace_event.hh"
 
 namespace ser
@@ -256,6 +258,7 @@ JsonReport::intervalsPath(const std::string &json_path)
 void
 JsonReport::write(const std::string &path) const
 {
+    SER_PROF_SCOPE("manifest_write");
     std::ofstream os(path);
     if (!os)
         SER_FATAL("manifest: cannot open '{}' for writing", path);
@@ -280,6 +283,31 @@ JsonReport::write(const std::string &path) const
     for (const auto &run : _runs)
         jw.rawValue(run);
     jw.endArray();
+    // Process-wide run-cache totals at manifest-write time (every
+    // run above has completed by now). Values inside a "run_cache"
+    // object are masked by the determinism checker, like the per-run
+    // outcome blocks; the counts themselves are schedule-independent
+    // anyway (one miss per distinct key).
+    {
+        RunCache &cache = RunCache::instance();
+        jw.key("run_cache");
+        jw.beginObject();
+        jw.kv("enabled", cache.enabled());
+        auto section = [&jw](const char *name,
+                             const RunCache::Counters &c) {
+            jw.key(name);
+            jw.beginObject();
+            jw.kv("hits", c.hits);
+            jw.kv("misses", c.misses);
+            jw.kv("evictions", c.evictions);
+            jw.kv("bytes", c.bytes);
+            jw.endObject();
+        };
+        section("sim", cache.simCounters());
+        section("deadness", cache.deadnessCounters());
+        section("avf", cache.avfCounters());
+        jw.endObject();
+    }
     if (!_intervalLines.empty())
         jw.kv("intervals_file", intervalsPath(path));
     jw.endObject();
@@ -301,6 +329,7 @@ void
 writeTraceEventsFile(const std::string &path,
                      const std::vector<RunArtifacts> &runs)
 {
+    SER_PROF_SCOPE("trace_write");
     std::vector<const std::string *> fragments;
     fragments.reserve(runs.size());
     for (const RunArtifacts &run : runs)

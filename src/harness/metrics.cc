@@ -1,0 +1,278 @@
+#include "metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "harness/run_cache.hh"
+#include "sim/logging.hh"
+#include "sim/prof.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+namespace
+{
+
+/** Prometheus metric/label-name alphabet: [a-zA-Z0-9_:]; anything
+ * else (the prof layer's dots) becomes '_'. */
+std::string
+sanitize(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Label values get the exposition-format escapes. */
+std::string
+escapeLabelValue(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\' || c == '"')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+renderLabels(std::string_view key, std::string_view value)
+{
+    if (key.empty())
+        return "";
+    return "{" + sanitize(key) + "=\"" +
+           escapeLabelValue(value) + "\"}";
+}
+
+/** Shortest-round-trip formatting for gauge/seconds values, so the
+ * exposition bytes are a pure function of the double. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    for (int precision = 1; precision <= 16; ++precision) {
+        char probe[64];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+        std::sscanf(probe, "%lf", &parsed);
+        if (parsed == v)
+            return probe;
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+promCounterName(const std::string &prof_name)
+{
+    const std::string speed_prefix = "speed.";
+    if (prof_name.rfind(speed_prefix, 0) == 0)
+        return "ser_speed_" +
+               sanitize(prof_name.substr(speed_prefix.size())) +
+               "_total";
+    return "ser_prof_" + sanitize(prof_name) + "_total";
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+void
+MetricsRegistry::setOutputPath(std::string path)
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    _outputPath = std::move(path);
+}
+
+std::string
+MetricsRegistry::outputPath() const
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    return _outputPath;
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::upsert(std::string_view name, Kind kind,
+                        std::string_view help,
+                        std::string_view label_key,
+                        std::string_view label_value)
+{
+    // _lock is held by the caller.
+    Family &family = _families[sanitize(name)];
+    if (family.series.empty()) {
+        family.kind = kind;
+        family.help = help;
+    }
+    return family.series[renderLabels(label_key, label_value)];
+}
+
+void
+MetricsRegistry::add(std::string_view name, std::uint64_t v,
+                     std::string_view help,
+                     std::string_view label_key,
+                     std::string_view label_value)
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    upsert(name, Kind::Counter, help, label_key, label_value)
+        .uvalue += v;
+}
+
+void
+MetricsRegistry::addSeconds(std::string_view name, double v,
+                            std::string_view help,
+                            std::string_view label_key,
+                            std::string_view label_value)
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    upsert(name, Kind::Seconds, help, label_key, label_value)
+        .dvalue += v;
+}
+
+void
+MetricsRegistry::setGauge(std::string_view name, double v,
+                          std::string_view help,
+                          std::string_view label_key,
+                          std::string_view label_value)
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    upsert(name, Kind::Gauge, help, label_key, label_value)
+        .dvalue = v;
+}
+
+void
+MetricsRegistry::maxGauge(std::string_view name, std::uint64_t v,
+                          std::string_view help,
+                          std::string_view label_key,
+                          std::string_view label_value)
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    Series &series =
+        upsert(name, Kind::Gauge, help, label_key, label_value);
+    if (static_cast<double>(v) > series.dvalue)
+        series.dvalue = static_cast<double>(v);
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    for (const auto &entry : _families) {
+        const Family &family = entry.second;
+        if (!family.help.empty())
+            os << "# HELP " << entry.first << " " << family.help
+               << "\n";
+        os << "# TYPE " << entry.first << " "
+           << (family.kind == Kind::Gauge ? "gauge" : "counter")
+           << "\n";
+        for (const auto &series : family.series) {
+            os << entry.first << series.first << " ";
+            if (family.kind == Kind::Counter)
+                os << series.second.uvalue;
+            else
+                os << formatDouble(series.second.dvalue);
+            os << "\n";
+        }
+    }
+}
+
+void
+MetricsRegistry::collectProcessMetrics()
+{
+    // Run-cache sections: their counters are already process totals,
+    // so import them as absolute values (idempotent across repeated
+    // snapshots).
+    RunCache &cache = RunCache::instance();
+    struct SectionStats
+    {
+        const char *name;
+        RunCache::Counters counters;
+    } sections[] = {
+        {"sim", cache.simCounters()},
+        {"deadness", cache.deadnessCounters()},
+        {"avf", cache.avfCounters()},
+    };
+    std::lock_guard<std::mutex> guard(_lock);
+    for (const SectionStats &s : sections) {
+        upsert("ser_run_cache_hits_total", Kind::Counter,
+               "Run-cache lookups answered from cache.", "section",
+               s.name).uvalue = s.counters.hits;
+        upsert("ser_run_cache_misses_total", Kind::Counter,
+               "Run-cache lookups that computed.", "section",
+               s.name).uvalue = s.counters.misses;
+        upsert("ser_run_cache_evictions_total", Kind::Counter,
+               "Entries evicted by the FIFO capacity bound.",
+               "section", s.name).uvalue = s.counters.evictions;
+        upsert("ser_run_cache_bytes", Kind::Gauge,
+               "Approximate bytes retained per cache section.",
+               "section", s.name).dvalue =
+            static_cast<double>(s.counters.bytes);
+    }
+
+    // The prof layer: counters (already name-sorted) and the
+    // hierarchical scope profile.
+    prof::Snapshot snap = prof::snapshot();
+    for (const prof::CounterSample &c : snap.counters)
+        upsert(promCounterName(c.name), Kind::Counter, c.desc, "",
+               "").uvalue = c.value;
+    for (const prof::ScopeSample &s : snap.scopes) {
+        upsert("ser_prof_scope_calls_total", Kind::Counter,
+               "Times each profiled scope was entered.", "scope",
+               s.path).uvalue = s.calls;
+        upsert("ser_prof_scope_seconds_total", Kind::Seconds,
+               "Wall-clock seconds spent in each profiled scope.",
+               "scope", s.path).dvalue = s.seconds;
+    }
+}
+
+bool
+MetricsRegistry::writeSnapshot()
+{
+    std::string path = outputPath();
+    if (path.empty())
+        return false;
+    collectProcessMetrics();
+
+    // Write-to-temp + rename: a concurrent reader (tail -f, a
+    // scraper) always sees a complete exposition document.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            SER_FATAL("metrics: cannot open '{}' for writing", tmp);
+        writePrometheus(os);
+        if (!os)
+            SER_FATAL("metrics: write to '{}' failed", tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        SER_FATAL("metrics: cannot rename '{}' to '{}'", tmp, path);
+    return true;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> guard(_lock);
+    _families.clear();
+}
+
+} // namespace harness
+} // namespace ser

@@ -23,8 +23,12 @@ cacheOutcomeName(CacheOutcome outcome)
 RunCache &
 RunCache::instance()
 {
-    static RunCache cache;
-    return cache;
+    // Leaked intentionally (like MetricsRegistry and prof's
+    // registry): the --metrics-out atexit snapshot reads the cache's
+    // counters after main returns, which must not race static
+    // destruction. The OS reclaims the entries at process exit.
+    static RunCache *cache = new RunCache;
+    return *cache;
 }
 
 void
@@ -71,6 +75,7 @@ RunCache::get(Section &section, const std::string &key,
                 // alive through their shared_ptr.
                 section.map.erase(section.fifo.front());
                 section.fifo.pop_front();
+                ++section.counters.evictions;
             }
         }
     }
@@ -80,7 +85,9 @@ RunCache::get(Section &section, const std::string &key,
     // *different* keys overlap; racers on the same key block here
     // and share the first thread's result.
     std::call_once(entry->once, [&] {
-        entry->value = std::make_shared<T>(compute());
+        auto value = std::make_shared<T>(compute());
+        entry->bytes.store(approxBytes(*value));
+        entry->value = std::move(value);
     });
     return std::static_pointer_cast<const T>(entry->value);
 }
@@ -111,24 +118,67 @@ RunCache::getAvf(const std::string &key,
 }
 
 RunCache::Counters
+RunCache::sectionCounters(const Section &section)
+{
+    std::lock_guard<std::mutex> guard(section.lock);
+    Counters counters = section.counters;
+    for (const auto &entry : section.map)
+        counters.bytes += entry.second->bytes.load();
+    return counters;
+}
+
+RunCache::Counters
 RunCache::simCounters() const
 {
-    std::lock_guard<std::mutex> guard(_sim.lock);
-    return _sim.counters;
+    return sectionCounters(_sim);
 }
 
 RunCache::Counters
 RunCache::deadnessCounters() const
 {
-    std::lock_guard<std::mutex> guard(_deadness.lock);
-    return _deadness.counters;
+    return sectionCounters(_deadness);
 }
 
 RunCache::Counters
 RunCache::avfCounters() const
 {
-    std::lock_guard<std::mutex> guard(_avf.lock);
-    return _avf.counters;
+    return sectionCounters(_avf);
+}
+
+std::uint64_t
+approxBytes(const SimProducts &products)
+{
+    std::uint64_t bytes = sizeof(SimProducts);
+    bytes += products.trace.commits.size() *
+             sizeof(cpu::CommitRecord);
+    bytes += products.trace.incarnations.size() *
+             sizeof(cpu::IncarnationRecord);
+    bytes += products.statsDump.size() + products.statsJson.size();
+    bytes += products.intervals.size() * sizeof(cpu::IntervalSample);
+    if (products.program) {
+        bytes += sizeof(isa::Program);
+        bytes += products.program->size() * sizeof(isa::StaticInst);
+        bytes += products.program->dataInits().size() *
+                 sizeof(isa::DataInit);
+    }
+    return bytes;
+}
+
+std::uint64_t
+approxBytes(const avf::DeadnessResult &result)
+{
+    return sizeof(avf::DeadnessResult) +
+           result.kind.size() * sizeof(avf::DeadKind) +
+           result.overwriteDist.size() * sizeof(std::uint32_t) +
+           result.returnFdd.size() / 8;
+}
+
+std::uint64_t
+approxBytes(const avf::AvfResult &result)
+{
+    return sizeof(avf::AvfResult) +
+           result.fddRegExposures.size() * sizeof(avf::FddExposure) +
+           result.epochs.size() * sizeof(avf::EpochAce);
 }
 
 std::uint64_t

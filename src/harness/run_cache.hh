@@ -118,6 +118,14 @@ class RunCache
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        /** Entries dropped by the FIFO capacity bound (0 with the
+         * default unlimited capacity; deterministic regardless —
+         * every insert beyond capacity evicts exactly one). */
+        std::uint64_t evictions = 0;
+        /** Approximate bytes retained by the entries currently in
+         * the section (summed at query time, so it reflects
+         * evictions). */
+        std::uint64_t bytes = 0;
     };
 
     Counters simCounters() const;
@@ -170,6 +178,10 @@ class RunCache
     {
         std::once_flag once;
         std::shared_ptr<void> value;
+        /** approxBytes() of the value, stored by the computing
+         * thread; atomic so counters() can read it without joining
+         * the once_flag. */
+        std::atomic<std::uint64_t> bytes{0};
     };
 
     struct Section
@@ -188,12 +200,21 @@ class RunCache
                                  const std::function<T()> &compute,
                                  CacheOutcome *outcome);
 
+    static Counters sectionCounters(const Section &section);
+
     std::atomic<bool> _enabled{true};
     std::atomic<std::size_t> _capacity{0};
     Section _sim;
     Section _deadness;
     Section _avf;
 };
+
+/** Approximate retained footprint of a cached value: sizeof the
+ * struct plus its containers' element storage. Used for the
+ * per-section bytes counters. */
+std::uint64_t approxBytes(const SimProducts &products);
+std::uint64_t approxBytes(const avf::DeadnessResult &result);
+std::uint64_t approxBytes(const avf::AvfResult &result);
 
 } // namespace harness
 } // namespace ser

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "harness/metrics.hh"
+#include "harness/progress.hh"
 #include "sim/logging.hh"
 #include "workloads/suite.hh"
 
@@ -131,23 +133,37 @@ SuiteRunner::run()
     _ran = true;
 
     std::vector<RunArtifacts> results(_queue.size());
+    Progress &progress = Progress::instance();
+    progress.beginSweep(_queue.size(), _label);
+    std::atomic<std::uint64_t> completed{0};
     parallelFor(_queue.size(), _jobs, [&](std::size_t i) {
         Job &job = _queue[i];
         if (job.fn) {
             results[i] = job.fn();
-            return;
+        } else {
+            SharedProgram &shared = *_programs[job.programId];
+            std::call_once(shared.built, [&] {
+                ScopedTimer timer(shared.buildTimings, "build");
+                shared.program =
+                    std::make_shared<const isa::Program>(
+                        workloads::buildBenchmark(
+                            shared.profile, shared.dynamicTarget));
+            });
+            results[i] = runProgram(shared.program, job.config,
+                                    shared.profile.name);
+            results[i].seed = shared.profile.seed;
         }
-        SharedProgram &shared = *_programs[job.programId];
-        std::call_once(shared.built, [&] {
-            ScopedTimer timer(shared.buildTimings, "build");
-            shared.program = std::make_shared<const isa::Program>(
-                workloads::buildBenchmark(shared.profile,
-                                          shared.dynamicTarget));
-        });
-        results[i] = runProgram(shared.program, job.config,
-                                shared.profile.name);
-        results[i].seed = shared.profile.seed;
+        progress.runCompleted();
+        // The sweep epoch: a live exposition snapshot every
+        // epochRuns completions, so a watcher sees the sweep move.
+        std::uint64_t done = completed.fetch_add(1) + 1;
+        if (done % MetricsRegistry::epochRuns == 0)
+            MetricsRegistry::instance().writeSnapshot();
     });
+    progress.endSweep();
+    MetricsRegistry::instance().add(
+        "ser_sweeps_total", 1,
+        "Suite sweeps (SuiteRunner::run calls) completed.");
 
     // The build happened on whichever worker got there first; the
     // manifest records it exactly once, on the deterministic

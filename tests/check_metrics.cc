@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Standalone comparator for --metrics-out snapshots, used by the
+ * metrics_determinism ctest cases (and handy interactively):
+ *
+ *     check_metrics A.prom B.prom
+ *
+ * Asserts that two Prometheus exposition files written by the same
+ * bench invocation at different --jobs values (or across
+ * --no-cycle-skip) are identical line for line once the *values* of
+ * the two documented non-deterministic metric classes are masked
+ * (metrics.hh's determinism contract):
+ *
+ *   - wall-clock metrics: family name ends in `_seconds` or
+ *     `_seconds_total` (scope timers, phase timings);
+ *   - simulator-speed observations: family name starts with
+ *     `ser_speed_` (tick-loop iterations, skipped cycles — these
+ *     also differ across --no-cycle-skip).
+ *
+ * Masking replaces the value only; the metric names, label blocks,
+ * HELP/TYPE headers, series order and line count must all still
+ * match exactly, so a run that *records* different scopes or
+ * counters fails even when every differing value is wall-clock.
+ *
+ * Exits 0 when the snapshots agree, 1 with the first offending line
+ * otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** The family name of a sample line: everything before the label
+ * block or the value separator. */
+std::string
+familyName(const std::string &line)
+{
+    std::size_t end = line.find_first_of("{ ");
+    return line.substr(0, end);
+}
+
+bool
+isMaskedFamily(const std::string &family)
+{
+    return endsWith(family, "_seconds") ||
+           endsWith(family, "_seconds_total") ||
+           startsWith(family, "ser_speed_");
+}
+
+/** A sample line with a masked family keeps everything up to and
+ * including the space before the value; the value becomes "masked".
+ * Comment lines (# HELP / # TYPE) and unmasked samples pass through
+ * untouched. */
+std::string
+maskLine(const std::string &line)
+{
+    if (line.empty() || line[0] == '#')
+        return line;
+    if (!isMaskedFamily(familyName(line)))
+        return line;
+    std::size_t sep = line.rfind(' ');
+    if (sep == std::string::npos)
+        return line;
+    return line.substr(0, sep + 1) + "masked";
+}
+
+bool
+loadLines(const char *path, std::vector<std::string> *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "check_metrics: cannot open '" << path << "'\n";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line))
+        out->push_back(maskLine(line));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: check_metrics A.prom B.prom\n";
+        return 2;
+    }
+
+    std::vector<std::string> a, b;
+    if (!loadLines(argv[1], &a) || !loadLines(argv[2], &b))
+        return 1;
+
+    std::size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) {
+            std::cerr << "check_metrics: '" << argv[1] << "' and '"
+                      << argv[2] << "' differ at line " << i + 1
+                      << " (after masking):\n  " << a[i] << "\n  "
+                      << b[i] << "\n";
+            return 1;
+        }
+    }
+    if (a.size() != b.size()) {
+        std::cerr << "check_metrics: '" << argv[1] << "' has "
+                  << a.size() << " lines but '" << argv[2]
+                  << "' has " << b.size() << "\n";
+        return 1;
+    }
+
+    std::cout << "check_metrics: snapshots agree (" << a.size()
+              << " lines)\n";
+    return 0;
+}

@@ -265,6 +265,59 @@ TEST_F(RunCacheTest, FifoEvictionRecomputesEvictedKeys)
     EXPECT_DOUBLE_EQ(r1.ipc, r3.ipc);
 }
 
+TEST_F(RunCacheTest, CountersTrackEvictionsAndBytes)
+{
+    cache().setCapacity(1);
+    auto program = buildShared("gzip", 5000);
+    harness::ExperimentConfig a = smallConfig();
+    harness::ExperimentConfig b = smallConfig();
+    b.pipeline.iqEntries = 16;
+
+    auto r1 = harness::runProgram(program, a, "gzip");
+    auto sim = cache().simCounters();
+    EXPECT_EQ(sim.evictions, 0u);
+    EXPECT_GT(sim.bytes, sizeof(harness::SimProducts));
+    // One entry per section, so the bytes gauge is exactly that
+    // entry's approxBytes.
+    EXPECT_EQ(cache().deadnessCounters().bytes,
+              harness::approxBytes(*r1.deadness));
+    EXPECT_EQ(cache().avfCounters().bytes,
+              harness::approxBytes(*r1.avf));
+
+    // A different timing key at capacity 1 evicts r1's entries from
+    // every section; the bytes gauges track the surviving entry.
+    auto r2 = harness::runProgram(program, b, "gzip");
+    sim = cache().simCounters();
+    EXPECT_EQ(sim.misses, 2u);
+    EXPECT_EQ(sim.evictions, 1u);
+    EXPECT_EQ(cache().deadnessCounters().evictions, 1u);
+    EXPECT_EQ(cache().avfCounters().evictions, 1u);
+    EXPECT_EQ(cache().deadnessCounters().bytes,
+              harness::approxBytes(*r2.deadness));
+
+    cache().clear();
+    sim = cache().simCounters();
+    EXPECT_EQ(sim.evictions, 0u);
+    EXPECT_EQ(sim.bytes, 0u);
+}
+
+TEST_F(RunCacheTest, BytesAreAFunctionOfContent)
+{
+    // The footprint estimate must be deterministic: two passes over
+    // the same work report identical bytes (the metrics determinism
+    // fixture byte-compares these across --jobs counts).
+    auto program = buildShared("mcf", 5000);
+    harness::ExperimentConfig cfg = smallConfig();
+
+    (void)harness::runProgram(program, cfg, "mcf");
+    auto first = cache().simCounters();
+    reset();
+    (void)harness::runProgram(program, cfg, "mcf");
+    auto second = cache().simCounters();
+    EXPECT_GT(first.bytes, 0u);
+    EXPECT_EQ(first.bytes, second.bytes);
+}
+
 TEST_F(RunCacheTest, DisabledCacheComputesDirectly)
 {
     cache().setEnabled(false);
