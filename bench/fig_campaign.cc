@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Statistical fault-injection campaigns cross-validating the
+ * analytical AVF fold (the paper's ACE methodology) against
+ * *measured* outcome rates.
+ *
+ * For each benchmark x protection level, a Monte-Carlo campaign
+ * samples (structure, entry, bit, cycle) sites, classifies each via
+ * checkpoint/fork counterfactual re-execution, and reports the
+ * measured SDC/DUE rates with 95% Wilson CIs next to the analytical
+ * AVF band each must cover. The final table is the empirical check
+ * that the ACE analysis brackets ground truth: measured SDC lands in
+ * [field-refined ACE, whole-payload ACE], measured DUE under parity
+ * lands on the pre-read occupancy the fold counts.
+ *
+ * Usage: fig_campaign [insts=N] [samples=N] [benchmarks=a,b]
+ *                     [protections=none,parity,ecc]
+ *                     [structures=iq,regfile] [cseed=N] [batch=N]
+ *                     [checkpoints=N] [--ci-target X] [--topn N]
+ *                     [--jobs N] [--json PATH] [--csv]
+ */
+
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "faults/campaign_engine.hh"
+#include "harness/bench_options.hh"
+#include "harness/experiment.hh"
+#include "harness/manifest.hh"
+#include "harness/reporting.hh"
+#include "harness/suite_runner.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/prof.hh"
+#include "workloads/profile.hh"
+
+using namespace ser;
+using harness::Table;
+
+namespace
+{
+
+faults::Protection
+parseProtection(const std::string &name)
+{
+    if (name == "none")
+        return faults::Protection::None;
+    if (name == "parity")
+        return faults::Protection::Parity;
+    if (name == "ecc")
+        return faults::Protection::Ecc;
+    SER_FATAL("fig_campaign: unknown protection '{}' (want "
+              "none/parity/ecc)", name);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+band(double lo, double hi)
+{
+    if (lo == hi)
+        return Table::pct(hi);
+    return Table::pct(lo) + ".." + Table::pct(hi);
+}
+
+std::string
+ci(const faults::Interval &interval)
+{
+    return Table::pct(interval.lo) + ".." + Table::pct(interval.hi);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "Measured vs analytical AVF: fault-injection campaigns");
+    Config &config = opts.config;
+    std::uint64_t insts = config.getUint("insts", 60000);
+    std::uint64_t samples = config.getUint("samples", 20000);
+    // Defaults span the suite's behaviour space: an integer
+    // compressor, the memory-bound pointer chaser, and an FP
+    // streaming code.
+    std::string benchmarks =
+        config.getString("benchmarks", "gzip,mcf,swim");
+    std::string protections =
+        config.getString("protections", "none,parity,ecc");
+    std::string structures = config.getString("structures",
+                                              "iq,regfile");
+
+    harness::JsonReport report;
+    report.setArgs(config);
+
+    harness::ExperimentConfig cfg;
+    cfg.dynamicTarget = insts;
+    cfg.warmupInsts = insts / 10;
+    cfg.intervalCycles = opts.intervalCycles;
+    cfg.attributionTopN = opts.topn;
+    cfg.campaign.samples = samples;
+    cfg.campaign.seed = config.getUint("cseed", 0xFA117);
+    cfg.campaign.structures = faults::parseStructures(structures);
+    cfg.campaign.ciTarget = opts.ciTarget;
+    cfg.campaign.batchSamples = config.getUint("batch", 4096);
+    cfg.campaign.checkpoints = static_cast<unsigned>(
+        config.getUint("checkpoints", 32));
+    cfg.campaign.rootCauseTopN = opts.topn;
+    // The engine shards each campaign's batches over the same worker
+    // count the sweep uses; results are byte-identical for any N.
+    cfg.campaign.jobs = opts.jobs;
+
+    std::vector<std::string> bench_names = splitCsv(benchmarks);
+    std::vector<std::string> prot_names = splitCsv(protections);
+    if (bench_names.empty() || prot_names.empty())
+        SER_FATAL("fig_campaign: benchmarks= and protections= must "
+                  "be non-empty");
+
+    // One run per benchmark x protection. The run cache shares the
+    // simulation and analytical folds across the protection axis
+    // (protection only changes the campaign classification), so each
+    // benchmark simulates once.
+    harness::SuiteRunner runner(opts.jobs);
+    runner.setLabel("fig_campaign");
+    harness::TraceExport trace_export(opts);
+    std::vector<harness::ExperimentConfig> cfgs;
+    for (const auto &bench : bench_names) {
+        std::size_t program =
+            runner.addProgram(workloads::findProfile(bench), insts);
+        for (const auto &prot : prot_names) {
+            harness::ExperimentConfig point = cfg;
+            point.campaign.protection = parseProtection(prot);
+            trace_export.configure(point);
+            runner.submit(program, point);
+            cfgs.push_back(point);
+        }
+    }
+    std::vector<harness::RunArtifacts> runs = runner.run();
+    SER_PROF_SCOPE("aggregate");
+
+    Table table({"benchmark", "protection", "structure", "samples",
+                 "SDC rate", "SDC 95% CI", "analytical SDC",
+                 "SDC ok", "DUE rate", "DUE 95% CI",
+                 "analytical DUE", "DUE ok"});
+    Table econ({"benchmark", "protection", "samples", "early stop",
+                "CI half-width", "reruns", "mean rerun cost",
+                "checkpoints"});
+    std::size_t covered = 0, checks = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const harness::RunArtifacts &r = runs[i];
+        if (!opts.jsonPath.empty())
+            report.addRun(r, cfgs[i]);
+        if (!r.campaign)
+            continue;
+        const faults::CampaignOutcome &c = *r.campaign;
+        const char *prot = faults::protectionName(c.protection);
+        for (const faults::StructureCampaign &s : c.structures) {
+            table.addRow(
+                {r.benchmark, prot,
+                 faults::structureName(s.structure),
+                 std::to_string(s.tally.samples),
+                 Table::pct(s.sdcRate()), ci(s.sdcCi),
+                 band(s.analyticalSdcLower, s.analyticalSdc),
+                 s.sdcCovered ? "yes" : "NO",
+                 Table::pct(s.dueRate()), ci(s.dueCi),
+                 band(s.analyticalDueLower, s.analyticalDue),
+                 s.dueCovered ? "yes" : "NO"});
+            covered += (s.sdcCovered ? 1 : 0) + (s.dueCovered ? 1 : 0);
+            checks += 2;
+        }
+        std::ostringstream cost;
+        cost << Table::pct(c.meanRerunFraction()) << " of golden";
+        econ.addRow({r.benchmark, prot,
+                     std::to_string(c.samplesRun),
+                     c.earlyStopped ? "yes" : "no",
+                     Table::pct(c.ciHalfWidth),
+                     std::to_string(c.reruns), cost.str(),
+                     std::to_string(c.checkpoints)});
+    }
+
+    harness::printHeading(
+        std::cout,
+        "measured vs analytical AVF: statistical fault injection "
+        "(cross-validation of the ACE fold)");
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\nreconciliation: " << covered << "/" << checks
+              << " measured 95% CIs cover their analytical band\n";
+
+    harness::printHeading(std::cout,
+                          "campaign economics: checkpoint/fork "
+                          "re-execution cost");
+    if (opts.csv)
+        econ.printCsv(std::cout);
+    else
+        econ.print(std::cout);
+
+    if (opts.topn) {
+        for (const harness::RunArtifacts &r : runs) {
+            if (!r.campaign || r.campaign->rootCauses.empty())
+                continue;
+            const faults::CampaignOutcome &c = *r.campaign;
+            if (c.protection != faults::Protection::None)
+                continue;
+            harness::printHeading(
+                std::cout, "SDC root causes: " + r.benchmark +
+                               " (measured share vs analytical ACE "
+                               "share)");
+            Table rc({"pc", "disasm", "SDC injections",
+                      "measured share", "analytical ACE share"});
+            for (const faults::RootCause &cause : c.rootCauses) {
+                std::ostringstream pc;
+                pc << "0x" << std::hex
+                   << isa::Program::indexToAddr(cause.staticIdx);
+                rc.addRow({pc.str(),
+                           r.program->inst(cause.staticIdx)
+                               .toString(),
+                           std::to_string(cause.sdcInjections),
+                           Table::pct(cause.measuredShare),
+                           Table::pct(cause.analyticalAceShare)});
+            }
+            if (opts.csv)
+                rc.printCsv(std::cout);
+            else
+                rc.print(std::cout);
+        }
+    }
+
+    trace_export.emit(std::cout, runs);
+
+    if (!opts.jsonPath.empty()) {
+        report.addTable("campaign_reconciliation", table);
+        report.addTable("campaign_economics", econ);
+        report.write(opts.jsonPath);
+    }
+    return 0;
+}

@@ -284,6 +284,32 @@ BM_AvfAttribution(benchmark::State &state)
 BENCHMARK(BM_AvfAttribution);
 
 void
+BM_CampaignThroughput(benchmark::State &state)
+{
+    // Injections/second through the full campaign engine (keyed
+    // sampling, checkpoint/fork re-runs, Wilson fold) on the shared
+    // vortex trace. Guards the checkpoint/fork economics: if forking
+    // regresses toward full replays, this rate collapses.
+    const AnalysisFixture &f = analysisFixture();
+    static const avf::AvfResult *avf = [] {
+        return new avf::AvfResult(avf::computeAvf(
+            analysisFixture().trace, analysisFixture().dead));
+    }();
+    faults::CampaignSpec spec;
+    spec.samples = 2000;
+    spec.structures = faults::structIq;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        spec.seed = seed++;  // defeat any memoization, vary sites
+        auto out = faults::runCampaignEngine(f.program, f.trace,
+                                             f.dead, *avf, spec);
+        benchmark::DoNotOptimize(out.samplesRun);
+    }
+    state.SetItemsProcessed(state.iterations() * spec.samples);
+}
+BENCHMARK(BM_CampaignThroughput);
+
+void
 BM_SuiteRunnerSweep(benchmark::State &state)
 {
     // A small design-point sweep (one shared program, four IQ

@@ -18,7 +18,9 @@
  * Usage: table1_squashing [insts=N] [benchmarks=a,b,c] [csv=1]
  *                         [action=squash|throttle|both]
  *                         [l1_lat=N] [l2_lat=N] [mem_lat=N]
- *                         [--jobs N]
+ *                         [samples=N] [cseed=N] [protection=none]
+ *                         [structures=iq] [batch=N] [checkpoints=N]
+ *                         [--ci-target R] [--jobs N]
  *
  * action= overrides the trigger action of every design point;
  * l1_lat=/l2_lat=/mem_lat= override the memory-hierarchy latencies
@@ -26,6 +28,12 @@
  * cycle_skip_identical_* ctest fixtures can build a long-latency
  * stress configuration where idle-cycle fast-forward actually has
  * spans to skip.
+ *
+ * samples=N (default 0 = off) attaches a statistical fault-injection
+ * campaign to every run, cross-validating each design point's
+ * analytical AVF against measured injection outcomes; the
+ * reconciliation lands in an extra table and in each manifest run's
+ * campaign block.
  */
 
 #include <iostream>
@@ -74,6 +82,34 @@ parseList(const std::string &csv)
     return out;
 }
 
+faults::Protection
+parseProtection(const std::string &name)
+{
+    if (name == "none")
+        return faults::Protection::None;
+    if (name == "parity")
+        return faults::Protection::Parity;
+    if (name == "ecc")
+        return faults::Protection::Ecc;
+    SER_FATAL("table1_squashing: unknown protection '{}' (want "
+              "none, parity or ecc)",
+              name);
+}
+
+std::string
+band(double lo, double hi)
+{
+    if (lo == hi)
+        return Table::pct(hi);
+    return Table::pct(lo) + ".." + Table::pct(hi);
+}
+
+std::string
+ci(const faults::Interval &interval)
+{
+    return Table::pct(interval.lo) + ".." + Table::pct(interval.hi);
+}
+
 } // namespace
 
 int
@@ -97,6 +133,21 @@ main(int argc, char **argv)
             : workloads::suiteNames();
     harness::JsonReport report;
     report.setArgs(config);
+
+    // Optional measured-AVF cross-validation campaign per run.
+    faults::CampaignSpec campaign;
+    campaign.samples = config.getUint("samples", 0);
+    campaign.seed = config.getUint("cseed", 0xFA117);
+    campaign.protection =
+        parseProtection(config.getString("protection", "none"));
+    campaign.structures = faults::parseStructures(
+        config.getString("structures", "iq"));
+    campaign.ciTarget = opts.ciTarget;
+    campaign.batchSamples = config.getUint("batch", 4096);
+    campaign.checkpoints =
+        static_cast<unsigned>(config.getUint("checkpoints", 32));
+    campaign.rootCauseTopN = opts.topn;
+    campaign.jobs = opts.jobs;
 
     const DesignPoint points[] = {
         {"No squashing", "none"},
@@ -131,6 +182,7 @@ main(int argc, char **argv)
                 cfg.pipeline.hierarchy.l2.hitLatency = l2_lat;
             if (mem_lat)
                 cfg.pipeline.hierarchy.memLatency = mem_lat;
+            cfg.campaign = campaign;
             trace_export.configure(cfg);
             runner.submit(prog, cfg);
             configs.push_back(cfg);
@@ -205,6 +257,49 @@ main(int argc, char **argv)
              Table::fmt((ipc / due) / (ipc0 / due0), 2) + "x"});
     }
     deltas.print(std::cout);
+
+    if (campaign.samples) {
+        Table recon({"benchmark", "design", "structure", "samples",
+                     "SDC", "SDC 95% CI", "analytical SDC",
+                     "covered", "DUE", "DUE 95% CI",
+                     "analytical DUE", "covered", "rerun cost"});
+        std::size_t covered = 0, checks = 0;
+        idx = 0;
+        for (const auto &name : benchmarks) {
+            for (int d = 0; d < 3; ++d, ++idx) {
+                const harness::RunArtifacts &r = runs[idx];
+                if (!r.campaign)
+                    continue;
+                const faults::CampaignOutcome &c = *r.campaign;
+                for (const auto &s : c.structures) {
+                    checks += 2;
+                    covered += (s.sdcCovered ? 1 : 0) +
+                               (s.dueCovered ? 1 : 0);
+                    recon.addRow(
+                        {name, points[d].trigger,
+                         faults::structureName(s.structure),
+                         std::to_string(s.tally.samples),
+                         Table::pct(s.sdcRate()), ci(s.sdcCi),
+                         band(s.analyticalSdcLower, s.analyticalSdc),
+                         s.sdcCovered ? "yes" : "NO",
+                         Table::pct(s.dueRate()), ci(s.dueCi),
+                         band(s.analyticalDueLower, s.analyticalDue),
+                         s.dueCovered ? "yes" : "NO",
+                         Table::pct(c.meanRerunFraction())});
+                }
+            }
+        }
+        harness::printHeading(
+            std::cout, "measured vs analytical AVF (" +
+                           std::to_string(campaign.samples) +
+                           "-sample campaigns)");
+        recon.print(std::cout);
+        std::cout << "reconciliation: " << covered << "/" << checks
+                  << " measured 95% CIs cover their analytical "
+                     "band\n";
+        if (!opts.jsonPath.empty())
+            report.addTable("campaign_reconciliation", recon);
+    }
 
     trace_export.emit(std::cout, runs);
 

@@ -2,25 +2,25 @@
  * @file
  * Scenario: validating the analytical AVF with statistical fault
  * injection (the methodology of the paper's related work, Kim &
- * Somani / Wang et al.). Runs a Monte-Carlo campaign against a
- * surrogate benchmark, prints the Figure-1 outcome distribution
- * under both protection schemes, and tells a few concrete fault
- * stories (which instruction was hit, in which field, and what
- * happened).
+ * Somani / Wang et al.). Runs a campaign-engine sweep against a
+ * surrogate benchmark through the experiment harness, prints the
+ * Figure-1 outcome distribution under each protection scheme next
+ * to the analytical band the measured rates must cover, and tells a
+ * few concrete fault stories (which instruction was hit, in which
+ * field, and what happened).
  *
  * Usage: fault_injection_demo [benchmark=crafty] [insts=40000]
- *        [samples=400]
+ *        [samples=2000] [structures=iq] [--ci-target X]
+ *        [--progress] [--jobs N] [--json PATH]
  */
 
 #include <iostream>
 
-#include "avf/avf.hh"
-#include "avf/deadness.hh"
-#include "cpu/pipeline.hh"
-#include "faults/campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "harness/bench_options.hh"
 #include "harness/experiment.hh"
 #include "harness/manifest.hh"
+#include "harness/progress.hh"
 #include "harness/reporting.hh"
 #include "isa/encoding.hh"
 #include "isa/executor.hh"
@@ -39,72 +39,101 @@ main(int argc, char **argv)
     Config &config = opts.config;
     std::string benchmark = config.getString("benchmark", "crafty");
     std::uint64_t insts = config.getUint("insts", 40000);
-    std::uint64_t samples = config.getUint("samples", 400);
+    std::uint64_t samples = config.getUint("samples", 2000);
 
-    isa::Program program =
-        workloads::buildBenchmark(benchmark, insts);
-    isa::Executor golden(program);
-    if (golden.run(insts * 3) != isa::Termination::Halted) {
-        std::cerr << "golden run failed\n";
-        return 1;
-    }
-
-    // The timing run goes through the experiment harness (instead of
-    // a raw pipeline) with the same parameters as before — no
-    // warmup, same instruction cap — so --json gets a full run
-    // manifest and --metrics-out sees the run's phases.
+    // The timing run and the campaigns go through the experiment
+    // harness, so --json gets the full manifest (campaign block
+    // included), --metrics-out sees the phases, and the run cache
+    // shares one simulation across the three protection campaigns.
     harness::ExperimentConfig run_cfg;
     run_cfg.dynamicTarget = insts;
     run_cfg.warmupInsts = 0;
     run_cfg.pipeline.maxInsts = insts * 3;
     run_cfg.intervalCycles = opts.intervalCycles;
-    harness::RunArtifacts run =
-        harness::runProgram(program, run_cfg, benchmark);
-    const cpu::SimTrace &trace = *run.trace;
+    run_cfg.campaign.samples = samples;
+    run_cfg.campaign.structures = faults::parseStructures(
+        config.getString("structures", "iq"));
+    run_cfg.campaign.ciTarget = opts.ciTarget;
+    run_cfg.campaign.jobs = opts.jobs;
 
-    faults::FaultInjector injector(*run.program, trace,
-                                   golden.state().output());
+    harness::Progress &progress = harness::Progress::instance();
+
+    harness::JsonReport report;
+    report.setArgs(config);
 
     harness::printHeading(std::cout, "outcome distribution (" +
                                          std::to_string(samples) +
-                                         " samples)");
+                                         " samples per protection)");
     Table outcomes(
         {"protection", "outcome", "count", "rate", "lo95", "hi95"});
+    harness::RunArtifacts run;
     for (auto prot :
-         {faults::Protection::None, faults::Protection::Parity}) {
-        faults::CampaignConfig cfg;
-        cfg.samples = samples;
-        cfg.protection = prot;
-        auto res = faults::runCampaign(injector, trace, cfg);
-        const char *prot_name = prot == faults::Protection::None
-                                    ? "none"
-                                    : "parity";
-        std::cout << (prot == faults::Protection::None
-                          ? "unprotected queue:\n"
-                          : "parity-protected queue:\n")
-                  << res.summary() << "\n";
-        for (std::size_t o = 0; o < faults::numOutcomes; ++o) {
-            auto outcome = static_cast<faults::Outcome>(o);
-            auto iv = res.interval(outcome);
-            outcomes.addRow({prot_name,
-                             faults::outcomeName(outcome),
-                             std::to_string(res.count(outcome)),
-                             Table::pct(res.rate(outcome)),
-                             Table::pct(iv.lo), Table::pct(iv.hi)});
+         {faults::Protection::None, faults::Protection::Parity,
+          faults::Protection::Ecc}) {
+        run_cfg.campaign.protection = prot;
+        // Campaign batches double as progress ticks: each campaign
+        // is one 'sweep' of ~1k-sample units on the --progress line.
+        progress.beginSweep((samples + 1023) / 1024,
+                            std::string("campaign/") +
+                                faults::protectionName(prot));
+        auto ticked = std::make_shared<std::uint64_t>(0);
+        run_cfg.campaign.onBatch = [&progress, ticked](
+                                       std::uint64_t done,
+                                       std::uint64_t) {
+            for (; *ticked + 1024 <= done; *ticked += 1024)
+                progress.runCompleted();
+        };
+        run = harness::runProgram(
+            run.program ? run.program
+                        : std::make_shared<const isa::Program>(
+                              workloads::buildBenchmark(benchmark,
+                                                        insts)),
+            run_cfg, benchmark);
+        progress.endSweep();
+        if (!opts.jsonPath.empty())
+            report.addRun(run, run_cfg);
+
+        const faults::CampaignOutcome &c = *run.campaign;
+        std::cout << faults::protectionName(prot) << ":\n"
+                  << c.summary() << "\n";
+        for (const faults::StructureCampaign &s : c.structures) {
+            for (int o = 0; o < faults::numOutcomes; ++o) {
+                auto outcome = static_cast<faults::Outcome>(o);
+                auto iv = s.tally.interval(outcome);
+                outcomes.addRow(
+                    {faults::protectionName(prot),
+                     faults::outcomeName(outcome),
+                     std::to_string(s.tally.count(outcome)),
+                     Table::pct(s.tally.rate(outcome)),
+                     Table::pct(iv.lo), Table::pct(iv.hi)});
+            }
         }
     }
+    if (opts.csv)
+        outcomes.printCsv(std::cout);
+    else
+        outcomes.print(std::cout);
+
+    const cpu::SimTrace &trace = *run.trace;
+    isa::Executor golden(*run.program);
+    if (golden.run(insts * 3) != isa::Termination::Halted) {
+        std::cerr << "golden run failed\n";
+        return 1;
+    }
+    faults::FaultInjector injector(*run.program, trace,
+                                   golden.state().output());
 
     harness::printHeading(std::cout, "a few fault stories");
     Rng rng(0xbead);
     int stories = 0;
-    std::uint64_t window = trace.endCycle - trace.startCycle;
     while (stories < 6) {
         faults::FaultSite site;
         site.entry =
             static_cast<std::uint16_t>(rng.range(trace.iqEntries));
         site.bit =
             static_cast<std::uint8_t>(rng.range(faults::payloadBits));
-        site.cycle = trace.startCycle + rng.range(window);
+        site.cycle = faults::sampleWindowCycle(rng, trace.startCycle,
+                                               trace.endCycle);
         auto fr = injector.classify(site, faults::Protection::Parity);
         if (fr.incarnationIndex < 0)
             continue;  // idle entries make dull stories
@@ -128,9 +157,6 @@ main(int argc, char **argv)
     }
 
     if (!opts.jsonPath.empty()) {
-        harness::JsonReport report;
-        report.setArgs(config);
-        report.addRun(run, run_cfg);
         report.addTable("outcomes", outcomes);
         report.write(opts.jsonPath);
     }

@@ -1,5 +1,6 @@
 #include "campaign.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -21,25 +22,48 @@ wilson(std::uint64_t k, std::uint64_t n)
     double centre = p + z2 / (2.0 * nn);
     double spread =
         z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
-    return {(centre - spread) / denom, (centre + spread) / denom};
+    Interval ci = {std::max(0.0, (centre - spread) / denom),
+                   std::min(1.0, (centre + spread) / denom)};
+    // At k=0 the score lower bound is exactly 0 (and at k=n the
+    // upper is exactly 1), but centre and spread only cancel up to
+    // floating-point rounding, leaving a ~1e-17 residue that makes a
+    // zero-count CI fail to cover an exact [0, 0] analytical band.
+    if (k == 0)
+        ci.lo = 0.0;
+    if (k == n)
+        ci.hi = 1.0;
+    return ci;
+}
+
+std::uint64_t
+sampleWindowCycle(Rng &rng, std::uint64_t start_cycle,
+                  std::uint64_t end_cycle)
+{
+    std::uint64_t window =
+        end_cycle > start_cycle ? end_cycle - start_cycle : 1;
+    return start_cycle + rng.range(window);
 }
 
 CampaignResult
 runCampaign(const FaultInjector &injector, const cpu::SimTrace &trace,
             const CampaignConfig &config)
 {
-    Rng rng(config.seed);
     CampaignResult result;
     result.samples = config.samples;
 
-    std::uint64_t window = trace.endCycle - trace.startCycle;
     for (std::uint64_t i = 0; i < config.samples; ++i) {
+        // Counter-based keying: sample i's site depends only on
+        // (seed, i), never on how many draws other samples made, so
+        // sharding or resuming the campaign cannot change the set of
+        // sites drawn.
+        Rng rng = Rng::keyed(config.seed, i);
         FaultSite site;
         site.entry = static_cast<std::uint16_t>(
             rng.range(trace.iqEntries));
         site.bit = static_cast<std::uint8_t>(
             rng.range(config.payloadOnly ? payloadBits : entryBits));
-        site.cycle = trace.startCycle + rng.range(window);
+        site.cycle =
+            sampleWindowCycle(rng, trace.startCycle, trace.endCycle);
         FaultResult fr = injector.classify(site, config.protection);
         ++result.counts[static_cast<std::size_t>(fr.outcome)];
     }

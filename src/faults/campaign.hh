@@ -45,6 +45,17 @@ struct Interval
 /** 95% Wilson score interval for k successes out of n. */
 Interval wilson(std::uint64_t k, std::uint64_t n);
 
+/**
+ * Uniform strike cycle within the half-open measurement window
+ * [start_cycle, end_cycle). endCycle is one past the last occupied
+ * cycle, so the last occupied cycle (end_cycle - 1) is sampleable
+ * and end_cycle itself never is. A degenerate (empty or reversed)
+ * window pins every sample to start_cycle instead of feeding
+ * Rng::range() a zero bound, which panics.
+ */
+std::uint64_t sampleWindowCycle(Rng &rng, std::uint64_t start_cycle,
+                                std::uint64_t end_cycle);
+
 /** Tallied campaign outcomes. */
 struct CampaignResult
 {

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The statistical fault-injection campaign engine.
+ *
+ * Promotes the demo-grade runCampaign() loop into a first-class
+ * measured-AVF pipeline (ROADMAP item 1):
+ *
+ *  - Sites are sampled over (structure, entry, bit, cycle) with
+ *    counter-based per-sample RNG keying: sample i's site depends
+ *    only on (seed, i), so sharding a campaign across worker threads
+ *    or resuming it mid-way draws exactly the same sites. Batches
+ *    are classified in parallel into an index-addressed record
+ *    vector and folded sequentially — byte-identical results at any
+ *    job count.
+ *
+ *  - Classification covers the instruction queue (FaultInjector) and
+ *    the three architectural register files, whose windows mirror
+ *    the analytical avf/regfile_avf walk exactly.
+ *
+ *  - Counterfactual re-runs are served by a ForkServer: each
+ *    injection forks from the nearest golden checkpoint and pays
+ *    only its post-strike suffix (with convergence/divergence early
+ *    exits) instead of a full replay.
+ *
+ *  - Adaptive early stop: after each batch the engine evaluates the
+ *    95% Wilson CI half-widths of the per-structure SDC and DUE
+ *    rates and stops once all fall below spec.ciTarget.
+ *
+ *  - Reconciliation: measured SDC/DUE rates are compared against the
+ *    analytical AVF fold per outcome class. Each measured rate is
+ *    checked against a band [lower, upper]. SDC bands are one-sided
+ *    — ACE analysis only ever overestimates (the injection oracle
+ *    is exact ground truth), so the IQ band is [0, field-refined
+ *    ACE]. The IQ DUE rate under parity is an exact point (pre-read
+ *    occupancy is precisely what both sides count, so the CI must
+ *    cover it); register-file DUE bands come from the regfile fold
+ *    (see DESIGN.md "Measured vs analytical AVF").
+ *
+ *  - SDC-producing injections (Sdc, and TrueDue under parity) are
+ *    attributed to per-PC root causes and joined with the
+ *    analytical avf/attribution ACE shares.
+ */
+
+#ifndef SER_FAULTS_CAMPAIGN_ENGINE_HH
+#define SER_FAULTS_CAMPAIGN_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "cpu/trace.hh"
+#include "faults/campaign.hh"
+#include "faults/fault.hh"
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace faults
+{
+
+/** Structures a campaign can strike. */
+enum class Structure : std::uint8_t
+{
+    Iq,
+    IntRegFile,
+    FpRegFile,
+    PredRegFile,
+};
+
+const char *structureName(Structure structure);
+
+// Structure-set bitmask values for CampaignSpec::structures.
+constexpr unsigned structIq = 1u << 0;
+constexpr unsigned structIntReg = 1u << 1;
+constexpr unsigned structFpReg = 1u << 2;
+constexpr unsigned structPredReg = 1u << 3;
+constexpr unsigned structRegFile =
+    structIntReg | structFpReg | structPredReg;
+
+/** Parse a csv like "iq,regfile" / "iq,int,fp,pred" into a mask. */
+unsigned parseStructures(const std::string &csv);
+
+/** Render a structure mask back to the canonical csv form. */
+std::string structuresToString(unsigned mask);
+
+/** Campaign parameters. */
+struct CampaignSpec
+{
+    std::uint64_t samples = 0;  ///< 0 disables the campaign
+    std::uint64_t seed = 0xFA117;
+    Protection protection = Protection::None;
+    bool payloadOnly = true;    ///< IQ bits 0..63 only
+    unsigned structures = structIq;
+    double ciTarget = 0.0;      ///< CI half-width stop; 0 = run all
+    std::uint64_t batchSamples = 4096;
+    unsigned checkpoints = 32;
+    unsigned rootCauseTopN = 0;
+
+    // Non-semantic knobs: they shard or report work but cannot
+    // change a single sampled site or outcome, so they are excluded
+    // from cacheKey().
+    unsigned jobs = 1;
+    std::function<void(std::uint64_t done, std::uint64_t total)>
+        onBatch;
+
+    /**
+     * Serialization of every outcome-affecting knob, for folding
+     * into the RunCache key: two specs that could tally differently
+     * must never share a cache entry.
+     */
+    std::string cacheKey() const;
+};
+
+/** Measured-vs-analytical reconciliation for one structure. */
+struct StructureCampaign
+{
+    Structure structure = Structure::Iq;
+    std::uint64_t weight = 0;  ///< site-space bits (sampling weight)
+    CampaignResult tally;
+
+    Interval sdcCi;  ///< 95% Wilson CI of the measured SDC rate
+    Interval dueCi;  ///< 95% Wilson CI of the measured DUE rate
+
+    // Analytical band per class: conservative upper bound and the
+    // tightest lower bound the fold provides (see file comment).
+    double analyticalSdc = 0.0;
+    double analyticalSdcLower = 0.0;
+    double analyticalDue = 0.0;
+    double analyticalDueLower = 0.0;
+
+    // CI overlaps the analytical band.
+    bool sdcCovered = false;
+    bool dueCovered = false;
+
+    double sdcRate() const { return tally.sdcRate(); }
+    double dueRate() const { return tally.dueRate(); }
+};
+
+/** One per-PC root cause of measured SDCs. */
+struct RootCause
+{
+    std::uint32_t staticIdx = 0;
+    std::uint64_t sdcInjections = 0;
+    double measuredShare = 0.0;       ///< of all SDC injections
+    double analyticalAceShare = 0.0;  ///< avf/attribution ACE share
+};
+
+/** Everything a finished campaign reports. */
+struct CampaignOutcome
+{
+    // Echo of the semantic knobs (for manifests).
+    std::uint64_t samplesRequested = 0;
+    std::uint64_t seed = 0;
+    Protection protection = Protection::None;
+    bool payloadOnly = true;
+    double ciTarget = 0.0;
+    std::uint64_t batchSamples = 0;
+
+    std::uint64_t samplesRun = 0;
+    bool earlyStopped = false;
+    /** Max per-structure CI half-width (SDC/DUE) when sampling
+     * stopped. */
+    double ciHalfWidth = 1.0;
+
+    // Checkpoint/fork economics.
+    std::uint64_t reruns = 0;       ///< injections needing a re-run
+    std::uint64_t rerunSteps = 0;   ///< total forked instructions
+    std::uint64_t goldenSteps = 0;  ///< one full golden replay
+    std::uint64_t checkpoints = 0;
+
+    std::vector<StructureCampaign> structures;
+    std::vector<RootCause> rootCauses;
+
+    /** Mean forked cost per re-run as a fraction of a full golden
+     * replay — the checkpoint/fork win (< 1 means forking pays). */
+    double meanRerunFraction() const
+    {
+        return reruns && goldenSteps
+                   ? static_cast<double>(rerunSteps) /
+                         (static_cast<double>(reruns) *
+                          static_cast<double>(goldenSteps))
+                   : 0.0;
+    }
+
+    const StructureCampaign *find(Structure structure) const;
+
+    std::string summary() const;
+};
+
+/**
+ * Run a campaign against a finished run.
+ *
+ * @param program the program the trace was produced from
+ * @param trace the finished timing trace (defines the window)
+ * @param deadness transitive deadness labels for the commit stream
+ * @param avf the analytical IQ fold to reconcile against
+ * @param spec campaign parameters
+ */
+CampaignOutcome runCampaignEngine(const isa::Program &program,
+                                  const cpu::SimTrace &trace,
+                                  const avf::DeadnessResult &deadness,
+                                  const avf::AvfResult &avf,
+                                  const CampaignSpec &spec);
+
+} // namespace faults
+} // namespace ser
+
+#endif // SER_FAULTS_CAMPAIGN_ENGINE_HH

@@ -61,6 +61,8 @@ constexpr int numOutcomes = static_cast<int>(Outcome::NumOutcomes);
 
 const char *outcomeName(Outcome outcome);
 
+const char *protectionName(Protection protection);
+
 /** Is the outcome an error the user observes? */
 inline bool
 isErrorOutcome(Outcome o)

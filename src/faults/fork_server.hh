@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Checkpoint/fork service for fault-injection re-runs.
+ *
+ * A full counterfactual re-run replays the program from the entry
+ * point for every injection. The ForkServer instead runs the golden
+ * program once, capturing evenly spaced ExecCheckpoints, and serves
+ * each injection by forking from the last checkpoint at or before
+ * the strike — so an injection pays only its post-strike suffix.
+ *
+ * A fork terminates early in either direction:
+ *
+ *  - Convergence: at a (post-strike) checkpoint boundary the forked
+ *    state equals the golden checkpoint. The executor is
+ *    deterministic, so the suffix is identical to the golden run and
+ *    the fault is masked (changed = false).
+ *  - Divergence: the forked output stream stops being a prefix of
+ *    the golden output. Output is append-only, so the final outputs
+ *    must differ (changed = true).
+ *
+ * The verdict is exactly the full-rerun verdict (the equivalence is
+ * property-tested): trap or exceeding the same absolute step budget
+ * counts as changed, and a run that halts compares its full output
+ * against the golden stream.
+ */
+
+#ifndef SER_FAULTS_FORK_SERVER_HH
+#define SER_FAULTS_FORK_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/executor.hh"
+#include "isa/program.hh"
+
+namespace ser
+{
+namespace faults
+{
+
+/** Which register file a register strike lands in. */
+enum class RegClass : std::uint8_t { Int, Fp, Pred };
+
+class ForkServer
+{
+  public:
+    /** Outcome of one forked counterfactual. */
+    struct Verdict
+    {
+        bool changed = false;     ///< program output would differ
+        std::uint64_t steps = 0;  ///< instructions the fork executed
+    };
+
+    /**
+     * Run the golden program and capture checkpoints.
+     *
+     * @param program the program to serve forks of
+     * @param budget absolute step budget for golden and forked runs
+     *        (0 derives one later from the golden length: 2x + 10000)
+     * @param checkpoints target number of checkpoints (>= 1); the
+     *        actual count stays within [checkpoints, 2*checkpoints)
+     *        via stride doubling during the single golden pass
+     *
+     * Panics if the golden run does not halt within the budget — a
+     * campaign against a non-terminating golden run has no baseline
+     * output to compare against.
+     */
+    ForkServer(const isa::Program &program, std::uint64_t budget = 0,
+               unsigned checkpoints = 32);
+
+    std::uint64_t goldenSteps() const { return _goldenSteps; }
+    const std::vector<std::uint64_t> &goldenOutput() const
+    {
+        return _goldenOutput;
+    }
+    std::size_t numCheckpoints() const { return _checkpoints.size(); }
+
+    /**
+     * Counterfactual: XOR the encoding of the instruction fetched at
+     * dynamic step 'seq' with 'mask'. Thread-safe (const, forks its
+     * own executor).
+     */
+    Verdict corruptEncoding(std::uint64_t seq,
+                            std::uint64_t mask) const;
+
+    /**
+     * Counterfactual: flip one bit of an architectural register in
+     * the state reached after 'step' dynamic instructions, i.e. the
+     * next reader of the register sees the flipped value.
+     */
+    Verdict corruptRegister(std::uint64_t step, RegClass file,
+                            int reg, int bit) const;
+
+  private:
+    /** Last checkpoint with steps <= step (checkpoint 0 is step 0). */
+    const isa::ExecCheckpoint &checkpointAtOrBefore(
+        std::uint64_t step) const;
+
+    /**
+     * Run a forked executor to termination with convergence /
+     * divergence early exits. Convergence is only tested at
+     * checkpoints strictly after 'corrupt_after' steps.
+     */
+    Verdict runFork(isa::Executor &executor,
+                    std::uint64_t fork_start,
+                    std::uint64_t corrupt_after) const;
+
+    const isa::Program &_program;
+    std::uint64_t _budget;
+    std::uint64_t _goldenSteps = 0;
+    std::vector<std::uint64_t> _goldenOutput;
+    std::vector<isa::ExecCheckpoint> _checkpoints;
+};
+
+} // namespace faults
+} // namespace ser
+
+#endif // SER_FAULTS_FORK_SERVER_HH

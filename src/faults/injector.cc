@@ -25,6 +25,17 @@ outcomeName(Outcome outcome)
     return "?";
 }
 
+const char *
+protectionName(Protection protection)
+{
+    switch (protection) {
+      case Protection::None: return "none";
+      case Protection::Parity: return "parity";
+      case Protection::Ecc: return "ecc";
+    }
+    return "?";
+}
+
 ResidencyIndex::ResidencyIndex(const cpu::SimTrace &trace)
     : _byEntry(trace.iqEntries)
 {
@@ -76,13 +87,22 @@ bool
 FaultInjector::corruptionChangesOutput(std::uint64_t oracle_seq,
                                        int bit) const
 {
+    return rerunWithCorruption(oracle_seq, bit).changed;
+}
+
+ForkServer::Verdict
+FaultInjector::rerunWithCorruption(std::uint64_t oracle_seq,
+                                   int bit) const
+{
+    if (_fork)
+        return _fork->corruptEncoding(oracle_seq, 1ULL << bit);
     isa::Executor executor(_program);
     executor.setCorruption(oracle_seq, 1ULL << bit);
     isa::Termination term = executor.run(_rerunBudget);
     if (term == isa::Termination::Trap ||
         term == isa::Termination::MaxSteps)
-        return true;  // divergence: trapped or failed to terminate
-    return executor.state().output() != _golden;
+        return {true, executor.steps()};  // trapped or ran away
+    return {executor.state().output() != _golden, executor.steps()};
 }
 
 FaultResult
@@ -159,8 +179,10 @@ FaultInjector::classify(const FaultSite &site,
     }
 
     result.reRan = true;
-    result.outputChanged =
-        corruptionChangesOutput(rec->oracleSeq, site.bit);
+    ForkServer::Verdict verdict =
+        rerunWithCorruption(rec->oracleSeq, site.bit);
+    result.outputChanged = verdict.changed;
+    result.rerunSteps = verdict.steps;
     if (protection == Protection::Parity) {
         result.outcome = result.outputChanged ? Outcome::TrueDue
                                               : Outcome::FalseDue;

@@ -23,6 +23,7 @@
 
 #include "cpu/trace.hh"
 #include "faults/fault.hh"
+#include "faults/fork_server.hh"
 #include "isa/executor.hh"
 #include "isa/program.hh"
 
@@ -56,6 +57,9 @@ struct FaultResult
     bool reRan = false;
     /** Whether the re-run changed the program output. */
     bool outputChanged = false;
+    /** Instructions the re-run executed (suffix-only with a fork
+     * server attached; the full dynamic length otherwise). */
+    std::uint64_t rerunSteps = 0;
 };
 
 /** Classifies faults against one finished run. */
@@ -86,7 +90,21 @@ class FaultInjector
     bool corruptionChangesOutput(std::uint64_t oracle_seq,
                                  int bit) const;
 
+    /** As corruptionChangesOutput, but also reports the re-run's
+     * dynamic instruction cost. */
+    ForkServer::Verdict rerunWithCorruption(std::uint64_t oracle_seq,
+                                            int bit) const;
+
+    /**
+     * Serve counterfactual re-runs from checkpoints instead of
+     * replaying from the program entry. The fork server must have
+     * been built over the same program (its golden output must match
+     * the one this injector was constructed with). Not owned.
+     */
+    void attachForkServer(const ForkServer *fork) { _fork = fork; }
+
     const ResidencyIndex &residency() const { return _index; }
+    std::uint64_t rerunBudget() const { return _rerunBudget; }
 
   private:
     const isa::Program &_program;
@@ -94,6 +112,7 @@ class FaultInjector
     std::vector<std::uint64_t> _golden;
     std::uint64_t _rerunBudget;
     ResidencyIndex _index;
+    const ForkServer *_fork = nullptr;
 };
 
 } // namespace faults

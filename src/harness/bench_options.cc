@@ -57,6 +57,11 @@ printUsage(const char *argv0, const std::string &usage)
                  "also enables sim::prof)\n"
               << "  --progress       live one-line sweep progress on "
                  "stderr\n"
+              << "  --ci-target X    fault-injection campaigns stop "
+                 "early once every 95% CI\n"
+                 "                   half-width falls below X "
+                 "(benches with campaigns only;\n"
+                 "                   0 = run all samples)\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -85,6 +90,18 @@ parseCount(const char *argv0, const std::string &name,
     unsigned long long v = std::strtoull(text.c_str(), &end, 10);
     if (text.empty() || !end || *end != '\0')
         SER_FATAL("{}: bad value '{}' for {}", argv0, text, name);
+    return v;
+}
+
+double
+parseRate(const char *argv0, const std::string &name,
+          const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || !end || *end != '\0' || v < 0.0 || v > 1.0)
+        SER_FATAL("{}: bad value '{}' for {} (want a rate in "
+                  "[0, 1])", argv0, text, name);
     return v;
 }
 
@@ -154,6 +171,11 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
                 optionValue(argc, argv, i, "--metrics-out", token);
             if (opts.metricsOutPath.empty())
                 SER_FATAL("{}: --metrics-out needs a path", argv[0]);
+        } else if (token == "--ci-target" ||
+                   token.rfind("--ci-target=", 0) == 0) {
+            std::string text =
+                optionValue(argc, argv, i, "--ci-target", token);
+            opts.ciTarget = parseRate(argv[0], "--ci-target", text);
         } else if (token == "--progress") {
             opts.progress = true;
             Progress::instance().setEnabled(true);

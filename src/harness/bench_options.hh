@@ -30,6 +30,9 @@
  *                    snapshot to F at every sweep epoch and at exit
  *   --progress       live one-line sweep progress on stderr
  *                    (completed/total, runs/s, cache hit rate, ETA)
+ *   --ci-target X    adaptive early stop for fault-injection
+ *                    campaigns: stop sampling once every 95% CI
+ *                    half-width is below X (campaign benches only)
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
@@ -88,6 +91,12 @@ struct BenchOptions
     /** True after --progress (parse() also arms the process-wide
      * harness::Progress reporter). */
     bool progress = false;
+
+    /** --ci-target X: fault-injection campaigns stop early once
+     * every tracked 95% CI half-width falls below X (0 = run the
+     * full sample budget). Only benches that run campaigns read
+     * it (they copy it into CampaignSpec::ciTarget). */
+    double ciTarget = 0.0;
 
     /**
      * Parse argv. Prints usage and exits on --help; fatal on an

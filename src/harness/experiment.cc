@@ -184,6 +184,47 @@ runProgramImpl(std::shared_ptr<const isa::Program> program,
         out.attribution =
             avf::attributeAvf(*out.trace, *out.deadness);
     }
+    if (config.campaign.samples) {
+        ScopedTimer timer(out.timings, "campaign");
+        auto compute = [&] {
+            faults::CampaignOutcome result = faults::runCampaignEngine(
+                *out.program, *out.trace, *out.deadness, *out.avf,
+                config.campaign);
+            // Work-performed counters live on the miss path so a
+            // cache hit (which injects nothing) does not inflate
+            // them; hit/miss patterns are scheduling-independent, so
+            // the totals stay byte-identical across --jobs.
+            MetricsRegistry &metrics = MetricsRegistry::instance();
+            metrics.add("ser_campaign_injections_total",
+                        result.samplesRun,
+                        "Fault-injection samples classified by "
+                        "campaign runs.");
+            metrics.add("ser_campaign_reruns_total", result.reruns,
+                        "Injections that needed a forked "
+                        "counterfactual re-run.");
+            metrics.add("ser_campaign_rerun_steps_total",
+                        result.rerunSteps,
+                        "Dynamic instructions executed by forked "
+                        "re-runs.");
+            metrics.add("ser_campaign_golden_steps_total",
+                        result.goldenSteps,
+                        "Dynamic length of campaign golden runs (one "
+                        "full replay equivalent each).");
+            if (result.earlyStopped)
+                metrics.add("ser_campaign_early_stops_total", 1,
+                            "Campaigns stopped early by the CI "
+                            "half-width target.");
+            return result;
+        };
+        if (cacheable)
+            out.campaign = cache.getCampaign(
+                RunCache::campaignKey(sim_key, config.campaign),
+                compute, &out.cacheCampaign);
+        else
+            out.campaign =
+                std::make_shared<const faults::CampaignOutcome>(
+                    compute());
+    }
     if (tw) {
         SER_PROF_SCOPE("trace_export");
         // Post-run PET-buffer replay (tracing only): drive the
@@ -246,6 +287,14 @@ runProgram(std::shared_ptr<const isa::Program> program,
     metrics.maxGauge(
         "ser_dyninst_pool_high_water", out.poolHighWater,
         "Largest in-flight DynInst pool size observed in any run.");
+    if (out.campaign) {
+        metrics.maxGauge(
+            "ser_campaign_ci_half_width_ppm",
+            static_cast<std::uint64_t>(out.campaign->ciHalfWidth *
+                                       1e6),
+            "Widest final campaign CI half-width, in parts per "
+            "million of rate.");
+    }
     return out;
 }
 

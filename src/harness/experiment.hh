@@ -23,6 +23,7 @@
 #include "avf/avf.hh"
 #include "avf/deadness.hh"
 #include "core/due_tracker.hh"
+#include "faults/campaign_engine.hh"
 #include "cpu/params.hh"
 #include "cpu/sampler.hh"
 #include "cpu/trace.hh"
@@ -68,6 +69,10 @@ struct ExperimentConfig
      * the hotspot-table depth (--topn). */
     std::uint32_t attributionTopN = 0;
 
+    /** Statistical fault-injection campaign against the finished
+     * run; campaign.samples == 0 (the default) disables it. */
+    faults::CampaignSpec campaign;
+
     cpu::PipelineParams pipeline;
 };
 
@@ -107,11 +112,16 @@ struct RunArtifacts
      * across cache hits of the same simulation). */
     std::uint64_t cyclesSkipped = 0;
 
+    /** Measured-AVF campaign results; null unless campaign.samples
+     * was set. Shared const for the same reason as the analyses. */
+    std::shared_ptr<const faults::CampaignOutcome> campaign;
+
     /** Per-section run-cache outcome for the manifest. "off" when
      * the cache is disabled or the run captures trace events. */
     CacheOutcome cacheSim = CacheOutcome::Off;
     CacheOutcome cacheDeadness = CacheOutcome::Off;
     CacheOutcome cacheAvf = CacheOutcome::Off;
+    CacheOutcome cacheCampaign = CacheOutcome::Off;
 
     /** Stats dump of the pipeline tree (cache, predictor, ...). */
     std::string statsDump;

@@ -54,6 +54,7 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
     jw.kv("sim", cacheOutcomeName(run.cacheSim));
     jw.kv("deadness", cacheOutcomeName(run.cacheDeadness));
     jw.kv("avf", cacheOutcomeName(run.cacheAvf));
+    jw.kv("campaign", cacheOutcomeName(run.cacheCampaign));
     jw.endObject();
 
     jw.key("timings_seconds");
@@ -149,6 +150,74 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
             jw.endObject();
         }
         jw.endArray();
+        jw.endObject();
+    }
+
+    if (run.campaign) {
+        const faults::CampaignOutcome &c = *run.campaign;
+        jw.key("campaign");
+        jw.beginObject();
+        jw.kv("samples_requested", c.samplesRequested);
+        jw.kv("samples_run", c.samplesRun);
+        jw.kv("seed", c.seed);
+        jw.kv("protection", faults::protectionName(c.protection));
+        jw.kv("payload_only", c.payloadOnly);
+        jw.kv("ci_target", c.ciTarget);
+        jw.kv("batch_samples", c.batchSamples);
+        jw.kv("early_stopped", c.earlyStopped);
+        jw.kv("ci_half_width", c.ciHalfWidth);
+        jw.kv("golden_steps", c.goldenSteps);
+        jw.kv("checkpoints", c.checkpoints);
+        jw.kv("reruns", c.reruns);
+        jw.kv("rerun_steps", c.rerunSteps);
+        jw.kv("mean_rerun_fraction", c.meanRerunFraction());
+        jw.key("structures");
+        jw.beginArray();
+        for (const faults::StructureCampaign &s : c.structures) {
+            jw.beginObject();
+            jw.kv("structure", faults::structureName(s.structure));
+            jw.kv("weight_bits", s.weight);
+            jw.kv("samples", s.tally.samples);
+            jw.key("outcomes");
+            jw.beginObject();
+            for (int o = 0; o < faults::numOutcomes; ++o)
+                jw.kv(faults::outcomeName(
+                          static_cast<faults::Outcome>(o)),
+                      s.tally.counts[o]);
+            jw.endObject();
+            jw.kv("sdc_rate", s.sdcRate());
+            jw.kv("sdc_ci_lo", s.sdcCi.lo);
+            jw.kv("sdc_ci_hi", s.sdcCi.hi);
+            jw.kv("analytical_sdc", s.analyticalSdc);
+            jw.kv("analytical_sdc_lower", s.analyticalSdcLower);
+            jw.kv("sdc_covered", s.sdcCovered);
+            jw.kv("due_rate", s.dueRate());
+            jw.kv("due_ci_lo", s.dueCi.lo);
+            jw.kv("due_ci_hi", s.dueCi.hi);
+            jw.kv("analytical_due", s.analyticalDue);
+            jw.kv("analytical_due_lower", s.analyticalDueLower);
+            jw.kv("due_covered", s.dueCovered);
+            jw.endObject();
+        }
+        jw.endArray();
+        if (!c.rootCauses.empty()) {
+            jw.key("root_causes");
+            jw.beginArray();
+            for (const faults::RootCause &rc : c.rootCauses) {
+                jw.beginObject();
+                jw.kv("static_idx", rc.staticIdx);
+                jw.kv("pc",
+                      isa::Program::indexToAddr(rc.staticIdx));
+                jw.kv("disasm",
+                      run.program->inst(rc.staticIdx).toString());
+                jw.kv("sdc_injections", rc.sdcInjections);
+                jw.kv("measured_share", rc.measuredShare);
+                jw.kv("analytical_ace_share",
+                      rc.analyticalAceShare);
+                jw.endObject();
+            }
+            jw.endArray();
+        }
         jw.endObject();
     }
 
@@ -306,6 +375,7 @@ JsonReport::write(const std::string &path) const
         section("sim", cache.simCounters());
         section("deadness", cache.deadnessCounters());
         section("avf", cache.avfCounters());
+        section("campaign", cache.campaignCounters());
         jw.endObject();
     }
     if (!_intervalLines.empty())

@@ -40,7 +40,7 @@ RunCache::setCapacity(std::size_t entries)
 void
 RunCache::clear()
 {
-    for (Section *section : {&_sim, &_deadness, &_avf}) {
+    for (Section *section : {&_sim, &_deadness, &_avf, &_campaign}) {
         std::lock_guard<std::mutex> guard(section->lock);
         section->map.clear();
         section->fifo.clear();
@@ -117,6 +117,16 @@ RunCache::getAvf(const std::string &key,
     return get<avf::AvfResult>(_avf, key, compute, outcome);
 }
 
+std::shared_ptr<const faults::CampaignOutcome>
+RunCache::getCampaign(
+    const std::string &key,
+    const std::function<faults::CampaignOutcome()> &compute,
+    CacheOutcome *outcome)
+{
+    return get<faults::CampaignOutcome>(_campaign, key, compute,
+                                        outcome);
+}
+
 RunCache::Counters
 RunCache::sectionCounters(const Section &section)
 {
@@ -143,6 +153,12 @@ RunCache::Counters
 RunCache::avfCounters() const
 {
     return sectionCounters(_avf);
+}
+
+RunCache::Counters
+RunCache::campaignCounters() const
+{
+    return sectionCounters(_campaign);
 }
 
 std::uint64_t
@@ -179,6 +195,15 @@ approxBytes(const avf::AvfResult &result)
     return sizeof(avf::AvfResult) +
            result.fddRegExposures.size() * sizeof(avf::FddExposure) +
            result.epochs.size() * sizeof(avf::EpochAce);
+}
+
+std::uint64_t
+approxBytes(const faults::CampaignOutcome &outcome)
+{
+    return sizeof(faults::CampaignOutcome) +
+           outcome.structures.size() *
+               sizeof(faults::StructureCampaign) +
+           outcome.rootCauses.size() * sizeof(faults::RootCause);
 }
 
 std::uint64_t
@@ -255,6 +280,13 @@ std::string
 RunCache::avfKey(const std::string &sim_key)
 {
     return sim_key + "|avf";
+}
+
+std::string
+RunCache::campaignKey(const std::string &sim_key,
+                      const faults::CampaignSpec &spec)
+{
+    return sim_key + "|campaign|" + spec.cacheKey();
 }
 
 } // namespace harness

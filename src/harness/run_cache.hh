@@ -21,6 +21,8 @@
  *   deadness  (sim key, deadness options)        → DeadnessResult
  *   avf       (sim key; the epoch grid is already in the sim key)
  *                                                → AvfResult
+ *   campaign  (sim key + every semantic campaign knob)
+ *                                                → CampaignOutcome
  *
  * Thread-safety: lookups run concurrently under --jobs. The first
  * thread to miss computes the value under a per-entry once_flag;
@@ -53,6 +55,7 @@
 #include "cpu/params.hh"
 #include "cpu/sampler.hh"
 #include "cpu/trace.hh"
+#include "faults/campaign_engine.hh"
 #include "isa/program.hh"
 
 namespace ser
@@ -131,6 +134,7 @@ class RunCache
     Counters simCounters() const;
     Counters deadnessCounters() const;
     Counters avfCounters() const;
+    Counters campaignCounters() const;
 
     std::shared_ptr<const SimProducts>
     getSim(const std::string &key,
@@ -146,6 +150,12 @@ class RunCache
     getAvf(const std::string &key,
            const std::function<avf::AvfResult()> &compute,
            CacheOutcome *outcome = nullptr);
+
+    std::shared_ptr<const faults::CampaignOutcome>
+    getCampaign(
+        const std::string &key,
+        const std::function<faults::CampaignOutcome()> &compute,
+        CacheOutcome *outcome = nullptr);
 
     /** FNV-1a over the canonical encoding of every instruction, the
      * data initialisers and the entry point: equal-content programs
@@ -172,6 +182,13 @@ class RunCache
 
     /** The AVF fold's epoch grid rides in the sim key already. */
     static std::string avfKey(const std::string &sim_key);
+
+    /** The campaign section key: the sim key (the trace the sites
+     * are sampled from) plus every semantic campaign knob — two
+     * configs differing in any knob that could change a sampled
+     * site or its classification never share an entry. */
+    static std::string campaignKey(const std::string &sim_key,
+                                   const faults::CampaignSpec &spec);
 
   private:
     struct Entry
@@ -207,6 +224,7 @@ class RunCache
     Section _sim;
     Section _deadness;
     Section _avf;
+    Section _campaign;
 };
 
 /** Approximate retained footprint of a cached value: sizeof the
@@ -215,6 +233,7 @@ class RunCache
 std::uint64_t approxBytes(const SimProducts &products);
 std::uint64_t approxBytes(const avf::DeadnessResult &result);
 std::uint64_t approxBytes(const avf::AvfResult &result);
+std::uint64_t approxBytes(const faults::CampaignOutcome &outcome);
 
 } // namespace harness
 } // namespace ser

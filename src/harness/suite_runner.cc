@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <thread>
 
 #include "harness/metrics.hh"
 #include "harness/progress.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "workloads/suite.hh"
 
 namespace ser
@@ -35,46 +35,9 @@ void
 parallelFor(std::size_t n, unsigned jobs,
             const std::function<void(std::size_t)> &fn)
 {
-    if (jobs == 0)
-        jobs = defaultJobs();
-    std::size_t workers = std::min<std::size_t>(jobs, n);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-
-    // A shared claim counter hands out indices; each worker drains
-    // until the queue is empty. Results (written by fn) are indexed
-    // by i, so scheduling never affects aggregation order.
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex errorLock;
-    auto work = [&] {
-        for (;;) {
-            std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> guard(errorLock);
-                if (!error)
-                    error = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w)
-        pool.emplace_back(work);
-    work();  // the calling thread is worker 0
-    for (auto &thread : pool)
-        thread.join();
-    if (error)
-        std::rethrow_exception(error);
+    // The worker pool itself lives in sim/parallel (shared with the
+    // campaign engine); this wrapper only adds the SER_JOBS default.
+    ser::parallelFor(n, jobs == 0 ? defaultJobs() : jobs, fn);
 }
 
 SuiteRunner::SuiteRunner(unsigned jobs)

@@ -76,6 +76,32 @@ SparseMemory::writeWord(std::uint64_t addr, std::uint64_t value)
     }
 }
 
+bool
+SparseMemory::equals(const SparseMemory &other) const
+{
+    auto zero = [](const Page &page) {
+        for (std::uint8_t byte : page) {
+            if (byte != 0)
+                return false;
+        }
+        return true;
+    };
+    for (const auto &[index, page] : _pages) {
+        auto it = other._pages.find(index);
+        if (it == other._pages.end()) {
+            if (!zero(page))
+                return false;
+        } else if (page != it->second) {
+            return false;
+        }
+    }
+    for (const auto &[index, page] : other._pages) {
+        if (!_pages.count(index) && !zero(page))
+            return false;
+    }
+    return true;
+}
+
 ArchState::ArchState()
 {
     _fpRegs[1] = std::bit_cast<std::uint64_t>(1.0);
@@ -149,6 +175,14 @@ ArchState::writePred(int reg, bool value)
 {
     if (reg != 0)
         _predRegs[static_cast<std::size_t>(reg)] = value;
+}
+
+bool
+ArchState::equals(const ArchState &other) const
+{
+    return _intRegs == other._intRegs && _fpRegs == other._fpRegs &&
+           _predRegs == other._predRegs && _output == other._output &&
+           _mem.equals(other._mem);
 }
 
 } // namespace isa

@@ -41,6 +41,14 @@ class SparseMemory
 
     void clear() { _pages.clear(); }
 
+    /**
+     * Content equality. A page present on one side only counts as
+     * equal when it is all zeroes, since untouched memory reads as
+     * zero — two states that merely differ in which zero pages were
+     * materialized are architecturally identical.
+     */
+    bool equals(const SparseMemory &other) const;
+
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
@@ -79,6 +87,9 @@ class ArchState
         _output.push_back(value);
     }
     const std::vector<std::uint64_t> &output() const { return _output; }
+
+    /** Full architectural equality: registers, memory, and output. */
+    bool equals(const ArchState &other) const;
 
   private:
     std::array<std::uint64_t, numIntRegs> _intRegs{};

@@ -25,6 +25,21 @@ Executor::reset()
     _callDepth = 0;
 }
 
+ExecCheckpoint
+Executor::snapshot() const
+{
+    return ExecCheckpoint{_state, _pc, _steps, _callDepth};
+}
+
+void
+Executor::restore(const ExecCheckpoint &checkpoint)
+{
+    _state = checkpoint.state;
+    _pc = checkpoint.pc;
+    _steps = checkpoint.steps;
+    _callDepth = checkpoint.callDepth;
+}
+
 void
 Executor::setCorruption(std::uint64_t seq, std::uint64_t mask)
 {

@@ -58,6 +58,22 @@ struct StepInfo
     int callDepthDelta;      ///< +1 for call, -1 for ret (if qpTrue)
 };
 
+/**
+ * A resumable snapshot of an execution in flight: the architectural
+ * state plus the executor's own position (pc, step count, call
+ * depth). Restoring one is equivalent to replaying the program from
+ * the entry for 'steps' instructions, at the cost of one ArchState
+ * copy — the checkpoint/fork primitive the fault-injection campaign
+ * engine uses to pay only an injection's post-strike suffix.
+ */
+struct ExecCheckpoint
+{
+    ArchState state;
+    std::uint32_t pc = 0;
+    std::uint64_t steps = 0;
+    int callDepth = 0;
+};
+
 /** Functional executor over one Program. */
 class Executor
 {
@@ -66,6 +82,16 @@ class Executor
 
     /** Restart from the program entry with fresh state. */
     void reset();
+
+    /** Capture the current execution position and state. */
+    ExecCheckpoint snapshot() const;
+
+    /**
+     * Resume from a checkpoint. The step counter is restored too, so
+     * a pending setCorruption keyed on an absolute dynamic seq still
+     * fires at the right instruction after a restore.
+     */
+    void restore(const ExecCheckpoint &checkpoint);
 
     /**
      * Corrupt the instruction fetched at dynamic step 'seq' by XORing

@@ -1,0 +1,56 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ser
+{
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    std::size_t workers = std::min<std::size_t>(jobs ? jobs : 1, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // A shared claim counter hands out indices; each worker drains
+    // until the queue is empty. Results (written by fn) are indexed
+    // by i, so scheduling never affects aggregation order.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorLock;
+    auto work = [&] {
+        for (;;) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(errorLock);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();  // the calling thread is worker 0
+    for (auto &thread : pool)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace ser

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The shared worker-pool primitive: run fn(i) for every i in [0, n)
+ * on up to 'jobs' threads (the calling thread is one of them).
+ *
+ * This used to live in harness/suite_runner; it is re-homed here so
+ * layers below the harness (the fault-injection campaign engine
+ * shards its Monte-Carlo batches with it) can fan out without a
+ * dependency cycle. harness::parallelFor remains as a thin wrapper
+ * that adds the SER_JOBS default resolution.
+ *
+ * fn must be safe to call concurrently for distinct indices. An
+ * exception thrown by fn is re-thrown on the calling thread after
+ * all workers drain. jobs == 0 or 1 runs serially inline.
+ */
+
+#ifndef SER_SIM_PARALLEL_HH
+#define SER_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace ser
+{
+
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace ser
+
+#endif // SER_SIM_PARALLEL_HH

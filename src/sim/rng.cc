@@ -33,6 +33,18 @@ Rng::Rng(std::uint64_t seed_value)
     seed(seed_value);
 }
 
+Rng
+Rng::keyed(std::uint64_t seed_value, std::uint64_t index)
+{
+    // Whiten the seed, fold the counter in, and whiten again so that
+    // nearby (seed, index) pairs land on unrelated xoshiro states.
+    std::uint64_t x = seed_value;
+    std::uint64_t key = splitmix64(x);
+    x = key ^ index;
+    key = splitmix64(x);
+    return Rng(key);
+}
+
 void
 Rng::seed(std::uint64_t seed_value)
 {

@@ -30,6 +30,17 @@ class Rng
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
 
+    /**
+     * Counter-based construction: an independent stream keyed by
+     * (seed, index). Unlike drawing sequentially from one Rng(seed),
+     * the stream for a given index does not depend on how many draws
+     * any other index made, so work sharded across threads — or
+     * resumed from a checkpoint — samples exactly the same points.
+     * The key is derived by finalizing seed and index through two
+     * rounds of the splitmix64 mixer before seeding xoshiro256**.
+     */
+    static Rng keyed(std::uint64_t seed, std::uint64_t index);
+
     /** Re-seed the generator. */
     void seed(std::uint64_t seed);
 
