@@ -13,11 +13,20 @@
  * [field-refined ACE, whole-payload ACE], measured DUE under parity
  * lands on the pre-read occupancy the fold counts.
  *
+ * Each campaign also records its per-batch convergence time-series
+ * (faults::ConvergencePoint): the convergence table below shows how
+ * many samples each campaign needed to reach --ci-target, and
+ * --convergence-out streams the full series as JSONL for plotting
+ * time-to-CI-target (scripts/bench_compare.py-style tooling). With
+ * --serve PORT the same series is queryable live at /campaign while
+ * the sweep runs.
+ *
  * Usage: fig_campaign [insts=N] [samples=N] [benchmarks=a,b]
  *                     [protections=none,parity,ecc]
  *                     [structures=iq,regfile] [cseed=N] [batch=N]
  *                     [checkpoints=N] [--ci-target X] [--topn N]
  *                     [--jobs N] [--json PATH] [--csv]
+ *                     [--convergence-out F] [--serve PORT]
  */
 
 #include <iostream>
@@ -208,6 +217,48 @@ main(int argc, char **argv)
     else
         econ.print(std::cout);
 
+    // Per-batch convergence: how fast each campaign's worst tracked
+    // CI half-width shrank, and (when --ci-target is set) how many
+    // samples it took to cross it. The series itself is a campaign
+    // result (deterministic), so this table is byte-identical across
+    // --jobs / cache / --serve variants.
+    Table conv({"benchmark", "protection", "batches", "samples",
+                "final CI half-width", "samples to target",
+                "early stop"});
+    for (const harness::RunArtifacts &r : runs) {
+        if (!r.campaign)
+            continue;
+        const faults::CampaignOutcome &c = *r.campaign;
+        std::string to_target = "-";
+        if (c.ciTarget > 0) {
+            for (const faults::ConvergencePoint &p : c.convergence) {
+                if (p.worstHalfWidth <= c.ciTarget) {
+                    to_target = std::to_string(p.samples);
+                    break;
+                }
+            }
+        }
+        conv.addRow({r.benchmark,
+                     faults::protectionName(c.protection),
+                     std::to_string(c.convergence.size()),
+                     std::to_string(c.samplesRun),
+                     Table::pct(c.ciHalfWidth), to_target,
+                     c.earlyStopped ? "yes" : "no"});
+    }
+    harness::printHeading(std::cout,
+                          "campaign convergence: per-batch CI "
+                          "half-width time-series");
+    if (opts.csv)
+        conv.printCsv(std::cout);
+    else
+        conv.print(std::cout);
+    if (!opts.convergenceOutPath.empty()) {
+        harness::writeConvergenceJsonl(opts.convergenceOutPath,
+                                       runs);
+        std::cout << "\nconvergence series written to "
+                  << opts.convergenceOutPath << "\n";
+    }
+
     if (opts.topn) {
         for (const harness::RunArtifacts &r : runs) {
             if (!r.campaign || r.campaign->rootCauses.empty())
@@ -244,6 +295,7 @@ main(int argc, char **argv)
     if (!opts.jsonPath.empty()) {
         report.addTable("campaign_reconciliation", table);
         report.addTable("campaign_economics", econ);
+        report.addTable("campaign_convergence", conv);
         report.write(opts.jsonPath);
     }
     return 0;

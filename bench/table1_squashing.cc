@@ -300,6 +300,11 @@ main(int argc, char **argv)
         if (!opts.jsonPath.empty())
             report.addTable("campaign_reconciliation", recon);
     }
+    // Per-batch campaign convergence series (plot time-to-CI-target;
+    // live view at /campaign with --serve).
+    if (!opts.convergenceOutPath.empty())
+        harness::writeConvergenceJsonl(opts.convergenceOutPath,
+                                       runs);
 
     trace_export.emit(std::cout, runs);
 

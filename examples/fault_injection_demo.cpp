@@ -12,9 +12,11 @@
  * Usage: fault_injection_demo [benchmark=crafty] [insts=40000]
  *        [samples=2000] [structures=iq] [--ci-target X]
  *        [--progress] [--jobs N] [--json PATH]
+ *        [--convergence-out F] [--serve PORT]
  */
 
 #include <iostream>
+#include <vector>
 
 #include "faults/campaign_engine.hh"
 #include "harness/bench_options.hh"
@@ -67,6 +69,7 @@ main(int argc, char **argv)
     Table outcomes(
         {"protection", "outcome", "count", "rate", "lo95", "hi95"});
     harness::RunArtifacts run;
+    std::vector<harness::RunArtifacts> all_runs;
     for (auto prot :
          {faults::Protection::None, faults::Protection::Parity,
           faults::Protection::Ecc}) {
@@ -92,6 +95,8 @@ main(int argc, char **argv)
         progress.endSweep();
         if (!opts.jsonPath.empty())
             report.addRun(run, run_cfg);
+        if (!opts.convergenceOutPath.empty())
+            all_runs.push_back(run);
 
         const faults::CampaignOutcome &c = *run.campaign;
         std::cout << faults::protectionName(prot) << ":\n"
@@ -155,6 +160,10 @@ main(int argc, char **argv)
                   << "\n";
         ++stories;
     }
+
+    if (!opts.convergenceOutPath.empty())
+        harness::writeConvergenceJsonl(opts.convergenceOutPath,
+                                       all_runs);
 
     if (!opts.jsonPath.empty()) {
         report.addTable("outcomes", outcomes);

@@ -459,17 +459,35 @@ runCampaignEngine(const isa::Program &program,
 
         // Adaptive early stop, evaluated only at batch boundaries so
         // the stopping point is a pure function of the fold so far.
+        // The same per-structure CIs become one point of the
+        // convergence time-series.
+        ConvergencePoint point;
+        point.batch = out.convergence.size();
+        point.samples = done;
+        point.structures.reserve(tallies.size());
         double widest = 0.0;
-        for (const CampaignResult &tally : tallies) {
+        for (std::size_t si = 0; si < tallies.size(); ++si) {
+            const CampaignResult &tally = tallies[si];
             Interval sdc = wilson(tally.count(Outcome::Sdc),
                                   tally.samples);
             Interval due = wilson(tally.count(Outcome::TrueDue) +
                                       tally.count(Outcome::FalseDue),
                                   tally.samples);
-            widest = std::max(
-                {widest, (sdc.hi - sdc.lo) / 2.0,
-                 (due.hi - due.lo) / 2.0});
+            ConvergencePoint::StructurePoint sp;
+            sp.structure = spaces[si].structure;
+            sp.samples = tally.samples;
+            sp.sdcRate = tally.sdcRate();
+            sp.sdcHalfWidth = (sdc.hi - sdc.lo) / 2.0;
+            sp.dueRate = tally.dueRate();
+            sp.dueHalfWidth = (due.hi - due.lo) / 2.0;
+            point.structures.push_back(sp);
+            widest = std::max({widest, sp.sdcHalfWidth,
+                               sp.dueHalfWidth});
         }
+        point.worstHalfWidth = widest;
+        out.convergence.push_back(point);
+        if (spec.onConvergence)
+            spec.onConvergence(point);
         out.ciHalfWidth = widest;
         if (spec.ciTarget > 0.0 && widest <= spec.ciTarget &&
             done < spec.samples) {

@@ -86,6 +86,34 @@ unsigned parseStructures(const std::string &csv);
 /** Render a structure mask back to the canonical csv form. */
 std::string structuresToString(unsigned mask);
 
+/**
+ * One point of the campaign convergence time-series: the state of
+ * every tracked estimator after a batch of samples was folded.
+ * Batch boundaries are a pure function of (samples, batchSamples,
+ * ciTarget), so the series is byte-identical at any job count and
+ * across run-cache hits — it is a campaign *result*, not a
+ * telemetry observation.
+ */
+struct ConvergencePoint
+{
+    std::uint64_t batch = 0;    ///< 0-based batch index
+    std::uint64_t samples = 0;  ///< cumulative samples folded
+    /** Max per-structure 95% Wilson CI half-width (SDC and DUE) —
+     * the quantity the adaptive early stop compares to ciTarget. */
+    double worstHalfWidth = 1.0;
+
+    struct StructurePoint
+    {
+        Structure structure = Structure::Iq;
+        std::uint64_t samples = 0;  ///< landed on this structure
+        double sdcRate = 0.0;
+        double sdcHalfWidth = 0.0;
+        double dueRate = 0.0;
+        double dueHalfWidth = 0.0;
+    };
+    std::vector<StructurePoint> structures;
+};
+
 /** Campaign parameters. */
 struct CampaignSpec
 {
@@ -105,6 +133,11 @@ struct CampaignSpec
     unsigned jobs = 1;
     std::function<void(std::uint64_t done, std::uint64_t total)>
         onBatch;
+    /** Live per-batch convergence hook (the same point that is also
+     * recorded in CampaignOutcome::convergence). Fires in fold
+     * order on the folding thread; like onBatch it observes the
+     * campaign but cannot change it. */
+    std::function<void(const ConvergencePoint &)> onConvergence;
 
     /**
      * Serialization of every outcome-affecting knob, for folding
@@ -173,6 +206,12 @@ struct CampaignOutcome
 
     std::vector<StructureCampaign> structures;
     std::vector<RootCause> rootCauses;
+
+    /** Per-batch convergence time-series (one point per folded
+     * batch, in fold order) — what `--convergence-out` streams to
+     * JSONL and the telemetry server's /campaign endpoint shows
+     * live. Deterministic: see ConvergencePoint. */
+    std::vector<ConvergencePoint> convergence;
 
     /** Mean forked cost per re-run as a fraction of a full golden
      * replay — the checkpoint/fork win (< 1 means forking pays). */

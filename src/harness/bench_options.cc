@@ -6,7 +6,9 @@
 #include "harness/metrics.hh"
 #include "harness/progress.hh"
 #include "harness/run_cache.hh"
+#include "harness/shutdown.hh"
 #include "harness/suite_runner.hh"
+#include "harness/telemetry_server.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 #include "sim/prof.hh"
@@ -53,15 +55,25 @@ printUsage(const char *argv0, const std::string &usage)
                  "byte-identical either way)\n"
               << "  --metrics-out F  write Prometheus text-exposition "
                  "telemetry snapshots to F\n"
-                 "                   (every sweep epoch and at exit; "
-                 "also enables sim::prof)\n"
+                 "                   (every sweep epoch, at exit, and "
+                 "on SIGINT/SIGTERM;\n"
+                 "                   also enables sim::prof)\n"
               << "  --progress       live one-line sweep progress on "
                  "stderr\n"
+              << "  --serve PORT     live-telemetry HTTP server on "
+                 "127.0.0.1:PORT\n"
+                 "                   (GET /metrics /status /runs "
+                 "/campaign /healthz;\n"
+                 "                   0 picks an ephemeral port)\n"
               << "  --ci-target X    fault-injection campaigns stop "
                  "early once every 95% CI\n"
                  "                   half-width falls below X "
                  "(benches with campaigns only;\n"
                  "                   0 = run all samples)\n"
+              << "  --convergence-out F\n"
+                 "                   stream per-batch campaign "
+                 "convergence as JSONL to F\n"
+                 "                   (benches with campaigns only)\n"
               << "  --debug FLAGS    debug trace flags (Pipeline, "
                  "IQ, Trigger, Pi, PET, Cache, All)\n"
               << "  --help           this message\n"
@@ -176,6 +188,23 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
             std::string text =
                 optionValue(argc, argv, i, "--ci-target", token);
             opts.ciTarget = parseRate(argv[0], "--ci-target", text);
+        } else if (token == "--convergence-out" ||
+                   token.rfind("--convergence-out=", 0) == 0) {
+            opts.convergenceOutPath = optionValue(
+                argc, argv, i, "--convergence-out", token);
+            if (opts.convergenceOutPath.empty())
+                SER_FATAL("{}: --convergence-out needs a path",
+                          argv[0]);
+        } else if (token == "--serve" ||
+                   token.rfind("--serve=", 0) == 0) {
+            std::string text =
+                optionValue(argc, argv, i, "--serve", token);
+            std::uint64_t port =
+                parseCount(argv[0], "--serve", text);
+            if (port > 65535)
+                SER_FATAL("{}: --serve port {} out of range",
+                          argv[0], port);
+            opts.servePort = static_cast<int>(port);
         } else if (token == "--progress") {
             opts.progress = true;
             Progress::instance().setEnabled(true);
@@ -218,6 +247,25 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
         std::atexit([] {
             MetricsRegistry::instance().writeSnapshot();
         });
+        // Terminating signals never unwind through atexit; a
+        // dedicated sigwait watcher flushes the final snapshot on
+        // SIGINT/SIGTERM instead (harness/shutdown.hh). parse()
+        // still runs before any worker/server thread exists, so the
+        // blocked-signal mask is inherited everywhere.
+        installShutdownFlush();
+    }
+    // The HTTP server starts after every option is parsed (a --help
+    // or usage error never leaves a live socket) and before any
+    // simulation work, so a scraper can watch the sweep from run 0.
+    if (opts.servePort >= 0) {
+        TelemetryServer &server = TelemetryServer::instance();
+        server.start(static_cast<std::uint16_t>(opts.servePort));
+        // The announce goes to stderr, not SER_INFORM (stdout):
+        // stdout must stay byte-identical with --serve on vs off.
+        std::cerr << "info: telemetry: serving http://127.0.0.1:"
+                  << server.port()
+                  << "/ (/metrics /status /runs /campaign "
+                     "/healthz)\n";
     }
     return opts;
 }

@@ -27,12 +27,22 @@
  *                    output is byte-identical either way)
  *   --metrics-out F  enable telemetry (sim::prof counters and scope
  *                    timers) and write a Prometheus text-exposition
- *                    snapshot to F at every sweep epoch and at exit
+ *                    snapshot to F at every sweep epoch, at exit,
+ *                    and on SIGINT/SIGTERM (graceful-shutdown flush)
  *   --progress       live one-line sweep progress on stderr
- *                    (completed/total, runs/s, cache hit rate, ETA)
+ *                    (completed/total, runs/s, cache hit rate,
+ *                    campaign CI convergence, ETA)
+ *   --serve PORT     embedded live-telemetry HTTP server on
+ *                    127.0.0.1:PORT (/metrics /status /runs
+ *                    /campaign /healthz); read-only, so output stays
+ *                    byte-identical with the server on or off
  *   --ci-target X    adaptive early stop for fault-injection
  *                    campaigns: stop sampling once every 95% CI
  *                    half-width is below X (campaign benches only)
+ *   --convergence-out F
+ *                    stream the per-batch campaign convergence
+ *                    time-series as JSONL to F (campaign benches
+ *                    only)
  *   --debug FLAGS    select debug trace flags (same as
  *                    SER_DEBUG_FLAGS), e.g. --debug Trigger,IQ
  *   --help           print usage and exit
@@ -91,6 +101,18 @@ struct BenchOptions
     /** True after --progress (parse() also arms the process-wide
      * harness::Progress reporter). */
     bool progress = false;
+
+    /** --serve PORT: parse() starts the process-wide
+     * harness::TelemetryServer on 127.0.0.1:PORT before returning,
+     * so the endpoints answer for the binary's whole lifetime.
+     * -1 = off; 0 picks an ephemeral port (announced on stderr). */
+    int servePort = -1;
+
+    /** --convergence-out F; empty = off. Benches that run campaigns
+     * stream the per-batch convergence time-series (recorded in
+     * CampaignOutcome::convergence) to F as JSONL via
+     * harness::writeConvergenceJsonl. */
+    std::string convergenceOutPath;
 
     /** --ci-target X: fault-injection campaigns stop early once
      * every tracked 95% CI half-width falls below X (0 = run the

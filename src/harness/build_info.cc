@@ -1,0 +1,38 @@
+#include "build_info.hh"
+
+// The definitions are attached to this one translation unit by
+// src/harness/CMakeLists.txt (set_source_files_properties), so a new
+// commit only recompiles this file. Fallbacks keep non-CMake builds
+// (and IDE indexers) compiling.
+#ifndef SER_BUILD_GIT
+#define SER_BUILD_GIT "unknown"
+#endif
+#ifndef SER_BUILD_COMPILER
+#define SER_BUILD_COMPILER "unknown"
+#endif
+#ifndef SER_BUILD_TYPE
+#define SER_BUILD_TYPE "unspecified"
+#endif
+#ifndef SER_BUILD_SANITIZE
+#define SER_BUILD_SANITIZE "none"
+#endif
+
+namespace ser
+{
+namespace harness
+{
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {
+        SER_BUILD_GIT,
+        SER_BUILD_COMPILER,
+        sizeof(SER_BUILD_TYPE) > 1 ? SER_BUILD_TYPE : "unspecified",
+        sizeof(SER_BUILD_SANITIZE) > 1 ? SER_BUILD_SANITIZE : "none",
+    };
+    return info;
+}
+
+} // namespace harness
+} // namespace ser

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Build provenance for telemetry and manifests: which exact binary
+ * produced a measurement. The values are baked in at configure time
+ * by src/harness/CMakeLists.txt (git describe, compiler id, build
+ * type, SER_SANITIZE) and surface in two places:
+ *
+ *  - the `ser_build_info` Prometheus gauge (value always 1, the
+ *    metadata rides in the labels — the node-exporter idiom);
+ *  - a `build_info` object in every JSON run manifest.
+ *
+ * Determinism: the values are compile-time constants, so every
+ * variant of a determinism fixture built from the same tree emits
+ * byte-identical build_info blocks.
+ */
+
+#ifndef SER_HARNESS_BUILD_INFO_HH
+#define SER_HARNESS_BUILD_INFO_HH
+
+namespace ser
+{
+namespace harness
+{
+
+/** Compile-time build provenance (see file comment). */
+struct BuildInfo
+{
+    const char *git;       ///< `git describe --always --dirty`
+    const char *compiler;  ///< compiler id + version
+    const char *buildType; ///< CMAKE_BUILD_TYPE ("" -> "unspecified")
+    const char *sanitize;  ///< SER_SANITIZE ("" -> "none")
+};
+
+const BuildInfo &buildInfo();
+
+} // namespace harness
+} // namespace ser
+
+#endif // SER_HARNESS_BUILD_INFO_HH

@@ -7,6 +7,8 @@
 #include "core/trigger.hh"
 #include "cpu/pipeline.hh"
 #include "harness/metrics.hh"
+#include "harness/progress.hh"
+#include "harness/telemetry_server.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/prof.hh"
@@ -186,10 +188,35 @@ runProgramImpl(std::shared_ptr<const isa::Program> program,
     }
     if (config.campaign.samples) {
         ScopedTimer timer(out.timings, "campaign");
+        // Live-telemetry fan-out rides on the onConvergence hook:
+        // every folded batch updates the --progress CI segment and
+        // the telemetry server's /campaign ring. Hooks are
+        // non-semantic (excluded from cacheKey), and like the
+        // ser_campaign_* counters below they fire on the miss path
+        // only — a cache hit re-runs nothing, so there is nothing
+        // live to report.
+        faults::CampaignSpec spec = config.campaign;
+        {
+            auto inner = spec.onConvergence;
+            std::string benchmark = out.benchmark;
+            std::string protection =
+                faults::protectionName(spec.protection);
+            double ci_target = spec.ciTarget;
+            spec.onConvergence =
+                [inner, benchmark, protection,
+                 ci_target](const faults::ConvergencePoint &point) {
+                    if (inner)
+                        inner(point);
+                    Progress::instance().campaignTick(
+                        point.worstHalfWidth, ci_target);
+                    TelemetryServer::instance().publishCampaignPoint(
+                        benchmark, protection, point);
+                };
+        }
         auto compute = [&] {
             faults::CampaignOutcome result = faults::runCampaignEngine(
                 *out.program, *out.trace, *out.deadness, *out.avf,
-                config.campaign);
+                spec);
             // Work-performed counters live on the miss path so a
             // cache hit (which injects nothing) does not inflate
             // them; hit/miss patterns are scheduling-independent, so
@@ -218,7 +245,7 @@ runProgramImpl(std::shared_ptr<const isa::Program> program,
         };
         if (cacheable)
             out.campaign = cache.getCampaign(
-                RunCache::campaignKey(sim_key, config.campaign),
+                RunCache::campaignKey(sim_key, spec),
                 compute, &out.cacheCampaign);
         else
             out.campaign =

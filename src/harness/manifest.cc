@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/tracking.hh"
+#include "harness/build_info.hh"
 #include "harness/run_cache.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -23,6 +24,20 @@ writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
     jw.beginObject();
     jw.kv("benchmark", run.benchmark);
     jw.kv("seed", run.seed);
+
+    // Which exact binary produced this run. Compile-time constants
+    // (harness/build_info.hh), so determinism-fixture variants built
+    // from the same tree emit identical bytes here.
+    {
+        const BuildInfo &build = buildInfo();
+        jw.key("build_info");
+        jw.beginObject();
+        jw.kv("git", build.git);
+        jw.kv("compiler", build.compiler);
+        jw.kv("build_type", build.buildType);
+        jw.kv("sanitize", build.sanitize);
+        jw.endObject();
+    }
 
     jw.key("config");
     jw.beginObject();
@@ -393,6 +408,53 @@ JsonReport::write(const std::string &path) const
                   intervalsPath(path));
     for (const auto &line : _intervalLines)
         jl << line << "\n";
+}
+
+void
+writeConvergenceJsonl(const std::string &path,
+                      const std::vector<RunArtifacts> &runs)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        SER_FATAL("convergence: cannot open '{}' for writing", path);
+    for (const RunArtifacts &run : runs) {
+        if (!run.campaign)
+            continue;
+        const faults::CampaignOutcome &campaign = *run.campaign;
+        for (const faults::ConvergencePoint &point :
+             campaign.convergence) {
+            std::ostringstream line;
+            {
+                json::JsonWriter jw(line, 0);
+                jw.beginObject();
+                jw.kv("benchmark", run.benchmark);
+                jw.kv("protection",
+                      faults::protectionName(campaign.protection));
+                jw.kv("seed", campaign.seed);
+                jw.kv("batch", point.batch);
+                jw.kv("samples", point.samples);
+                jw.kv("worst_ci_half_width", point.worstHalfWidth);
+                jw.key("structures");
+                jw.beginArray();
+                for (const auto &s : point.structures) {
+                    jw.beginObject();
+                    jw.kv("structure",
+                          faults::structureName(s.structure));
+                    jw.kv("samples", s.samples);
+                    jw.kv("sdc_rate", s.sdcRate);
+                    jw.kv("sdc_ci_half_width", s.sdcHalfWidth);
+                    jw.kv("due_rate", s.dueRate);
+                    jw.kv("due_ci_half_width", s.dueHalfWidth);
+                    jw.endObject();
+                }
+                jw.endArray();
+                jw.endObject();
+            }
+            os << line.str() << "\n";
+        }
+    }
+    if (!os)
+        SER_FATAL("convergence: write to '{}' failed", path);
 }
 
 void

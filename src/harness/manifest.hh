@@ -51,6 +51,18 @@ void writeRunManifest(json::JsonWriter &jw, const RunArtifacts &run,
                       const ExperimentConfig &config);
 
 /**
+ * Write the per-batch campaign convergence time-series of every run
+ * that carried a campaign as JSONL at 'path' (--convergence-out):
+ * one object per (run, batch) in submission order — deterministic,
+ * because CampaignOutcome::convergence is itself a campaign result
+ * (see faults::ConvergencePoint). Runs without campaigns are
+ * skipped; an empty series still truncates/creates the file so a
+ * stale one never survives.
+ */
+void writeConvergenceJsonl(const std::string &path,
+                           const std::vector<RunArtifacts> &runs);
+
+/**
  * Collects runs and tables while a bench executes, then writes the
  * manifest (and the sibling interval JSONL) in one go. Runs are
  * serialized at addRun() time so the heavyweight artifacts can be

@@ -3,7 +3,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
+#include "harness/build_info.hh"
 #include "harness/run_cache.hh"
 #include "sim/logging.hh"
 #include "sim/prof.hh"
@@ -56,6 +60,23 @@ renderLabels(std::string_view key, std::string_view value)
         return "";
     return "{" + sanitize(key) + "=\"" +
            escapeLabelValue(value) + "\"}";
+}
+
+/** Render a multi-label block; the caller passes the pairs in the
+ * (sorted) order they should appear. */
+std::string
+renderLabelSet(
+    const std::vector<std::pair<const char *, const char *>> &labels)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ",";
+        out += sanitize(labels[i].first) + "=\"" +
+               escapeLabelValue(labels[i].second) + "\"";
+    }
+    out += "}";
+    return out;
 }
 
 /** Shortest-round-trip formatting for gauge/seconds values, so the
@@ -111,10 +132,9 @@ MetricsRegistry::outputPath() const
 }
 
 MetricsRegistry::Series &
-MetricsRegistry::upsert(std::string_view name, Kind kind,
-                        std::string_view help,
-                        std::string_view label_key,
-                        std::string_view label_value)
+MetricsRegistry::upsertRendered(std::string_view name, Kind kind,
+                                std::string_view help,
+                                std::string rendered_labels)
 {
     // _lock is held by the caller.
     Family &family = _families[sanitize(name)];
@@ -122,7 +142,17 @@ MetricsRegistry::upsert(std::string_view name, Kind kind,
         family.kind = kind;
         family.help = help;
     }
-    return family.series[renderLabels(label_key, label_value)];
+    return family.series[std::move(rendered_labels)];
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::upsert(std::string_view name, Kind kind,
+                        std::string_view help,
+                        std::string_view label_key,
+                        std::string_view label_value)
+{
+    return upsertRendered(name, kind, help,
+                          renderLabels(label_key, label_value));
 }
 
 void
@@ -194,6 +224,15 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
     }
 }
 
+std::string
+MetricsRegistry::renderExposition()
+{
+    collectProcessMetrics();
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
 void
 MetricsRegistry::collectProcessMetrics()
 {
@@ -211,6 +250,19 @@ MetricsRegistry::collectProcessMetrics()
         {"avf", cache.avfCounters()},
     };
     std::lock_guard<std::mutex> guard(_lock);
+
+    // Build provenance in labels, value pinned to 1 — the
+    // node-exporter `*_build_info` idiom. Compile-time constants, so
+    // identical across every determinism-fixture variant.
+    const BuildInfo &build = buildInfo();
+    upsertRendered("ser_build_info", Kind::Gauge,
+                   "Build metadata (value is always 1).",
+                   renderLabelSet({{"build_type", build.buildType},
+                                   {"compiler", build.compiler},
+                                   {"git", build.git},
+                                   {"sanitize", build.sanitize}}))
+        .dvalue = 1.0;
+
     for (const SectionStats &s : sections) {
         upsert("ser_run_cache_hits_total", Kind::Counter,
                "Run-cache lookups answered from cache.", "section",

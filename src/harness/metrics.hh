@@ -99,9 +99,16 @@ class MetricsRegistry
      */
     void writePrometheus(std::ostream &os) const;
 
-    /** Import the RunCache counters and the sim::prof snapshot into
-     * the registry (absolute sets — their sources already hold
-     * process totals). */
+    /** collectProcessMetrics() + writePrometheus() into a string: a
+     * complete, self-consistent exposition document rendered under
+     * the registry lock — what the telemetry server's /metrics
+     * endpoint serves on every pull, instead of a stale file
+     * snapshot. */
+    std::string renderExposition();
+
+    /** Import the RunCache counters, the sim::prof snapshot, and the
+     * ser_build_info gauge into the registry (absolute sets — their
+     * sources already hold process totals). */
     void collectProcessMetrics();
 
     /** collectProcessMetrics() + atomic write to the armed path.
@@ -133,6 +140,11 @@ class MetricsRegistry
     Series &upsert(std::string_view name, Kind kind,
                    std::string_view help, std::string_view label_key,
                    std::string_view label_value);
+    /** Like upsert, but with an already-rendered (sorted,
+     * multi-label) label block — the series map key. */
+    Series &upsertRendered(std::string_view name, Kind kind,
+                           std::string_view help,
+                           std::string rendered_labels);
 
     mutable std::mutex _lock;
     std::map<std::string, Family> _families;

@@ -50,35 +50,62 @@ Progress::instance()
 void
 Progress::beginSweep(std::size_t total, std::string label)
 {
-    if (!enabled())
-        return;
+    // State is recorded even when drawing is off, so the telemetry
+    // server's /status snapshot works without --progress.
     _total.store(total);
     _done.store(0);
     _lastDrawNs.store(0);
-    _start = std::chrono::steady_clock::now();
-    _label = std::move(label);
+    _ciHalfWidthPpb.store(kNoCi);
+    _ciTargetPpb.store(0);
+    _everBegan.store(true);
+    {
+        std::lock_guard<std::mutex> guard(_metaLock);
+        _start = std::chrono::steady_clock::now();
+        _label = std::move(label);
+    }
+    if (enabled())
+        draw(false);
+}
+
+void
+Progress::maybeDraw()
+{
+    if (!enabled())
+        return;
+    // Claim the redraw with a CAS on the last-draw stamp: a burst of
+    // completions costs one redraw, and losers skip straight back to
+    // work.
+    std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    std::int64_t last = _lastDrawNs.load();
+    if (now_ns - last < kRedrawIntervalNs ||
+        !_lastDrawNs.compare_exchange_strong(last, now_ns))
+        return;
     draw(false);
 }
 
 void
 Progress::runCompleted()
 {
-    if (!enabled())
-        return;
     _done.fetch_add(1);
+    maybeDraw();
+}
 
-    // Claim the redraw with a CAS on the last-draw stamp: a burst of
-    // completions costs one redraw, and losers skip straight back to
-    // work.
-    auto now = std::chrono::steady_clock::now();
-    std::int64_t now_ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            now - _start).count();
-    std::int64_t last = _lastDrawNs.load();
-    if (now_ns - last < kRedrawIntervalNs ||
-        !_lastDrawNs.compare_exchange_strong(last, now_ns))
-        return;
-    draw(false);
+void
+Progress::campaignTick(double ci_half_width, double ci_target)
+{
+    auto to_ppb = [](double v) {
+        if (v < 0)
+            v = 0;
+        if (v > 1)
+            v = 1;
+        return static_cast<std::uint64_t>(v * 1e9);
+    };
+    _ciHalfWidthPpb.store(to_ppb(ci_half_width));
+    _ciTargetPpb.store(to_ppb(ci_target));
+    maybeDraw();
 }
 
 void
@@ -89,14 +116,56 @@ Progress::endSweep()
     draw(true);
 }
 
+Progress::Snapshot
+Progress::snapshot() const
+{
+    Snapshot snap;
+    snap.active = _everBegan.load();
+    if (!snap.active)
+        return snap;
+    snap.done = _done.load();
+    snap.total = _total.load();
+    {
+        std::lock_guard<std::mutex> guard(_metaLock);
+        snap.label = _label;
+        snap.elapsedSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - _start).count();
+    }
+    snap.runsPerSec = snap.elapsedSeconds > 0
+                          ? static_cast<double>(snap.done) /
+                                snap.elapsedSeconds
+                          : 0.0;
+    snap.etaSeconds =
+        snap.runsPerSec > 0
+            ? static_cast<double>(snap.total - snap.done) /
+                  snap.runsPerSec
+            : -1.0;
+    std::uint64_t half_width = _ciHalfWidthPpb.load();
+    if (half_width != kNoCi) {
+        snap.campaignActive = true;
+        snap.campaignHalfWidth =
+            static_cast<double>(half_width) * 1e-9;
+        snap.campaignTarget =
+            static_cast<double>(_ciTargetPpb.load()) * 1e-9;
+    }
+    return snap;
+}
+
 void
 Progress::draw(bool final)
 {
     std::uint64_t done = _done.load();
     std::uint64_t total = _total.load();
-    double elapsed =
-        std::chrono::duration<double>(
+    std::string prefix;
+    double elapsed;
+    {
+        std::lock_guard<std::mutex> guard(_metaLock);
+        elapsed = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - _start).count();
+        if (!_label.empty())
+            prefix = "[" + _label + "] ";
+    }
     double rate = elapsed > 0 ? done / elapsed : 0.0;
     double eta = rate > 0 ? (total - done) / rate : -1.0;
 
@@ -108,16 +177,35 @@ Progress::draw(bool final)
     std::uint64_t lookups =
         hits + sim.misses + dead.misses + avf.misses;
 
-    std::string prefix = _label.empty() ? "" : "[" + _label + "] ";
+    // Campaign distance-to-stop: worst tracked CI half-width from
+    // the most recent folded batch vs the --ci-target it must fall
+    // below (arrow omitted when no target is set).
+    char ci_seg[48] = "";
+    std::uint64_t half_width_ppb = _ciHalfWidthPpb.load();
+    if (half_width_ppb != kNoCi) {
+        double half_width =
+            static_cast<double>(half_width_ppb) * 1e-9;
+        double target =
+            static_cast<double>(_ciTargetPpb.load()) * 1e-9;
+        if (target > 0)
+            std::snprintf(ci_seg, sizeof(ci_seg),
+                          " | ci %.2f%%>%.2f%%", 100.0 * half_width,
+                          100.0 * target);
+        else
+            std::snprintf(ci_seg, sizeof(ci_seg), " | ci %.2f%%",
+                          100.0 * half_width);
+    }
+
     std::string eta_str = final ? "-" : formatEta(eta);
-    char line[256];
+    char line[320];
     int n = std::snprintf(
         line, sizeof(line),
         "\r%s%" PRIu64 "/%" PRIu64 " runs %3.0f%% | %.1f runs/s"
-        " | cache %3.0f%% hit | eta %s",
+        " | cache %3.0f%% hit%s | eta %s",
         prefix.c_str(),
         done, total, total ? 100.0 * done / total : 0.0, rate,
-        lookups ? 100.0 * hits / lookups : 0.0, eta_str.c_str());
+        lookups ? 100.0 * hits / lookups : 0.0, ci_seg,
+        eta_str.c_str());
     if (n < 0)
         return;
 

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace ser
@@ -38,19 +39,25 @@ namespace ser
 namespace harness
 {
 
-/** Live progress over a fixed number of runs; see file comment. */
+/** Live progress over a fixed number of runs; see file comment.
+ *
+ * Sweep state (done/total/label/clock) is recorded unconditionally —
+ * the atomics cost nothing next to a run — so the telemetry server's
+ * /status endpoint can report a sweep even when the stderr line is
+ * not armed; only *drawing* is gated on --progress. */
 class Progress
 {
   public:
     static Progress &instance();
 
-    /** Arm (--progress). Disabled reporters make every call below
-     * a near-free no-op. */
+    /** Arm (--progress). Disabled reporters record state but never
+     * paint. */
     void setEnabled(bool on) { _enabled.store(on); }
     bool enabled() const { return _enabled.load(); }
 
     /** Start a sweep of `total` runs. `label` prefixes the line
-     * (conventionally the bench name). Resets the clock. */
+     * (conventionally the bench name). Resets the clock and the
+     * campaign CI state. */
     void beginSweep(std::size_t total, std::string label = "");
 
     /** One run finished; redraws the line (throttled). */
@@ -59,15 +66,48 @@ class Progress
     /** Sweep done: paint the final state and release the line. */
     void endSweep();
 
+    /** One campaign batch folded: remember the worst tracked CI
+     * half-width (and the --ci-target it races toward) so the line
+     * shows distance-to-stop, and redraw (throttled). Campaigns on
+     * concurrent workers race benignly here — the line shows the
+     * most recent batch, which is all a live ticker promises. */
+    void campaignTick(double ci_half_width, double ci_target);
+
+    /** A read-only copy of the sweep state for /status. */
+    struct Snapshot
+    {
+        bool active = false;  ///< a sweep has begun this process
+        std::string label;
+        std::uint64_t done = 0;
+        std::uint64_t total = 0;
+        double elapsedSeconds = 0.0;
+        double runsPerSec = 0.0;
+        double etaSeconds = -1.0;  ///< < 0 = unknown
+        bool campaignActive = false;
+        double campaignHalfWidth = 1.0;
+        double campaignTarget = 0.0;
+    };
+    Snapshot snapshot() const;
+
   private:
     Progress() = default;
 
     void draw(bool final);
+    void maybeDraw();
 
     std::atomic<bool> _enabled{false};
     std::atomic<std::uint64_t> _total{0};
     std::atomic<std::uint64_t> _done{0};
     std::atomic<std::int64_t> _lastDrawNs{0};
+    /** Campaign CI state in parts per billion; ~0 = no campaign has
+     * ticked this sweep. Integer atomics keep the hot path lock-free. */
+    static constexpr std::uint64_t kNoCi = ~0ull;
+    std::atomic<std::uint64_t> _ciHalfWidthPpb{kNoCi};
+    std::atomic<std::uint64_t> _ciTargetPpb{0};
+    std::atomic<bool> _everBegan{false};
+    /** Guards _start/_label against the telemetry thread's
+     * snapshot() racing a beginSweep(). */
+    mutable std::mutex _metaLock;
     std::chrono::steady_clock::time_point _start;
     std::string _label;
 };

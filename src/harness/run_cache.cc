@@ -200,10 +200,17 @@ approxBytes(const avf::AvfResult &result)
 std::uint64_t
 approxBytes(const faults::CampaignOutcome &outcome)
 {
+    std::uint64_t convergence = 0;
+    for (const faults::ConvergencePoint &point : outcome.convergence)
+        convergence +=
+            sizeof(faults::ConvergencePoint) +
+            point.structures.size() *
+                sizeof(faults::ConvergencePoint::StructurePoint);
     return sizeof(faults::CampaignOutcome) +
            outcome.structures.size() *
                sizeof(faults::StructureCampaign) +
-           outcome.rootCauses.size() * sizeof(faults::RootCause);
+           outcome.rootCauses.size() * sizeof(faults::RootCause) +
+           convergence;
 }
 
 std::uint64_t

@@ -1,0 +1,61 @@
+#include "shutdown.hh"
+
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+#include "harness/metrics.hh"
+
+namespace ser
+{
+namespace harness
+{
+
+namespace
+{
+
+void
+watchSignals(sigset_t set)
+{
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0)
+        return;
+
+    // Normal thread context: locks and allocation are fine here.
+    // writeSnapshot keeps the temp+rename discipline, so a reader
+    // racing the shutdown still sees a complete document.
+    MetricsRegistry::instance().writeSnapshot();
+
+    // Die by the signal we intercepted so the parent observes the
+    // conventional wait status. Restore default disposition and
+    // unblock it in this thread first.
+    std::signal(sig, SIG_DFL);
+    sigset_t unblock;
+    sigemptyset(&unblock);
+    sigaddset(&unblock, sig);
+    pthread_sigmask(SIG_UNBLOCK, &unblock, nullptr);
+    raise(sig);
+}
+
+} // namespace
+
+void
+installShutdownFlush()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        sigset_t set;
+        sigemptyset(&set);
+        sigaddset(&set, SIGINT);
+        sigaddset(&set, SIGTERM);
+        // Block in the installing (main) thread; every thread
+        // spawned later inherits the mask, so only the watcher ever
+        // receives these signals.
+        if (pthread_sigmask(SIG_BLOCK, &set, nullptr) != 0)
+            return;
+        std::thread(watchSignals, set).detach();
+    });
+}
+
+} // namespace harness
+} // namespace ser

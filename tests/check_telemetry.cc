@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Standalone telemetry scraper for the telemetry_* ctest fixtures:
+ * runs alongside a bench started with --serve PORT, polls the
+ * endpoints while the sweep executes, validates every response
+ * (status code, content type, JSON well-formedness) and saves the
+ * last successful scrape of each endpoint into OUTDIR
+ * (live_metrics.prom, live_status.json, live_runs.json,
+ * live_campaign.json) for the downstream exposition lint.
+ *
+ * Usage: check_telemetry PORT OUTDIR
+ *
+ * Exit 0 iff every endpoint answered correctly at least once. The
+ * bench may finish (and the server vanish) at any moment, so a
+ * connection that fails *after* an endpoint has already succeeded is
+ * normal end-of-sweep, not an error; only never-succeeding endpoints
+ * fail the check.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "sim/json.hh"
+
+using namespace ser;
+
+namespace
+{
+
+int
+connectLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** GET target; returns true and fills the full response on success
+ * (any HTTP answer), false when the server is unreachable. */
+bool
+httpGet(std::uint16_t port, const std::string &target,
+        std::string *response)
+{
+    int fd = connectLoopback(port);
+    if (fd < 0)
+        return false;
+    std::string request =
+        "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        ssize_t n = ::send(fd, request.data() + off,
+                           request.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    response->clear();
+    char buf[8192];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response->append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return !response->empty();
+}
+
+std::string
+body(const std::string &response)
+{
+    std::size_t pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? std::string()
+                                    : response.substr(pos + 4);
+}
+
+bool
+save(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    return static_cast<bool>(os);
+}
+
+struct Endpoint
+{
+    const char *target;
+    const char *file;
+    bool json;     ///< body must parse as JSON
+    bool ok = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: check_telemetry PORT OUTDIR\n";
+        return 2;
+    }
+    std::uint16_t port =
+        static_cast<std::uint16_t>(std::stoul(argv[1]));
+    std::string outdir = argv[2];
+
+    // Wait for the server to come up: the bench arms it while
+    // parsing options, before any simulation, so this resolves in
+    // well under a second unless the bench itself failed to launch.
+    std::string response;
+    bool up = false;
+    for (int i = 0; i < 600 && !up; ++i) {
+        up = httpGet(port, "/healthz", &response) &&
+             response.find("HTTP/1.1 200") == 0;
+        if (!up)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+    }
+    if (!up) {
+        std::cerr << "check_telemetry: /healthz never answered on "
+                     "port " << port << "\n";
+        return 1;
+    }
+
+    Endpoint endpoints[] = {
+        {"/metrics", "live_metrics.prom", false},
+        {"/status", "live_status.json", true},
+        {"/runs", "live_runs.json", true},
+        {"/campaign", "live_campaign.json", true},
+    };
+
+    // Scrape every endpoint each round until the server goes away
+    // (= the sweep finished) or everything has succeeded and a
+    // generous deadline passes. Responses are re-validated every
+    // round so a mid-sweep regression still fails the check.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(120);
+    int errors = 0;
+    bool alive = true;
+    while (alive && std::chrono::steady_clock::now() < deadline) {
+        alive = false;
+        for (Endpoint &endpoint : endpoints) {
+            if (!httpGet(port, endpoint.target, &response))
+                continue;  // server gone mid-round: end of sweep
+            alive = true;
+            if (response.find("HTTP/1.1 200") != 0) {
+                std::cerr << "check_telemetry: " << endpoint.target
+                          << " answered\n" << response << "\n";
+                ++errors;
+                continue;
+            }
+            std::string text = body(response);
+            if (endpoint.json) {
+                json::JsonValue doc;
+                std::string err;
+                if (!json::parseJson(text, &doc, &err)) {
+                    std::cerr << "check_telemetry: "
+                              << endpoint.target
+                              << " body is not JSON: " << err
+                              << "\n";
+                    ++errors;
+                    continue;
+                }
+            } else if (text.find("# HELP") == std::string::npos ||
+                       response.find("text/plain; version=0.0.4") ==
+                           std::string::npos) {
+                std::cerr << "check_telemetry: " << endpoint.target
+                          << " is not a Prometheus exposition\n";
+                ++errors;
+                continue;
+            }
+            if (!save(outdir + "/" + endpoint.file, text)) {
+                std::cerr << "check_telemetry: cannot write "
+                          << endpoint.file << "\n";
+                ++errors;
+                continue;
+            }
+            endpoint.ok = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    int missing = 0;
+    for (const Endpoint &endpoint : endpoints) {
+        if (!endpoint.ok) {
+            std::cerr << "check_telemetry: " << endpoint.target
+                      << " never answered correctly\n";
+            ++missing;
+        }
+    }
+    if (errors || missing)
+        return 1;
+    std::cout << "check_telemetry: all endpoints scraped and "
+                 "validated\n";
+    return 0;
+}

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the live-telemetry HTTP server (--serve): the
+ * request-line parser, the socket-free handle() router, a live
+ * instance on an ephemeral port under concurrent clients, malformed
+ * input and oversized headers, and the campaign convergence series
+ * invariants (publishing hook on vs off must not change the
+ * campaign's outcome — the determinism contract the telemetry_*
+ * ctest fixtures then prove end to end).
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "avf/avf.hh"
+#include "avf/deadness.hh"
+#include "cpu/pipeline.hh"
+#include "faults/campaign_engine.hh"
+#include "harness/telemetry_server.hh"
+#include "isa/assembler.hh"
+#include "isa/executor.hh"
+#include "sim/json.hh"
+
+using namespace ser;
+using harness::TelemetryServer;
+
+namespace
+{
+
+int
+connectLoopback(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Send a raw request, read until the server closes, return the
+ * whole response (status line + headers + body). */
+std::string
+roundTrip(std::uint16_t port, const std::string &request)
+{
+    int fd = connectLoopback(port);
+    EXPECT_GE(fd, 0) << "connect failed";
+    if (fd < 0)
+        return "";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        ssize_t n = ::send(fd, request.data() + off,
+                           request.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;  // server may close early (oversized header)
+        off += static_cast<std::size_t>(n);
+    }
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return out;
+}
+
+std::string
+get(std::uint16_t port, const std::string &target)
+{
+    return roundTrip(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string
+body(const std::string &response)
+{
+    std::size_t pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? std::string()
+                                    : response.substr(pos + 4);
+}
+
+const char *kLoopSrc = R"(
+    movi r2 = 17
+    movi r4 = 200
+    loop:
+    mul r2 = r2, r2
+    addi r2 = r2, 13
+    xor r6 = r6, r2
+    movi r5 = 1
+    addi r4 = r4, -1
+    cmplt p3 = r0, r4
+    (p3) br loop
+    out r2
+    out r6
+    halt
+)";
+
+struct EngineRun
+{
+    isa::Program program;
+    cpu::SimTrace trace;
+    avf::DeadnessResult deadness;
+    avf::AvfResult avf;
+    std::vector<std::uint64_t> golden;
+};
+
+EngineRun
+makeRun()
+{
+    EngineRun r;
+    r.program = isa::assembleOrDie(kLoopSrc);
+    isa::Executor golden(r.program);
+    EXPECT_EQ(golden.run(3000000), isa::Termination::Halted);
+    r.golden = golden.state().output();
+    cpu::PipelineParams params;
+    params.maxInsts = 3000000;
+    cpu::InOrderPipeline pipe(r.program, params);
+    r.trace = pipe.run();
+    r.trace.program = &r.program;
+    r.deadness = avf::analyzeDeadness(r.trace);
+    r.avf = avf::computeAvf(r.trace, r.deadness);
+    return r;
+}
+
+} // namespace
+
+TEST(ParseRequest, CompleteWellFormed)
+{
+    std::string method, target;
+    EXPECT_EQ(TelemetryServer::parseRequest(
+                  "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+                  &method, &target),
+              1);
+    EXPECT_EQ(method, "GET");
+    EXPECT_EQ(target, "/metrics");
+}
+
+TEST(ParseRequest, BareLfTerminatorAccepted)
+{
+    std::string method, target;
+    EXPECT_EQ(TelemetryServer::parseRequest("GET / HTTP/1.0\n\n",
+                                            &method, &target),
+              1);
+    EXPECT_EQ(target, "/");
+}
+
+TEST(ParseRequest, IncompleteNeedsMoreBytes)
+{
+    std::string method, target;
+    EXPECT_EQ(TelemetryServer::parseRequest(
+                  "GET /status HTTP/1.1\r\nHost: x\r\n", &method,
+                  &target),
+              0);
+    EXPECT_EQ(TelemetryServer::parseRequest("GE", &method, &target),
+              0);
+}
+
+TEST(ParseRequest, MalformedIsRejected)
+{
+    std::string method, target;
+    // One token, three-token with a bad version, a target that
+    // doesn't start with '/': all complete but malformed.
+    EXPECT_EQ(TelemetryServer::parseRequest("garbage\r\n\r\n",
+                                            &method, &target),
+              -1);
+    EXPECT_EQ(TelemetryServer::parseRequest(
+                  "GET / FTP/1.1\r\n\r\n", &method, &target),
+              -1);
+    EXPECT_EQ(TelemetryServer::parseRequest(
+                  "GET metrics HTTP/1.1\r\n\r\n", &method, &target),
+              -1);
+}
+
+TEST(Handle, RoutesAndContentTypes)
+{
+    TelemetryServer server;
+
+    auto healthz = server.handle("GET", "/healthz");
+    EXPECT_EQ(healthz.status, 200);
+    EXPECT_EQ(healthz.body, "ok\n");
+
+    auto metrics = server.handle("GET", "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_EQ(metrics.contentType,
+              "text/plain; version=0.0.4; charset=utf-8");
+    EXPECT_NE(metrics.body.find("ser_build_info"),
+              std::string::npos);
+
+    EXPECT_EQ(server.handle("GET", "/nope").status, 404);
+    EXPECT_EQ(server.handle("POST", "/healthz").status, 405);
+    // Query strings are stripped before routing.
+    EXPECT_EQ(server.handle("GET", "/healthz?verbose=1").status,
+              200);
+}
+
+TEST(Handle, StatusIsValidJson)
+{
+    TelemetryServer server;
+    auto status = server.handle("GET", "/status");
+    EXPECT_EQ(status.status, 200);
+    EXPECT_EQ(status.contentType, "application/json; charset=utf-8");
+    json::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(json::parseJson(status.body, &doc, &err)) << err;
+    EXPECT_NE(doc.find("active"), nullptr);
+    EXPECT_NE(doc.find("done"), nullptr);
+    EXPECT_NE(doc.find("total"), nullptr);
+    EXPECT_NE(doc.find("cache"), nullptr);
+}
+
+TEST(Handle, RunLedger)
+{
+    TelemetryServer server;
+    // Publishing is gated on a live server (a sweep without --serve
+    // must not accumulate manifests): before start(), publishes are
+    // dropped.
+    server.publishRun(9, "dropped", 1.0, "");
+    EXPECT_EQ(server.handle("GET", "/runs/9").status, 404);
+
+    server.start(0);
+    EXPECT_EQ(server.handle("GET", "/runs/0").status, 404);
+    EXPECT_EQ(server.handle("GET", "/runs/xyz").status, 404);
+
+    server.publishRun(3, "mcf", 0.75, "");
+    server.publishRun(1, "gzip", 1.25,
+                      "{\"benchmark\": \"gzip\"}\n");
+
+    json::JsonValue index;
+    std::string err;
+    auto runs = server.handle("GET", "/runs");
+    ASSERT_TRUE(json::parseJson(runs.body, &index, &err)) << err;
+    EXPECT_NE(runs.body.find("\"mcf\""), std::string::npos);
+    EXPECT_NE(runs.body.find("\"gzip\""), std::string::npos);
+
+    // A published manifest is served verbatim; a run without one
+    // falls back to the summary fields.
+    EXPECT_EQ(server.handle("GET", "/runs/1").body,
+              "{\"benchmark\": \"gzip\"}\n");
+    auto summary = server.handle("GET", "/runs/3");
+    EXPECT_EQ(summary.status, 200);
+    json::JsonValue doc;
+    ASSERT_TRUE(json::parseJson(summary.body, &doc, &err)) << err;
+    EXPECT_NE(doc.find("benchmark"), nullptr);
+    server.stop();
+}
+
+TEST(Handle, CampaignRing)
+{
+    TelemetryServer server;
+    server.start(0);
+    faults::ConvergencePoint point;
+    point.batch = 0;
+    point.samples = 512;
+    point.worstHalfWidth = 0.04;
+    faults::ConvergencePoint::StructurePoint s;
+    s.structure = faults::Structure::Iq;
+    s.samples = 512;
+    s.sdcRate = 0.1;
+    s.sdcHalfWidth = 0.02;
+    point.structures.push_back(s);
+    server.publishCampaignPoint("mcf", "parity", point);
+
+    auto campaign = server.handle("GET", "/campaign");
+    EXPECT_EQ(campaign.status, 200);
+    json::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(json::parseJson(campaign.body, &doc, &err)) << err;
+    EXPECT_NE(campaign.body.find("\"parity\""), std::string::npos);
+    EXPECT_NE(campaign.body.find("\"iq\""), std::string::npos);
+    server.stop();
+}
+
+TEST(LiveServer, ServesConcurrentClients)
+{
+    TelemetryServer server;
+    server.start(0);  // ephemeral port
+    ASSERT_TRUE(server.running());
+    std::uint16_t port = server.port();
+    ASSERT_NE(port, 0);
+    server.publishRun(0, "mcf", 0.8, "");
+
+    static const char *kTargets[] = {"/healthz", "/metrics",
+                                     "/status", "/runs",
+                                     "/campaign"};
+    std::vector<std::thread> clients;
+    std::vector<int> failures(4, 0);
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([port, t, &failures] {
+            for (int i = 0; i < 5; ++i) {
+                std::string response =
+                    get(port, kTargets[(t + i) % 5]);
+                if (response.find("HTTP/1.1 200") != 0)
+                    ++failures[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    for (int f : failures)
+        EXPECT_EQ(f, 0);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // A second stop is a no-op, not a crash.
+    server.stop();
+}
+
+TEST(LiveServer, MalformedRequestGets400)
+{
+    TelemetryServer server;
+    server.start(0);
+    std::string response =
+        roundTrip(server.port(), "NONSENSE\r\n\r\n");
+    EXPECT_EQ(response.find("HTTP/1.1 400"), 0u) << response;
+    server.stop();
+}
+
+TEST(LiveServer, MethodNotAllowedGets405)
+{
+    TelemetryServer server;
+    server.start(0);
+    std::string response = roundTrip(
+        server.port(), "POST /healthz HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(response.find("HTTP/1.1 405"), 0u) << response;
+    server.stop();
+}
+
+TEST(LiveServer, OversizedHeaderIsDropped)
+{
+    TelemetryServer server;
+    server.start(0);
+    // A header that never terminates and exceeds the cap: the server
+    // closes the connection without an answer.
+    std::string request = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+    request.append(TelemetryServer::maxHeaderBytes + 1024, 'a');
+    std::string response = roundTrip(server.port(), request);
+    EXPECT_EQ(response, "");
+    // The server survives and still answers well-formed requests.
+    EXPECT_EQ(get(server.port(), "/healthz").find("HTTP/1.1 200"),
+              0u);
+    server.stop();
+}
+
+TEST(LiveServer, MetricsScrapeMatchesExposition)
+{
+    TelemetryServer server;
+    server.start(0);
+    std::string response = get(server.port(), "/metrics");
+    EXPECT_NE(response.find(
+                  "Content-Type: text/plain; version=0.0.4; "
+                  "charset=utf-8"),
+              std::string::npos);
+    std::string text = body(response);
+    EXPECT_NE(text.find("# HELP ser_build_info"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE ser_build_info gauge"),
+              std::string::npos);
+    server.stop();
+}
+
+// The convergence series is a campaign *result*: attaching the
+// publishing hook must not change anything about the outcome, and
+// the series must agree with the outcome's own totals. This is the
+// unit-level half of the --serve determinism contract (the ctest
+// fixture proves the end-to-end half on real sweep artifacts).
+TEST(Convergence, HookDoesNotPerturbOutcome)
+{
+    EngineRun r = makeRun();
+    faults::CampaignSpec spec;
+    spec.samples = 2000;
+    spec.batchSamples = 256;
+    spec.structures = faults::structIq | faults::structRegFile;
+
+    faults::CampaignOutcome plain = faults::runCampaignEngine(
+        r.program, r.trace, r.deadness, r.avf, spec);
+
+    std::vector<faults::ConvergencePoint> seen;
+    spec.onConvergence =
+        [&seen](const faults::ConvergencePoint &point) {
+            seen.push_back(point);
+        };
+    faults::CampaignOutcome hooked = faults::runCampaignEngine(
+        r.program, r.trace, r.deadness, r.avf, spec);
+
+    EXPECT_EQ(plain.samplesRun, hooked.samplesRun);
+    EXPECT_EQ(plain.ciHalfWidth, hooked.ciHalfWidth);
+    ASSERT_EQ(plain.convergence.size(), hooked.convergence.size());
+    ASSERT_EQ(seen.size(), hooked.convergence.size());
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].batch, hooked.convergence[i].batch);
+        EXPECT_EQ(seen[i].samples, hooked.convergence[i].samples);
+        EXPECT_EQ(seen[i].worstHalfWidth,
+                  hooked.convergence[i].worstHalfWidth);
+        EXPECT_EQ(plain.convergence[i].worstHalfWidth,
+                  hooked.convergence[i].worstHalfWidth);
+    }
+
+    // One point per batch, cumulative sample counts, and the final
+    // point agrees with the outcome's own totals.
+    std::uint64_t batches =
+        (spec.samples + spec.batchSamples - 1) / spec.batchSamples;
+    EXPECT_EQ(hooked.convergence.size(), batches);
+    for (std::size_t i = 1; i < hooked.convergence.size(); ++i)
+        EXPECT_GT(hooked.convergence[i].samples,
+                  hooked.convergence[i - 1].samples);
+    const faults::ConvergencePoint &last =
+        hooked.convergence.back();
+    EXPECT_EQ(last.samples, hooked.samplesRun);
+    EXPECT_EQ(last.worstHalfWidth, hooked.ciHalfWidth);
+}
