@@ -13,6 +13,7 @@
 #include "avf/deadness.hh"
 #include "branch/predictor.hh"
 #include "cpu/pipeline.hh"
+#include "cpu/sampler.hh"
 #include "harness/experiment.hh"
 #include "harness/suite_runner.hh"
 #include "isa/assembler.hh"
@@ -213,6 +214,44 @@ BM_TraceWriterThroughput(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_TraceWriterThroughput);
+
+void
+BM_IntervalSamplerAdvance(benchmark::State &state)
+{
+    // Sampler batch advances as the cycle-skipping pipeline issues
+    // them: a deterministic mix of short mid-epoch spans (the
+    // counter-free fast path) and spans that cross an epoch close.
+    constexpr std::uint64_t epoch = 1000;
+    constexpr std::uint64_t advances = 100000;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        cpu::IntervalSampler sampler(epoch);
+        sampler.windowOpen(0);
+        cpu::IntervalCounters ctr;
+        std::uint64_t cycle = 0;
+        std::uint64_t lcg = 12345;
+        for (std::uint64_t i = 0; i < advances; ++i) {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            const std::uint64_t span = 1 + ((lcg >> 33) % 37);
+            ctr.committed += 3;
+            ctr.fetched += 4;
+            ctr.iqOccupancy = (lcg >> 20) & 63;
+            ctr.iqWaiting = ctr.iqOccupancy / 2;
+            if (sampler.needsCounters(span))
+                sampler.advance(cycle, span, ctr);
+            else
+                sampler.advanceMidEpoch(span, ctr.iqOccupancy,
+                                        ctr.iqWaiting);
+            cycle += span;
+        }
+        sampler.finish(cycle, ctr);
+        sink += sampler.samples().size();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * advances);
+}
+BENCHMARK(BM_IntervalSamplerAdvance);
 
 /**
  * One vortex/200k simulation shared by every analysis benchmark

@@ -14,9 +14,10 @@
 # benchmark's own time_unit).
 #
 # The filter keeps the stable macro-level benchmarks: the timing
-# pipeline, the two analysis folds, the end-to-end sweep, and the
-# run-cache hit path (absent from pre-pool/pre-cache captures, so
-# the merge tolerates rows missing on either side).
+# pipeline, the two analysis folds, the sampler batch advance, the
+# end-to-end sweep, and the run-cache hit path (benchmarks absent
+# from older captures are tolerated: the merge allows rows missing
+# on either side).
 set -eu
 
 build="${1:-build}"
@@ -27,7 +28,7 @@ if [ ! -x "$bin" ]; then
     exit 1
 fi
 
-filter='BM_TimingPipeline$|BM_TimingPipelineLongLat|BM_DeadnessAnalysis|BM_AvfFold|BM_SuiteRunnerSweep|BM_RunProgramCacheHit'
+filter='BM_TimingPipeline$|BM_TimingPipelineLongLat|BM_DeadnessAnalysis|BM_AvfFold|BM_IntervalSamplerAdvance|BM_SuiteRunnerSweep|BM_RunProgramCacheHit'
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 "$bin" --benchmark_filter="$filter" \

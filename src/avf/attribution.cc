@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <iomanip>
-#include <map>
 #include <sstream>
 #include <string>
 
@@ -56,9 +55,12 @@ attributeAvf(const cpu::SimTrace &trace,
                                        "issue-to-evict cycles", 0.0,
                                        histMax, histBucket);
 
-    // staticIdx -> slot in r.pcs; a map keeps the build ordered but
-    // the final order is the ACE sort below.
-    std::map<std::uint32_t, std::size_t> slot;
+    // staticIdx -> slot in r.pcs. staticIdx is a dense program
+    // index, so a direct-index table replaces the std::map this used
+    // to rebuild per call; r.pcs keeps first-encounter order until
+    // the ACE sort below, exactly as before.
+    constexpr std::uint32_t noSlot = ~0u;
+    std::vector<std::uint32_t> slot(trace.program->size(), noSlot);
 
     const StaticClassTable table =
         buildStaticClassTable(*trace.program);
@@ -71,13 +73,13 @@ attributeAvf(const cpu::SimTrace &trace,
         if (!resident)
             continue;  // outside the measurement window
 
-        auto it = slot.find(inc.staticIdx);
-        if (it == slot.end()) {
-            it = slot.emplace(inc.staticIdx, r.pcs.size()).first;
+        if (slot[inc.staticIdx] == noSlot) {
+            slot[inc.staticIdx] =
+                static_cast<std::uint32_t>(r.pcs.size());
             r.pcs.emplace_back();
             r.pcs.back().staticIdx = inc.staticIdx;
         }
-        PcAttribution &pc = r.pcs[it->second];
+        PcAttribution &pc = r.pcs[slot[inc.staticIdx]];
 
         ++pc.incarnations;
         if (inc.flags & cpu::incCommitted)

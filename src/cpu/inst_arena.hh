@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Structure-of-arrays storage for in-flight instruction incarnations.
+ *
+ * The pipeline used to track in-flight instructions as pool-allocated
+ * DynInst structs (~150 bytes each) strung through std::deques of
+ * pointers. Every per-cycle scan — evict the completed prefix, gate
+ * the issue head, find the next event cycle — chased a deque map
+ * entry, then a pointer, then faulted a wide struct in for one or two
+ * fields. This header replaces that layout with parallel arenas: the
+ * hot fields (seq, pc, the lifetime cycles, iqEntry, the packed flag
+ * byte) live in contiguous per-field arrays indexed by a compact
+ * InstId, so each scan touches only the columns it reads and the
+ * whole in-flight window's worth of any one field shares a few cache
+ * lines. Everything touched off the per-cycle path (the decoded
+ * StaticInst, oracle outcomes, predictor checkpoints) stays together
+ * in a cold record per id.
+ *
+ * Ids are recycled LIFO exactly like the pool slots they replace: the
+ * next allocation reuses the most recently released id (cache-warm),
+ * the recycling order is a pure function of the simulation, and the
+ * in-flight population is architecturally bounded (front-end pipe
+ * capacity plus instruction-queue entries), so the pipeline reserves
+ * that bound up front and steady state performs zero allocations.
+ * The live/high-water/capacity accounting the run manifest reports is
+ * preserved unchanged.
+ *
+ * Not thread-safe; each pipeline owns its own arena.
+ */
+
+#ifndef SER_CPU_INST_ARENA_HH
+#define SER_CPU_INST_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+#include "isa/static_inst.hh"
+#include "sim/logging.hh"
+
+namespace ser
+{
+namespace cpu
+{
+
+constexpr std::uint64_t invalidCycle =
+    std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t invalidSeq =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Compact arena index of one in-flight incarnation. An id must not
+ * be used after its incarnation was finalized (committed or
+ * squashed) — the id may already name a younger instruction. */
+using InstId = std::uint16_t;
+constexpr InstId noInst = 0xffff;
+
+/** Bits of InstArena::flags, packed so squash classification and the
+ * issue gate read one byte. */
+enum : std::uint8_t
+{
+    diWrongPath = 0x01,       ///< fetched down a mispredicted path
+    diQpTrue = 0x02,          ///< oracle predicate (set at allocate)
+    diActualTaken = 0x04,     ///< oracle branch outcome
+    diPredictedTaken = 0x08,  ///< predictor direction at fetch
+    diMispredicted = 0x10,    ///< prediction disagreed with oracle
+    diUsedDirPred = 0x20,     ///< direction predictor was consulted
+    diRasCheckpointed = 0x40, ///< rasCp holds a valid checkpoint
+};
+
+/**
+ * Packed operand descriptor: everything the per-tick issue gate
+ * needs about an instruction's register reads, folded into one u32
+ * at fetch so the gate never touches the cold decode record or the
+ * OpInfo table again.
+ *
+ *   bits  5..0   qp predicate register
+ *   bits 13..8   src1 register
+ *   bits 21..16  src2 register
+ *   bits 25..24  src1 RegClass (None=0 / Int=1 / Fp=2 / Pred=3)
+ *   bits 27..26  src2 RegClass
+ *
+ * Register fields are 6 bits architecturally, and the RegClass
+ * numeric values are pinned by the enum declaration, so the class
+ * bits can directly index a 4-entry scoreboard-pointer table.
+ */
+inline std::uint32_t
+packOperands(const isa::StaticInst &inst)
+{
+    const isa::OpInfo &oi = inst.info();
+    return static_cast<std::uint32_t>(inst.qp() & 0x3f) |
+           (static_cast<std::uint32_t>(inst.src1() & 0x3f) << 8) |
+           (static_cast<std::uint32_t>(inst.src2() & 0x3f) << 16) |
+           (static_cast<std::uint32_t>(oi.src1Class) << 24) |
+           (static_cast<std::uint32_t>(oi.src2Class) << 26);
+}
+
+constexpr std::uint32_t opndQp(std::uint32_t w) { return w & 0x3f; }
+constexpr std::uint32_t opndSrc1(std::uint32_t w)
+{
+    return (w >> 8) & 0x3f;
+}
+constexpr std::uint32_t opndSrc2(std::uint32_t w)
+{
+    return (w >> 16) & 0x3f;
+}
+constexpr std::uint32_t opndSrc1Class(std::uint32_t w)
+{
+    return (w >> 24) & 3;
+}
+constexpr std::uint32_t opndSrc2Class(std::uint32_t w)
+{
+    return (w >> 26) & 3;
+}
+
+/** Per-incarnation state only touched off the per-cycle scan path:
+ * decode, oracle outcomes, and predictor repair state. */
+struct InstCold
+{
+    isa::StaticInst inst;
+    std::uint64_t oracleSeq = invalidSeq;
+    std::uint64_t memAddr = 0;
+    std::uint32_t actualNextPc = 0;
+    std::uint32_t predictedTarget = 0;
+    branch::Lookup predLookup;
+    branch::RasCheckpoint rasCp;
+};
+
+/** SoA arena of in-flight incarnations with LIFO id recycling. */
+class InstArena
+{
+  public:
+    explicit InstArena(std::size_t slab_size = 256)
+        : _slabSize(slab_size ? slab_size : 1)
+    {
+    }
+
+    /** Ensure capacity for at least n ids in total. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > capacity())
+            grow(n - capacity());
+    }
+
+    /** Take an id. Grows by one slab when the freelist is dry (never
+     * in steady state once reserve() covered the in-flight bound).
+     *
+     * Only issueCycle is reset: it is the liveness predicate
+     * (issued()) consulted before issueOne() writes it. Every other
+     * column — and the whole cold record — is written by the fetch
+     * path before any stage reads it: seq/pc/fetchCycle/flags and the
+     * cold decode fields are assigned at all three fetch sites, and
+     * enqueueCycle/iqEntry are assigned at enqueue() before anything
+     * reads them (only queue residents are scanned, finalized, or
+     * replayed). The arena round-trip unit test pins this write-
+     * before-read discipline across squash/replay recycling.
+     */
+    InstId
+    allocate()
+    {
+        if (_free.empty())
+            grow(_slabSize);
+        InstId id = _free.back();
+        _free.pop_back();
+        issueCycle[id] = invalidCycle;
+        ++_live;
+        if (_live > _highWater)
+            _highWater = _live;
+        return id;
+    }
+
+    /** Return an id; it must have come from allocate() and must not
+     * be used afterwards. */
+    void
+    release(InstId id)
+    {
+        _free.push_back(id);
+        --_live;
+    }
+
+    bool issued(InstId id) const
+    {
+        return issueCycle[id] != invalidCycle;
+    }
+
+    /** Ids currently handed out. */
+    std::size_t live() const { return _live; }
+
+    /** Most ids ever simultaneously live (manifest observability:
+     * proves the in-flight population stayed within the reserved
+     * architectural bound). */
+    std::size_t highWater() const { return _highWater; }
+
+    /** Total ids across all columns. */
+    std::size_t capacity() const { return seq.size(); }
+
+    // Hot columns, indexed by InstId. Parallel by construction:
+    // resized together in grow(), reset together in allocate().
+    std::vector<std::uint64_t> seq;
+    std::vector<std::uint64_t> fetchCycle;
+    std::vector<std::uint64_t> enqueueCycle;
+    std::vector<std::uint64_t> issueCycle;
+    std::vector<std::uint64_t> completeCycle;
+    std::vector<std::uint32_t> pc;
+    std::vector<std::uint32_t> opnd;  ///< packOperands() descriptor
+    std::vector<std::uint16_t> iqEntry;
+    std::vector<std::uint8_t> flags;
+
+    /** Cold column (one record per id). */
+    std::vector<InstCold> cold;
+
+  private:
+    void
+    grow(std::size_t n)
+    {
+        std::size_t base = capacity();
+        if (base + n > noInst)
+            SER_FATAL("inst arena: {} ids exceeds the 16-bit id "
+                      "space", base + n);
+        seq.resize(base + n);
+        fetchCycle.resize(base + n);
+        enqueueCycle.resize(base + n);
+        issueCycle.resize(base + n);
+        completeCycle.resize(base + n);
+        pc.resize(base + n);
+        opnd.resize(base + n);
+        iqEntry.resize(base + n);
+        flags.resize(base + n);
+        cold.resize(base + n);
+        _free.reserve(_free.size() + n);
+        // Push in reverse so the first allocations walk the columns
+        // in index order.
+        for (std::size_t i = base + n; i-- > base;)
+            _free.push_back(static_cast<InstId>(i));
+    }
+
+    std::size_t _slabSize;
+    std::vector<InstId> _free;
+    std::size_t _live = 0;
+    std::size_t _highWater = 0;
+};
+
+/**
+ * Fixed-capacity ring buffer of POD elements (ids, resolutions).
+ * Replaces std::deque on the per-cycle path: operator[] is one masked
+ * index into one contiguous array — no chunk map indirection — and
+ * push/pop never allocate once sized. Capacity rounds up to a power
+ * of two; push_back past capacity doubles (never in steady state —
+ * the pipeline sizes rings to their architectural bounds up front).
+ */
+template <typename T>
+class Ring
+{
+  public:
+    /** Size for at least cap elements and clear. */
+    void
+    reset(std::size_t cap)
+    {
+        std::size_t n = 16;
+        while (n < cap)
+            n <<= 1;
+        _buf.assign(n, T{});
+        _mask = n - 1;
+        _head = 0;
+        _size = 0;
+    }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    T &front() { return _buf[_head]; }
+    const T &front() const { return _buf[_head]; }
+    T &back() { return _buf[(_head + _size - 1) & _mask]; }
+
+    T &operator[](std::size_t i)
+    {
+        return _buf[(_head + i) & _mask];
+    }
+    const T &operator[](std::size_t i) const
+    {
+        return _buf[(_head + i) & _mask];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (_size + 1 > _buf.size())
+            grow();
+        _buf[(_head + _size) & _mask] = v;
+        ++_size;
+    }
+
+    void
+    pop_front()
+    {
+        _head = (_head + 1) & _mask;
+        --_size;
+    }
+
+    /** Drop the suffix, keeping the oldest n elements (squash). */
+    void
+    truncate(std::size_t n)
+    {
+        if (n < _size)
+            _size = n;
+    }
+
+    void clear() { _size = 0; }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> wider(_buf.empty() ? 16 : _buf.size() * 2,
+                             T{});
+        for (std::size_t i = 0; i < _size; ++i)
+            wider[i] = _buf[(_head + i) & _mask];
+        _buf = std::move(wider);
+        _mask = _buf.size() - 1;
+        _head = 0;
+    }
+
+    std::vector<T> _buf;
+    std::size_t _mask = 0;
+    std::size_t _head = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace cpu
+} // namespace ser
+
+#endif // SER_CPU_INST_ARENA_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cpu/sampler.hh"
+#include "sim/compiler.hh"
 #include "sim/debug.hh"
 #include "sim/logging.hh"
 #include "sim/prof.hh"
@@ -12,6 +13,14 @@ namespace ser
 {
 namespace cpu
 {
+
+namespace
+{
+/** Ready-cycle array a RegClass::None operand indexes: always 0,
+ * i.e. ready since cycle 0. Sized like the real register files so
+ * any 6-bit register field is in range. */
+constexpr std::uint64_t kNeverPending[64] = {};
+} // namespace
 
 unsigned
 PipelineParams::latencyFor(isa::OpClass oc) const
@@ -90,18 +99,25 @@ InOrderPipeline::InOrderPipeline(const isa::Program &program,
     _intReady.assign(isa::numIntRegs, 0);
     _fpReady.assign(isa::numFpRegs, 0);
     _predReady.assign(isa::numPredRegs, 0);
-    _intByLoad.assign(isa::numIntRegs, false);
-    _fpByLoad.assign(isa::numFpRegs, false);
+    _intByLoad.assign(isa::numIntRegs, 0);
+    _fpByLoad.assign(isa::numFpRegs, 0);
+    _readyByClass = {kNeverPending, _intReady.data(),
+                     _fpReady.data(), _predReady.data()};
     _trace.program = &program;
     _trace.iqEntries = _params.iqEntries;
 
     // The in-flight population is bounded by the front-end pipe
     // capacity plus the queue; reserving it up front makes the
-    // fetch→commit loop allocation-free.
+    // fetch→commit loop allocation-free. The rings are sized to the
+    // same architectural bounds (resolutions: at most one pending
+    // branch per queue entry).
     const std::size_t fe_cap =
         static_cast<std::size_t>(_params.frontEndDepth) *
         _params.enqueueWidth;
-    _pool.reserve(fe_cap + _params.iqEntries);
+    _arena.reserve(fe_cap + _params.iqEntries);
+    _iq.reset(_params.iqEntries);
+    _fePipe.reset(fe_cap);
+    _resolutions.reset(_params.iqEntries);
 
     // Pre-size the trace from the maxInsts hint (clamped: the vector
     // blocks are virtual until touched, but stay reasonable for the
@@ -110,7 +126,7 @@ InOrderPipeline::InOrderPipeline(const isa::Program &program,
     const std::uint64_t hint =
         std::min<std::uint64_t>(_params.maxInsts, 4'000'000);
     _trace.commits.reserve(hint);
-    _trace.incarnations.reserve(hint + hint / 2);
+    _trace.incarnations.reserve(2 * hint);
 }
 
 InOrderPipeline::~InOrderPipeline() = default;
@@ -324,6 +340,7 @@ InOrderPipeline::snapshotCounters() const
 std::uint64_t
 InOrderPipeline::nextEventCycle(std::uint64_t limit) const
 {
+    const std::uint64_t floor = _cycle + 1;
     std::uint64_t next =
         std::min<std::uint64_t>(limit, 0xffffffffULL);
     auto consider = [&](std::uint64_t c) {
@@ -331,42 +348,42 @@ InOrderPipeline::nextEventCycle(std::uint64_t limit) const
             next = c;
     };
 
-    // Evict/commit: the queue head is issued and completes later (the
-    // issued prefix completes in order, so the head is the minimum).
-    if (!_iq.empty() && _iq.front()->issued())
-        consider(_iq.front()->completeCycle);
+    // Every candidate below is > _cycle, so the minimum can never
+    // drop under _cycle + 1: once any candidate lands there the
+    // remaining (costlier) checks cannot change the answer. The
+    // early returns fire on the busy-pipeline common case, where
+    // something acts next cycle and no skip happens anyway.
 
-    // Branch resolution: the deque is ordered by resolve cycle.
+    // Evict/commit: the queue head is issued and completes later (the
+    // issued prefix completes in order, so the head is the minimum —
+    // one load from the completeCycle column).
+    if (!_iq.empty() && _arena.issued(_iq.front()))
+        consider(_arena.completeCycle[_iq.front()]);
+
+    // Branch resolution: the ring is ordered by resolve cycle.
     if (!_resolutions.empty())
         consider(_resolutions.front().cycle);
+    if (next == floor)
+        return next;
 
     // Trigger detections (unordered, but tiny).
     for (const TriggerEvent &t : _triggers)
         consider(t.detectCycle);
+    if (next == floor)
+        return next;
 
     // Issue: the oldest non-issued instruction can issue once its
     // age and operand gates all pass...
     if (_iqIssued < _iq.size()) {
-        const DynInst &head = *_iq[_iqIssued];
-        const isa::StaticInst &inst = head.inst;
-        const isa::OpInfo &oi = inst.info();
-        using isa::RegClass;
-        auto ready_cycle = [&](RegClass rc,
-                               std::uint8_t reg) -> std::uint64_t {
-            switch (rc) {
-              case RegClass::Int: return _intReady[reg];
-              case RegClass::Fp: return _fpReady[reg];
-              case RegClass::Pred: return _predReady[reg];
-              case RegClass::None: return 0;
-            }
-            return 0;
-        };
-        std::uint64_t r1 = ready_cycle(oi.src1Class, inst.src1());
-        std::uint64_t r2 = ready_cycle(oi.src2Class, inst.src2());
-        std::uint64_t rp = _predReady[inst.qp()];
-        std::uint64_t t = std::max(head.enqueueCycle + 1, _cycle + 1);
+        const InstId head = _iq[_iqIssued];
+        const std::uint32_t w = _arena.opnd[head];
+        std::uint64_t r1 = _readyByClass[opndSrc1Class(w)][opndSrc1(w)];
+        std::uint64_t r2 = _readyByClass[opndSrc2Class(w)][opndSrc2(w)];
+        std::uint64_t rp = _predReady[opndQp(w)];
+        std::uint64_t t = std::max(
+            _arena.enqueueCycle[head] + 1, _cycle + 1);
         t = std::max(t, rp);
-        if (head.wrongPath || head.qpTrue)
+        if (_arena.flags[head] & (diWrongPath | diQpTrue))
             t = std::max({t, r1, r2});
         consider(t);
         // ...and the stall-reason classification (load vs exec)
@@ -377,11 +394,17 @@ InOrderPipeline::nextEventCycle(std::uint64_t limit) const
         consider(rp);
     }
 
+    if (next == floor)
+        return next;
+
     // Enqueue: the front-end head ages into a free queue entry.
     if (!_fePipe.empty() && !_freeEntries.empty())
         consider(std::max(
-            _fePipe.front()->fetchCycle + _params.frontEndDepth,
+            _arena.fetchCycle[_fePipe.front()] +
+                _params.frontEndDepth,
             _cycle + 1));
+    if (next == floor)
+        return next;
 
     // Fetch: something is fetchable (wrong-path image pc in range, a
     // replay pending, or the oracle stream not yet flagged done —
@@ -410,74 +433,94 @@ InOrderPipeline::sampleOccupancy(std::uint64_t weight)
 }
 
 void
-InOrderPipeline::finalizeIncarnation(const DynInst &di,
+InOrderPipeline::finalizeIncarnation(InstId id,
                                      std::uint64_t evict_cycle,
                                      std::uint8_t extra_flags)
 {
+    const std::uint8_t f = _arena.flags[id];
     IncarnationRecord rec;
-    rec.staticIdx = di.pc;
-    rec.oracleSeq = di.wrongPath
-                        ? noSeq32
-                        : static_cast<std::uint32_t>(di.oracleSeq);
-    rec.enqueueCycle = static_cast<std::uint32_t>(di.enqueueCycle);
+    rec.staticIdx = _arena.pc[id];
+    rec.oracleSeq =
+        (f & diWrongPath)
+            ? noSeq32
+            : static_cast<std::uint32_t>(_arena.cold[id].oracleSeq);
+    rec.enqueueCycle =
+        static_cast<std::uint32_t>(_arena.enqueueCycle[id]);
     rec.issueCycle =
-        di.issued() ? static_cast<std::uint32_t>(di.issueCycle)
-                    : noCycle32;
+        _arena.issued(id)
+            ? static_cast<std::uint32_t>(_arena.issueCycle[id])
+            : noCycle32;
     rec.evictCycle = static_cast<std::uint32_t>(evict_cycle);
-    rec.iqEntry = di.iqEntry;
+    rec.iqEntry = _arena.iqEntry[id];
     std::uint8_t flags = extra_flags;
-    if (di.wrongPath)
+    if (f & diWrongPath)
         flags |= incWrongPath;
-    else if (!di.qpTrue)
+    else if (!(f & diQpTrue))
         flags |= incPredFalse;
     rec.flags = flags;
     _trace.incarnations.push_back(rec);
 
-    if (_tw) {
-        // One slice per residency on the physical entry's track.
-        // Residencies of one entry never overlap and are finalized
-        // in evict order, so both events can be written here and the
-        // track stays monotonic. The outcome is known now, so it
-        // rides on the B event's args.
-        const char *outcome = "evict";
-        if (extra_flags & incCommitted)
-            outcome = "commit";
-        else if (extra_flags & incSquashTrigger)
-            outcome = "trigger_squash";
-        else if (extra_flags & incSquashMispredict)
-            outcome = "mispredict_squash";
-        std::uint32_t tid = trace::tracks::iqBase + rec.iqEntry;
-        _tw->begin(
-            tid, di.inst.toString(), rec.enqueueCycle,
-            {{"seq", di.seq},
-             {"pc", static_cast<std::uint64_t>(di.pc)},
-             {"fetch", static_cast<std::uint64_t>(di.fetchCycle)},
-             {"issue",
-              rec.issueCycle == noCycle32
-                  ? std::int64_t{-1}
-                  : static_cast<std::int64_t>(rec.issueCycle)},
-             {"outcome", outcome},
-             {"wrong_path", di.wrongPath ? 1 : 0}});
-        _tw->end(tid, evict_cycle);
-    }
+    if (SER_UNLIKELY(_tw != nullptr))
+        traceIncarnation(id, rec, extra_flags, evict_cycle);
+}
+
+/** The trace-writer half of finalizeIncarnation, split out so the
+ * record-building half stays small enough to inline into the commit
+ * loop (this path costs a toString() and an args list — far too much
+ * code to drag into the hot path for a disabled-by-default writer). */
+void
+InOrderPipeline::traceIncarnation(InstId id,
+                                  const IncarnationRecord &rec,
+                                  std::uint8_t extra_flags,
+                                  std::uint64_t evict_cycle)
+{
+    // One slice per residency on the physical entry's track.
+    // Residencies of one entry never overlap and are finalized
+    // in evict order, so both events can be written here and the
+    // track stays monotonic. The outcome is known now, so it
+    // rides on the B event's args.
+    const std::uint8_t f = _arena.flags[id];
+    const char *outcome = "evict";
+    if (extra_flags & incCommitted)
+        outcome = "commit";
+    else if (extra_flags & incSquashTrigger)
+        outcome = "trigger_squash";
+    else if (extra_flags & incSquashMispredict)
+        outcome = "mispredict_squash";
+    std::uint32_t tid = trace::tracks::iqBase + rec.iqEntry;
+    _tw->begin(
+        tid, _arena.cold[id].inst.toString(), rec.enqueueCycle,
+        {{"seq", _arena.seq[id]},
+         {"pc", static_cast<std::uint64_t>(_arena.pc[id])},
+         {"fetch", static_cast<std::uint64_t>(
+                       _arena.fetchCycle[id])},
+         {"issue",
+          rec.issueCycle == noCycle32
+              ? std::int64_t{-1}
+              : static_cast<std::int64_t>(rec.issueCycle)},
+         {"outcome", outcome},
+         {"wrong_path", (f & diWrongPath) ? 1 : 0}});
+    _tw->end(tid, evict_cycle);
 }
 
 void
 InOrderPipeline::evictAndCommit()
 {
     while (!_iq.empty()) {
-        DynInstPtr front = _iq.front();
-        if (!front->issued() || front->completeCycle > _cycle)
+        const InstId front = _iq.front();
+        if (!_arena.issued(front) ||
+            _arena.completeCycle[front] > _cycle)
             break;
-        if (front->wrongPath)
+        if (_arena.flags[front] & diWrongPath)
             SER_PANIC("pipeline: wrong-path instruction reached "
-                      "commit (seq {})", front->seq);
+                      "commit (seq {})", _arena.seq[front]);
         SER_DPRINTF(IQ, "cycle {}: commit seq {} pc {} entry {}",
-                    _cycle, front->seq, front->pc, front->iqEntry);
-        finalizeIncarnation(*front, _cycle, incCommitted);
-        _freeEntries.push_back(front->iqEntry);
+                    _cycle, _arena.seq[front], _arena.pc[front],
+                    _arena.iqEntry[front]);
+        finalizeIncarnation(front, _cycle, incCommitted);
+        _freeEntries.push_back(_arena.iqEntry[front]);
         _iq.pop_front();
-        _pool.release(front);
+        _arena.release(front);
         --_iqIssued;
 
         ++_committedTotal;
@@ -506,82 +549,88 @@ InOrderPipeline::resolveBranches()
 {
     while (!_resolutions.empty() &&
            _resolutions.front().cycle <= _cycle) {
-        DynInstPtr branch = _resolutions.front().inst;
+        const InstId branch = _resolutions.front().inst;
         _resolutions.pop_front();
+        const std::uint8_t f = _arena.flags[branch];
+        const InstCold &cold = _arena.cold[branch];
 
         // Train the direction predictor and the BTB.
-        if (branch->usedDirectionPredictor) {
-            _dirPred->update(branch->pc, branch->actualTaken,
-                             branch->predLookup);
-            _dirPred->recordResolution(!branch->mispredicted);
+        if (f & diUsedDirPred) {
+            _dirPred->update(_arena.pc[branch],
+                             f & diActualTaken, cold.predLookup);
+            _dirPred->recordResolution(!(f & diMispredicted));
         }
-        if (branch->inst.opcode() == isa::Opcode::Bri &&
-            branch->actualTaken) {
-            _btb->update(branch->pc, branch->actualNextPc);
+        if (cold.inst.opcode() == isa::Opcode::Bri &&
+            (f & diActualTaken)) {
+            _btb->update(_arena.pc[branch], cold.actualNextPc);
         }
 
-        if (branch->mispredicted) {
+        if (f & diMispredicted) {
             ++statMispredicts;
             SER_DPRINTF(Pipeline,
                         "cycle {}: mispredict resolved, branch seq "
-                        "{} pc {}", _cycle, branch->seq, branch->pc);
+                        "{} pc {}", _cycle, _arena.seq[branch],
+                        _arena.pc[branch]);
             if (_tw)
                 _tw->instant(
                     trace::tracks::pipeline, "mispredict_squash",
                     _cycle,
-                    {{"branch_pc",
-                      static_cast<std::uint64_t>(branch->pc)},
-                     {"branch_seq", branch->seq}});
+                    {{"branch_pc", static_cast<std::uint64_t>(
+                                       _arena.pc[branch])},
+                     {"branch_seq", _arena.seq[branch]}});
             doMispredictSquash(branch);
         }
     }
 }
 
 void
-InOrderPipeline::doMispredictSquash(const DynInstPtr &branch)
+InOrderPipeline::doMispredictSquash(InstId branch)
 {
     // The branch is issued and still resident (resolve < evict), and
     // the queue is seq-ordered, so everything after its position is
-    // younger and must go.
+    // younger and must go. Ids are unique while live, so the scan
+    // compares ids directly instead of dereferencing for seq.
     std::size_t bi = _iq.size();
     for (std::size_t i = 0; i < _iq.size(); ++i) {
-        if (_iq[i]->seq == branch->seq) {
+        if (_iq[i] == branch) {
             bi = i;
             break;
         }
     }
     if (bi == _iq.size())
         SER_PANIC("pipeline: resolving branch seq {} not in queue",
-                  branch->seq);
+                  _arena.seq[branch]);
 
     for (std::size_t i = bi + 1; i < _iq.size(); ++i) {
-        DynInstPtr victim = _iq[i];
-        if (!victim->wrongPath)
+        const InstId victim = _iq[i];
+        if (!(_arena.flags[victim] & diWrongPath))
             SER_PANIC("pipeline: correct-path instruction younger "
                       "than an unresolved mispredict (seq {})",
-                      victim->seq);
-        finalizeIncarnation(*victim, _cycle, incSquashMispredict);
-        _freeEntries.push_back(victim->iqEntry);
-        _pool.release(victim);
+                      _arena.seq[victim]);
+        finalizeIncarnation(victim, _cycle, incSquashMispredict);
+        _freeEntries.push_back(_arena.iqEntry[victim]);
+        _arena.release(victim);
     }
-    _iq.resize(bi + 1);
+    _iq.truncate(bi + 1);
     _iqIssued = std::min(_iqIssued, bi + 1);
 
     // Everything in the front end is younger than the branch.
-    for (DynInstPtr di : _fePipe)
-        _pool.release(di);
+    for (std::size_t i = 0; i < _fePipe.size(); ++i)
+        _arena.release(_fePipe[i]);
     _fePipe.clear();
 
     // Repair speculative predictor state: history as of just after
     // this branch's actual outcome; RAS rewound, then replayed.
-    if (branch->usedDirectionPredictor)
-        _dirPred->restoreHistory(branch->predLookup,
-                                 branch->actualTaken);
-    if (branch->rasCheckpointed) {
-        _ras->restore(branch->rasCp);
-        if (branch->actualTaken && branch->inst.isCall())
-            _ras->push(branch->pc + 1);
-        else if (branch->actualTaken && branch->inst.isReturn())
+    const std::uint8_t f = _arena.flags[branch];
+    const InstCold &cold = _arena.cold[branch];
+    if (f & diUsedDirPred)
+        _dirPred->restoreHistory(cold.predLookup,
+                                 f & diActualTaken);
+    if (f & diRasCheckpointed) {
+        _ras->restore(cold.rasCp);
+        if ((f & diActualTaken) && cold.inst.isCall())
+            _ras->push(_arena.pc[branch] + 1);
+        else if ((f & diActualTaken) && cold.inst.isReturn())
             _ras->pop();
     }
 
@@ -631,12 +680,12 @@ InOrderPipeline::doTriggerSquash()
     // end, oldest first. Correct-path victims are replayed through
     // fetch; wrong-path victims just die (their mispredicted branch,
     // if squashed too, is replayed and will re-predict).
-    std::vector<DynInstPtr> victims;
+    std::vector<InstId> victims;
     for (std::size_t i = _iqIssued; i < _iq.size(); ++i)
         victims.push_back(_iq[i]);
     std::size_t iq_victims = victims.size();
-    for (const auto &di : _fePipe)
-        victims.push_back(di);
+    for (std::size_t i = 0; i < _fePipe.size(); ++i)
+        victims.push_back(_fePipe[i]);
     if (victims.empty())
         return;
 
@@ -654,22 +703,23 @@ InOrderPipeline::doTriggerSquash()
                 victims.size() - iq_victims);
 
     for (std::size_t i = 0; i < iq_victims; ++i) {
-        finalizeIncarnation(*victims[i], _cycle, incSquashTrigger);
-        _freeEntries.push_back(victims[i]->iqEntry);
+        finalizeIncarnation(victims[i], _cycle, incSquashTrigger);
+        _freeEntries.push_back(_arena.iqEntry[victims[i]]);
     }
-    _iq.resize(_iqIssued);
+    _iq.truncate(_iqIssued);
     _fePipe.clear();
 
     // Rewind speculative predictor state to before the oldest victim
     // that touched it; every victim will re-predict at refetch.
-    for (const auto &victim : victims) {
-        if (victim->usedDirectionPredictor) {
-            _dirPred->rewindHistory(victim->predLookup);
+    for (const InstId victim : victims) {
+        const std::uint8_t f = _arena.flags[victim];
+        if (f & diUsedDirPred) {
+            _dirPred->rewindHistory(_arena.cold[victim].predLookup);
         }
-        if (victim->rasCheckpointed) {
-            _ras->restore(victim->rasCp);
+        if (f & diRasCheckpointed) {
+            _ras->restore(_arena.cold[victim].rasCp);
         }
-        if (victim->usedDirectionPredictor || victim->rasCheckpointed)
+        if (f & (diUsedDirPred | diRasCheckpointed))
             break;
     }
 
@@ -677,19 +727,21 @@ InOrderPipeline::doTriggerSquash()
     // is itself squashed, that misprediction evaporates: it will be
     // re-predicted at replay.
     std::deque<ReplayItem> replaced;
-    for (const auto &victim : victims) {
-        if (victim->wrongPath)
+    for (const InstId victim : victims) {
+        const std::uint8_t f = _arena.flags[victim];
+        if (f & diWrongPath)
             continue;
-        if (victim->mispredicted)
+        if (f & diMispredicted)
             _wrongPathMode = false;
+        const InstCold &cold = _arena.cold[victim];
         ReplayItem item;
-        item.oracleSeq = victim->oracleSeq;
-        item.pc = victim->pc;
-        item.inst = victim->inst;
-        item.qpTrue = victim->qpTrue;
-        item.actualTaken = victim->actualTaken;
-        item.actualNextPc = victim->actualNextPc;
-        item.memAddr = victim->memAddr;
+        item.oracleSeq = cold.oracleSeq;
+        item.pc = _arena.pc[victim];
+        item.inst = cold.inst;
+        item.qpTrue = f & diQpTrue;
+        item.actualTaken = f & diActualTaken;
+        item.actualNextPc = cold.actualNextPc;
+        item.memAddr = cold.memAddr;
         replaced.push_back(item);
     }
     // New victims are older than anything already awaiting replay.
@@ -697,60 +749,50 @@ InOrderPipeline::doTriggerSquash()
         _replay.push_front(*it);
 
     // Everything a victim carried has been copied out (incarnation
-    // record, predictor repair, replay item); recycle the slots.
-    for (DynInstPtr victim : victims)
-        _pool.release(victim);
+    // record, predictor repair, replay item); recycle the ids.
+    for (const InstId victim : victims)
+        _arena.release(victim);
 }
 
 bool
-InOrderPipeline::operandsReady(const DynInst &di) const
+InOrderPipeline::operandsReady(InstId id) const
 {
-    const isa::StaticInst &inst = di.inst;
-    if (_predReady[inst.qp()] > _cycle)
+    const std::uint32_t w = _arena.opnd[id];
+    if (_predReady[opndQp(w)] > _cycle)
         return false;
     // A nullified instruction consumes only its predicate.
-    bool needs_sources = di.wrongPath || di.qpTrue;
+    bool needs_sources =
+        _arena.flags[id] & (diWrongPath | diQpTrue);
     if (!needs_sources)
         return true;
-    const isa::OpInfo &oi = inst.info();
-    using isa::RegClass;
-    auto ready = [&](RegClass rc, std::uint8_t reg) {
-        switch (rc) {
-          case RegClass::Int: return _intReady[reg] <= _cycle;
-          case RegClass::Fp: return _fpReady[reg] <= _cycle;
-          case RegClass::Pred: return _predReady[reg] <= _cycle;
-          case RegClass::None: return true;
-        }
-        return true;
-    };
-    if (!ready(oi.src1Class, inst.src1()))
-        return false;
-    if (!ready(oi.src2Class, inst.src2()))
-        return false;
-    return true;
+    return _readyByClass[opndSrc1Class(w)][opndSrc1(w)] <= _cycle &&
+           _readyByClass[opndSrc2Class(w)][opndSrc2(w)] <= _cycle;
 }
 
 void
-InOrderPipeline::issueOne(DynInst &di)
+InOrderPipeline::issueOne(InstId id)
 {
-    di.issueCycle = _cycle;
-    di.completeCycle = _cycle + _params.evictDelay;
-    SER_DPRINTF(IQ, "cycle {}: issue seq {} pc {}{}", _cycle, di.seq,
-                di.pc, di.wrongPath ? " (wrong path)" : "");
+    _arena.issueCycle[id] = _cycle;
+    _arena.completeCycle[id] = _cycle + _params.evictDelay;
+    const std::uint8_t f = _arena.flags[id];
+    SER_DPRINTF(IQ, "cycle {}: issue seq {} pc {}{}", _cycle,
+                _arena.seq[id], _arena.pc[id],
+                (f & diWrongPath) ? " (wrong path)" : "");
 
-    const isa::StaticInst &inst = di.inst;
-    bool executes = !di.wrongPath && di.qpTrue;
+    const isa::StaticInst &inst = _arena.cold[id].inst;
+    bool executes = !(f & diWrongPath) && (f & diQpTrue);
 
     if (executes && inst.isLoad()) {
-        memory::AccessResult r = _dcache->access(di.memAddr, _cycle);
+        memory::AccessResult r =
+            _dcache->access(_arena.cold[id].memAddr, _cycle);
         std::uint64_t fill = _cycle + r.latency;
         std::uint8_t dst = inst.dst();
         if (inst.writesIntReg() && dst != 0) {
             _intReady[dst] = fill;
-            _intByLoad[dst] = true;
+            _intByLoad[dst] = 1;
         } else if (inst.writesFpReg() && dst > 1) {
             _fpReady[dst] = fill;
-            _fpByLoad[dst] = true;
+            _fpByLoad[dst] = 1;
         }
         if (r.level != memory::HitLevel::L0) {
             // The memory system's miss signal arrives once the next
@@ -778,29 +820,29 @@ InOrderPipeline::issueOne(DynInst &di)
                 {_cycle + detect, fill, r.level});
         }
     } else if (executes && inst.isStore()) {
-        _dcache->access(di.memAddr, _cycle);
+        _dcache->access(_arena.cold[id].memAddr, _cycle);
     } else if (executes && inst.isPrefetch()) {
-        _dcache->prefetch(di.memAddr, _cycle);
+        _dcache->prefetch(_arena.cold[id].memAddr, _cycle);
     } else if (executes && inst.hasDst()) {
         std::uint64_t ready = _cycle + latencyOf(inst);
         std::uint8_t dst = inst.dst();
         if (inst.writesIntReg() && dst != 0) {
             _intReady[dst] = ready;
-            _intByLoad[dst] = false;
+            _intByLoad[dst] = 0;
         } else if (inst.writesFpReg() && dst > 1) {
             _fpReady[dst] = ready;
-            _fpByLoad[dst] = false;
+            _fpByLoad[dst] = 0;
         } else if (inst.writesPredReg() && dst != 0) {
             _predReady[dst] = ready;
         }
     }
 
-    if (inst.isBranch() && !di.wrongPath) {
+    if (inst.isBranch() && !(f & diWrongPath)) {
         // Correct-path control resolves (and possibly redirects)
         // after the resolve delay; wrong-path control never
         // resolves — it dies with its mispredicted ancestor.
         _resolutions.push_back(
-            {_cycle + _params.branchResolveDelay, nullptr});
+            {_cycle + _params.branchResolveDelay, id});
     }
 }
 
@@ -813,22 +855,24 @@ InOrderPipeline::stallReasonAt(std::uint64_t cycle)
 {
     if (_iqIssued >= _iq.size())
         return statStallEmpty;
-    const DynInst &di = *_iq[_iqIssued];
-    if (di.enqueueCycle >= cycle)
+    const InstId head = _iq[_iqIssued];
+    if (_arena.enqueueCycle[head] >= cycle)
         return statStallEmpty;
-    const isa::StaticInst &inst = di.inst;
-    const isa::OpInfo &oi = inst.info();
+    const std::uint32_t w = _arena.opnd[head];
+    constexpr auto clsInt =
+        static_cast<std::uint32_t>(isa::RegClass::Int);
+    constexpr auto clsFp =
+        static_cast<std::uint32_t>(isa::RegClass::Fp);
     bool on_load = false;
-    auto check = [&](isa::RegClass rc, std::uint8_t reg) {
-        if (rc == isa::RegClass::Int && _intReady[reg] > cycle &&
+    auto check = [&](std::uint32_t cls, std::uint32_t reg) {
+        if (cls == clsInt && _intReady[reg] > cycle &&
             _intByLoad[reg])
             on_load = true;
-        if (rc == isa::RegClass::Fp && _fpReady[reg] > cycle &&
-            _fpByLoad[reg])
+        if (cls == clsFp && _fpReady[reg] > cycle && _fpByLoad[reg])
             on_load = true;
     };
-    check(oi.src1Class, inst.src1());
-    check(oi.src2Class, inst.src2());
+    check(opndSrc1Class(w), opndSrc1(w));
+    check(opndSrc2Class(w), opndSrc2(w));
     if (on_load)
         return statStallLoad;
     return statStallExec;
@@ -847,14 +891,12 @@ InOrderPipeline::issue()
     unsigned budget = _params.issueWidth;
     unsigned issued = 0;
     while (budget > 0 && _iqIssued < _iq.size()) {
-        DynInstPtr &di = _iq[_iqIssued];
-        if (di->enqueueCycle >= _cycle)
+        const InstId di = _iq[_iqIssued];
+        if (_arena.enqueueCycle[di] >= _cycle)
             break;  // entered the queue this cycle
-        if (!operandsReady(*di))
+        if (!operandsReady(di))
             break;  // strict in-order issue
-        issueOne(*di);
-        if (di->inst.isBranch() && !di->wrongPath)
-            _resolutions.back().inst = di;
+        issueOne(di);
         ++_iqIssued;
         --budget;
         ++issued;
@@ -869,41 +911,45 @@ InOrderPipeline::enqueue()
 {
     unsigned budget = _params.enqueueWidth;
     while (budget > 0 && !_fePipe.empty() && !_freeEntries.empty()) {
-        DynInstPtr di = _fePipe.front();
-        if (di->fetchCycle + _params.frontEndDepth > _cycle)
+        const InstId di = _fePipe.front();
+        if (_arena.fetchCycle[di] + _params.frontEndDepth > _cycle)
             break;
         _fePipe.pop_front();
-        di->iqEntry = _freeEntries.back();
+        _arena.iqEntry[di] = _freeEntries.back();
         _freeEntries.pop_back();
-        di->enqueueCycle = _cycle;
+        _arena.enqueueCycle[di] = _cycle;
         SER_DPRINTF(IQ, "cycle {}: enqueue seq {} pc {} entry {}",
-                    _cycle, di->seq, di->pc, di->iqEntry);
+                    _cycle, _arena.seq[di], _arena.pc[di],
+                    _arena.iqEntry[di]);
         _iq.push_back(di);
         --budget;
     }
 }
 
 void
-InOrderPipeline::handleControlPrediction(DynInstPtr &di,
+InOrderPipeline::handleControlPrediction(InstId id,
                                          bool &taken_break)
 {
-    const isa::StaticInst &inst = di->inst;
+    InstCold &cold = _arena.cold[id];
+    const isa::StaticInst &inst = cold.inst;
     if (!inst.isBranch())
         return;
 
-    di->rasCp = _ras->checkpoint();
-    di->rasCheckpointed = true;
+    const std::uint32_t pc = _arena.pc[id];
+    std::uint8_t f = _arena.flags[id];
+    cold.rasCp = _ras->checkpoint();
+    f |= diRasCheckpointed;
 
     bool pred_taken;
     if (inst.qp() == 0) {
         pred_taken = true;
     } else {
-        di->predLookup = _dirPred->predict(di->pc);
-        di->usedDirectionPredictor = true;
-        pred_taken = di->predLookup.taken;
+        cold.predLookup = _dirPred->predict(pc);
+        f |= diUsedDirPred;
+        pred_taken = cold.predLookup.taken;
     }
 
-    std::uint32_t pred_target = di->pc + 1;
+    std::uint32_t pred_target = pc + 1;
     if (pred_taken) {
         if (inst.isDirectBranch()) {
             pred_target = static_cast<std::uint32_t>(
@@ -911,32 +957,35 @@ InOrderPipeline::handleControlPrediction(DynInstPtr &di,
         } else if (inst.isReturn()) {
             pred_target = _ras->pop();
         } else {  // bri
-            pred_target =
-                _btb->lookup(di->pc).value_or(di->pc + 1);
+            pred_target = _btb->lookup(pc).value_or(pc + 1);
         }
         if (inst.isCall())
-            _ras->push(di->pc + 1);
+            _ras->push(pc + 1);
     }
-    di->predictedTaken = pred_taken;
-    di->predictedTarget = pred_target;
+    if (pred_taken)
+        f |= diPredictedTaken;
+    cold.predictedTarget = pred_target;
 
-    if (di->wrongPath) {
+    if (f & diWrongPath) {
         // No oracle outcome: fetch simply follows the prediction.
-        _wrongPc = pred_taken ? pred_target : di->pc + 1;
+        _wrongPc = pred_taken ? pred_target : pc + 1;
     } else {
-        di->mispredicted =
-            pred_taken != di->actualTaken ||
-            (di->actualTaken && pred_target != di->actualNextPc);
-        if (di->mispredicted) {
+        const bool actual_taken = f & diActualTaken;
+        const bool mispredicted =
+            pred_taken != actual_taken ||
+            (actual_taken && pred_target != cold.actualNextPc);
+        if (mispredicted) {
+            f |= diMispredicted;
             _wrongPathMode = true;
-            _wrongPc = pred_taken ? pred_target : di->pc + 1;
+            _wrongPc = pred_taken ? pred_target : pc + 1;
         }
     }
+    _arena.flags[id] = f;
     if (pred_taken)
         taken_break = true;
 }
 
-DynInstPtr
+InstId
 InOrderPipeline::fetchOracle(bool &taken_break)
 {
     isa::StepInfo si;
@@ -945,16 +994,22 @@ InOrderPipeline::fetchOracle(bool &taken_break)
         SER_FATAL("pipeline: program trapped at pc {} after {} "
                   "instructions", _oracle->pc(), _oracle->steps());
 
-    DynInstPtr di = _pool.allocate();
-    di->seq = _nextSeq++;
-    di->oracleSeq = si.seq;
-    di->pc = si.pc;
-    di->inst = si.inst;
-    di->qpTrue = si.qpTrue;
-    di->actualTaken = si.taken;
-    di->actualNextPc = si.nextPc;
-    di->memAddr = si.memAddr;
-    di->fetchCycle = _cycle;
+    const InstId di = _arena.allocate();
+    _arena.seq[di] = _nextSeq++;
+    _arena.pc[di] = si.pc;
+    _arena.fetchCycle[di] = _cycle;
+    std::uint8_t f = 0;
+    if (si.qpTrue)
+        f |= diQpTrue;
+    if (si.taken)
+        f |= diActualTaken;
+    _arena.flags[di] = f;
+    InstCold &cold = _arena.cold[di];
+    cold.oracleSeq = si.seq;
+    cold.inst = si.inst;
+    cold.actualNextPc = si.nextPc;
+    cold.memAddr = si.memAddr;
+    _arena.opnd[di] = packOperands(si.inst);
 
     CommitRecord cr;
     cr.staticIdx = si.pc;
@@ -974,41 +1029,51 @@ InOrderPipeline::fetchOracle(bool &taken_break)
     return di;
 }
 
-DynInstPtr
+InstId
 InOrderPipeline::fetchReplay(bool &taken_break)
 {
     ReplayItem item = _replay.front();
     _replay.pop_front();
 
-    DynInstPtr di = _pool.allocate();
-    di->seq = _nextSeq++;
-    di->oracleSeq = item.oracleSeq;
-    di->pc = item.pc;
-    di->inst = item.inst;
-    di->qpTrue = item.qpTrue;
-    di->actualTaken = item.actualTaken;
-    di->actualNextPc = item.actualNextPc;
-    di->memAddr = item.memAddr;
-    di->fetchCycle = _cycle;
+    const InstId di = _arena.allocate();
+    _arena.seq[di] = _nextSeq++;
+    _arena.pc[di] = item.pc;
+    _arena.fetchCycle[di] = _cycle;
+    std::uint8_t f = 0;
+    if (item.qpTrue)
+        f |= diQpTrue;
+    if (item.actualTaken)
+        f |= diActualTaken;
+    _arena.flags[di] = f;
+    InstCold &cold = _arena.cold[di];
+    cold.oracleSeq = item.oracleSeq;
+    cold.inst = item.inst;
+    cold.actualNextPc = item.actualNextPc;
+    cold.memAddr = item.memAddr;
+    _arena.opnd[di] = packOperands(item.inst);
 
-    if (!di->inst.isHalt())
+    if (!cold.inst.isHalt())
         handleControlPrediction(di, taken_break);
     ++statReplayFetched;
     return di;
 }
 
-DynInstPtr
+InstId
 InOrderPipeline::fetchWrongPath(bool &taken_break)
 {
-    DynInstPtr di = _pool.allocate();
-    di->seq = _nextSeq++;
-    di->pc = _wrongPc;
-    di->inst = _program.inst(_wrongPc);
-    di->wrongPath = true;
-    di->fetchCycle = _cycle;
+    const InstId di = _arena.allocate();
+    _arena.seq[di] = _nextSeq++;
+    _arena.pc[di] = _wrongPc;
+    _arena.fetchCycle[di] = _cycle;
+    // Wrong-path incarnations keep the default-true predicate: the
+    // issue gate treats them as consuming their sources, exactly as
+    // the oracle-path default did.
+    _arena.flags[di] = diQpTrue | diWrongPath;
+    _arena.cold[di].inst = _program.inst(_wrongPc);
+    _arena.opnd[di] = packOperands(_arena.cold[di].inst);
 
     _wrongPc = _wrongPc + 1;  // default; prediction may redirect
-    if (di->inst.isBranch())
+    if (_arena.cold[di].inst.isBranch())
         handleControlPrediction(di, taken_break);
     ++statWrongPathFetched;
     return di;
@@ -1024,9 +1089,10 @@ InOrderPipeline::fetch()
         static_cast<std::size_t>(_params.frontEndDepth) *
         _params.enqueueWidth;
     unsigned budget = _params.fetchWidth;
+    const unsigned budget0 = budget;
     while (budget > 0 && _fePipe.size() < fe_cap) {
         bool taken_break = false;
-        DynInstPtr di;
+        InstId di;
         if (_wrongPathMode) {
             if (_wrongPc >= _program.size())
                 break;  // ran off the image; wait for resolution
@@ -1042,7 +1108,6 @@ InOrderPipeline::fetch()
             di = fetchOracle(taken_break);
         }
         _fePipe.push_back(di);
-        ++statFetched;
         --budget;
         if (taken_break) {
             // The fetch group ends at a predicted-taken branch and
@@ -1055,6 +1120,8 @@ InOrderPipeline::fetch()
         if (_doneFetching)
             break;
     }
+    // One weighted add per tick instead of a float add per fetch.
+    statFetched += static_cast<double>(budget0 - budget);
 }
 
 } // namespace cpu

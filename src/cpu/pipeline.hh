@@ -29,6 +29,7 @@
 #ifndef SER_CPU_PIPELINE_HH
 #define SER_CPU_PIPELINE_HH
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -36,9 +37,8 @@
 #include "branch/btb.hh"
 #include "branch/predictor.hh"
 #include "branch/ras.hh"
-#include "cpu/dyn_inst.hh"
-#include "cpu/dyn_inst_pool.hh"
 #include "cpu/hooks.hh"
+#include "cpu/inst_arena.hh"
 #include "cpu/params.hh"
 #include "cpu/trace.hh"
 #include "isa/executor.hh"
@@ -108,9 +108,9 @@ class InOrderPipeline : public statistics::StatGroup
     std::uint64_t cycle() const { return _cycle; }
     std::uint64_t committed() const { return _committedTotal; }
 
-    /** Most DynInst slots simultaneously live (must stay within the
+    /** Most arena ids simultaneously live (must stay within the
      * reserved front-end + queue bound; reported in the manifest). */
-    std::size_t poolHighWater() const { return _pool.highWater(); }
+    std::size_t poolHighWater() const { return _arena.highWater(); }
 
     /** Cycles the event-driven scheduler fast-forwarded over instead
      * of ticking (0 with cycleSkip off; reported in the manifest).
@@ -119,9 +119,9 @@ class InOrderPipeline : public statistics::StatGroup
      * across --no-cycle-skip. */
     std::uint64_t cyclesSkipped() const { return _cyclesSkipped; }
 
-    /** Total DynInst slots reserved (fixed unless the bound is ever
+    /** Total arena ids reserved (fixed unless the bound is ever
      * exceeded, which would indicate a leak). */
-    std::size_t poolCapacity() const { return _pool.capacity(); }
+    std::size_t poolCapacity() const { return _arena.capacity(); }
 
     const memory::CacheHierarchy &dcache() const { return *_dcache; }
     const branch::DirectionPredictor &predictor() const
@@ -158,7 +158,7 @@ class InOrderPipeline : public statistics::StatGroup
     struct Resolution
     {
         std::uint64_t cycle;
-        DynInstPtr inst;
+        InstId inst;
     };
 
     // --- per-cycle phases, in reverse pipeline order ---
@@ -170,21 +170,23 @@ class InOrderPipeline : public statistics::StatGroup
     void fetch();
 
     // --- helpers ---
-    bool operandsReady(const DynInst &di) const;
+    bool operandsReady(InstId id) const;
     void recordStallReason();
     statistics::Scalar &stallReasonAt(std::uint64_t cycle);
     std::uint64_t nextEventCycle(std::uint64_t limit) const;
     IntervalCounters snapshotCounters() const;
-    void issueOne(DynInst &di);
-    void handleControlPrediction(DynInstPtr &di, bool &taken_break);
-    DynInstPtr fetchOracle(bool &taken_break);
-    DynInstPtr fetchReplay(bool &taken_break);
-    DynInstPtr fetchWrongPath(bool &taken_break);
-    void doMispredictSquash(const DynInstPtr &branch);
+    void issueOne(InstId id);
+    void handleControlPrediction(InstId id, bool &taken_break);
+    InstId fetchOracle(bool &taken_break);
+    InstId fetchReplay(bool &taken_break);
+    InstId fetchWrongPath(bool &taken_break);
+    void doMispredictSquash(InstId branch);
     void doTriggerSquash();
-    void finalizeIncarnation(const DynInst &di,
-                             std::uint64_t evict_cycle,
+    void finalizeIncarnation(InstId id, std::uint64_t evict_cycle,
                              std::uint8_t extra_flags);
+    void traceIncarnation(InstId id, const IncarnationRecord &rec,
+                          std::uint8_t extra_flags,
+                          std::uint64_t evict_cycle);
     void sampleOccupancy(std::uint64_t weight);
     bool drained() const;
 
@@ -210,18 +212,18 @@ class InOrderPipeline : public statistics::StatGroup
     std::unique_ptr<branch::Ras> _ras;
 
     // --- machine state ---
-    DynInstPool _pool;  ///< owns every in-flight DynInst slot
+    InstArena _arena;  ///< SoA storage of every in-flight incarnation
     std::uint64_t _cycle = 0;
     std::uint64_t _nextSeq = 0;
 
-    std::deque<DynInstPtr> _fePipe;  ///< fetched, not yet in the IQ
-    std::deque<DynInstPtr> _iq;      ///< program order; issued prefix
-    std::size_t _iqIssued = 0;       ///< length of the issued prefix
+    Ring<InstId> _fePipe;  ///< fetched, not yet in the IQ
+    Ring<InstId> _iq;      ///< program order; issued prefix first
+    std::size_t _iqIssued = 0;  ///< length of the issued prefix
     std::vector<std::uint16_t> _freeEntries;
 
     std::deque<ReplayItem> _replay;
     std::vector<TriggerEvent> _triggers;
-    std::deque<Resolution> _resolutions;
+    Ring<Resolution> _resolutions;
 
     bool _wrongPathMode = false;
     std::uint32_t _wrongPc = 0;
@@ -232,11 +234,23 @@ class InOrderPipeline : public statistics::StatGroup
 
     // Scoreboard: cycle each architectural register becomes ready,
     // plus whether the pending writer is a load (stall accounting).
+    // The by-load flags are bytes, not vector<bool>: the bit-packed
+    // specialization turns every probe of the operand-ready scan into
+    // a masked read-modify-word and defeats vectorization.
     std::vector<std::uint64_t> _intReady;
     std::vector<std::uint64_t> _fpReady;
     std::vector<std::uint64_t> _predReady;
-    std::vector<bool> _intByLoad;
-    std::vector<bool> _fpByLoad;
+    std::vector<std::uint8_t> _intByLoad;
+    std::vector<std::uint8_t> _fpByLoad;
+
+    // Scoreboard bases indexed by a packed-descriptor RegClass value
+    // (None/Int/Fp/Pred), so the issue gate resolves "when is this
+    // operand ready" with one unconditional double-indexed load
+    // instead of a class switch. Entry 0 points at an all-zero
+    // array: a None operand is permanently ready. Valid for the
+    // pipeline's lifetime because the scoreboards are sized once in
+    // the constructor and never reallocated.
+    std::array<const std::uint64_t *, 4> _readyByClass{};
 
     // --- results ---
     SimTrace _trace;

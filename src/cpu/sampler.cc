@@ -82,18 +82,46 @@ IntervalSampler::advance(std::uint64_t cycle, std::uint64_t span,
 {
     if (!_active || span == 0)
         return;  // warmup: the measurement window is not open yet
-    while (span > 0) {
-        // Fill the current epoch (possibly exactly), close it at its
-        // grid boundary, repeat until the span is consumed.
-        std::uint64_t take =
-            std::min(span, _intervalCycles - _epochTicks);
-        _current.iqValidEntryCycles += counters.iqOccupancy * take;
-        _current.iqWaitingEntryCycles += counters.iqWaiting * take;
-        _epochTicks += take;
-        cycle += take;
-        span -= take;
-        if (_epochTicks >= _intervalCycles)
-            closeEpoch(cycle, counters);
+
+    // Fill (and possibly close) the current partial epoch.
+    std::uint64_t take = std::min(span, _intervalCycles - _epochTicks);
+    _current.iqValidEntryCycles += counters.iqOccupancy * take;
+    _current.iqWaitingEntryCycles += counters.iqWaiting * take;
+    _epochTicks += take;
+    cycle += take;
+    span -= take;
+    if (_epochTicks >= _intervalCycles)
+        closeEpoch(cycle, counters);
+
+    // Epochs fully interior to the remaining span are identical by
+    // construction — the cumulative counters held constant across the
+    // whole span, so every interior close records zero deltas and a
+    // flat occupancy integral. Emit them as one batch instead of
+    // re-deriving each through the delta machinery.
+    if (span >= _intervalCycles) {
+        const std::uint64_t full = span / _intervalCycles;
+        IntervalSample s;
+        s.iqValidEntryCycles =
+            counters.iqOccupancy * _intervalCycles;
+        s.iqWaitingEntryCycles =
+            counters.iqWaiting * _intervalCycles;
+        _samples.reserve(_samples.size() + full);
+        for (std::uint64_t i = 0; i < full; ++i) {
+            s.startCycle = cycle;
+            cycle += _intervalCycles;
+            s.endCycle = cycle;
+            _samples.push_back(s);
+        }
+        _epochStart = cycle;
+        _last = counters;
+        span -= full * _intervalCycles;
+    }
+
+    // Trailing partial epoch.
+    if (span) {
+        _current.iqValidEntryCycles += counters.iqOccupancy * span;
+        _current.iqWaitingEntryCycles += counters.iqWaiting * span;
+        _epochTicks += span;
     }
     _lastSeen = counters;
 }

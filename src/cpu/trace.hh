@@ -16,7 +16,9 @@
 #ifndef SER_CPU_TRACE_HH
 #define SER_CPU_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "isa/program.hh"
@@ -55,6 +57,123 @@ struct IncarnationRecord
 static constexpr std::uint32_t noCycle32 = ~0u;
 static constexpr std::uint32_t noSeq32 = ~0u;
 
+/**
+ * Structure-of-arrays storage of the incarnation records.
+ *
+ * The AVF fold streams every record and touches almost every field;
+ * keeping each field in its own contiguous column lets that fold run
+ * as wide batch passes (SIMD where available) instead of a per-struct
+ * walk, and analyses that need only a field or two (residency
+ * indexing by entry, per-PC attribution) stop dragging the rest of
+ * the struct through the cache.
+ *
+ * The row type is still IncarnationRecord: push_back() scatters one
+ * into the columns and operator[] / the iterator gather one back out,
+ * so record-at-a-time consumers read exactly as before — they just
+ * receive rows by value. Columns are public on purpose: batch passes
+ * bind raw pointers to them.
+ */
+class IncarnationColumns
+{
+  public:
+    std::vector<std::uint32_t> staticIdx;
+    std::vector<std::uint32_t> oracleSeq;
+    std::vector<std::uint32_t> enqueueCycle;
+    std::vector<std::uint32_t> issueCycle;
+    std::vector<std::uint32_t> evictCycle;
+    std::vector<std::uint16_t> iqEntry;
+    std::vector<std::uint8_t> flags;
+
+    std::size_t size() const { return flags.size(); }
+    bool empty() const { return flags.empty(); }
+
+    void reserve(std::size_t n)
+    {
+        staticIdx.reserve(n);
+        oracleSeq.reserve(n);
+        enqueueCycle.reserve(n);
+        issueCycle.reserve(n);
+        evictCycle.reserve(n);
+        iqEntry.reserve(n);
+        flags.reserve(n);
+    }
+
+    void clear()
+    {
+        staticIdx.clear();
+        oracleSeq.clear();
+        enqueueCycle.clear();
+        issueCycle.clear();
+        evictCycle.clear();
+        iqEntry.clear();
+        flags.clear();
+    }
+
+    void push_back(const IncarnationRecord &r)
+    {
+        staticIdx.push_back(r.staticIdx);
+        oracleSeq.push_back(r.oracleSeq);
+        enqueueCycle.push_back(r.enqueueCycle);
+        issueCycle.push_back(r.issueCycle);
+        evictCycle.push_back(r.evictCycle);
+        iqEntry.push_back(r.iqEntry);
+        flags.push_back(r.flags);
+    }
+
+    /** Gather row i back into a record (by value). */
+    IncarnationRecord operator[](std::size_t i) const
+    {
+        return {staticIdx[i], oracleSeq[i],  enqueueCycle[i],
+                issueCycle[i], evictCycle[i], iqEntry[i], flags[i]};
+    }
+
+    /** Row-gathering iterator: dereferences to a record by value
+     * (range-for with `const auto &` binds the usual way). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = IncarnationRecord;
+        using difference_type = std::ptrdiff_t;
+        using pointer = void;
+        using reference = IncarnationRecord;
+
+        const_iterator() = default;
+        const_iterator(const IncarnationColumns *cols, std::size_t i)
+            : _cols(cols), _i(i)
+        {
+        }
+
+        IncarnationRecord operator*() const { return (*_cols)[_i]; }
+        const_iterator &operator++()
+        {
+            ++_i;
+            return *this;
+        }
+        const_iterator operator++(int)
+        {
+            const_iterator prev = *this;
+            ++_i;
+            return prev;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return _i == o._i;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return _i != o._i;
+        }
+
+      private:
+        const IncarnationColumns *_cols = nullptr;
+        std::size_t _i = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+};
+
 /** One committed (oracle-order) instruction. */
 struct CommitRecord
 {
@@ -69,7 +188,7 @@ struct SimTrace
     const isa::Program *program = nullptr;
 
     std::vector<CommitRecord> commits;
-    std::vector<IncarnationRecord> incarnations;
+    IncarnationColumns incarnations;
 
     /** AVF measurement window [startCycle, endCycle). */
     std::uint64_t startCycle = 0;

@@ -37,37 +37,43 @@ protectionName(Protection protection)
 }
 
 ResidencyIndex::ResidencyIndex(const cpu::SimTrace &trace)
-    : _byEntry(trace.iqEntries)
+    : _trace(trace), _byEntry(trace.iqEntries)
 {
-    for (const auto &rec : trace.incarnations) {
-        if (rec.iqEntry < _byEntry.size())
-            _byEntry[rec.iqEntry].push_back(&rec);
+    const auto &incs = trace.incarnations;
+    for (std::size_t i = 0; i < incs.size(); ++i) {
+        const std::uint16_t entry = incs.iqEntry[i];
+        if (entry < _byEntry.size())
+            _byEntry[entry].push_back(
+                static_cast<std::uint32_t>(i));
     }
+    const std::uint32_t *enq = incs.enqueueCycle.data();
     for (auto &vec : _byEntry) {
         std::sort(vec.begin(), vec.end(),
-                  [](const cpu::IncarnationRecord *a,
-                     const cpu::IncarnationRecord *b) {
-                      return a->enqueueCycle < b->enqueueCycle;
+                  [enq](std::uint32_t a, std::uint32_t b) {
+                      return enq[a] < enq[b];
                   });
     }
 }
 
-const cpu::IncarnationRecord *
+std::int64_t
 ResidencyIndex::find(std::uint16_t entry, std::uint64_t cycle) const
 {
     if (entry >= _byEntry.size())
-        return nullptr;
+        return noIncarnation;
     const auto &vec = _byEntry[entry];
+    const std::uint32_t *enq = _trace.incarnations.enqueueCycle.data();
     // Last residency with enqueueCycle <= cycle.
     auto it = std::upper_bound(
         vec.begin(), vec.end(), cycle,
-        [](std::uint64_t c, const cpu::IncarnationRecord *r) {
-            return c < r->enqueueCycle;
+        [enq](std::uint64_t c, std::uint32_t i) {
+            return c < enq[i];
         });
     if (it == vec.begin())
-        return nullptr;
-    const cpu::IncarnationRecord *rec = *(it - 1);
-    return cycle < rec->evictCycle ? rec : nullptr;
+        return noIncarnation;
+    const std::uint32_t idx = *(it - 1);
+    return cycle < _trace.incarnations.evictCycle[idx]
+               ? static_cast<std::int64_t>(idx)
+               : noIncarnation;
 }
 
 FaultInjector::FaultInjector(const isa::Program &program,
@@ -111,16 +117,17 @@ FaultInjector::classify(const FaultSite &site,
 {
     FaultResult result{Outcome::BenignNoBit, -1, false, false};
 
-    const cpu::IncarnationRecord *rec =
-        _index.find(site.entry, site.cycle);
-    if (!rec)
+    const std::int64_t idx = _index.find(site.entry, site.cycle);
+    if (idx == ResidencyIndex::noIncarnation)
         return result;  // idle entry: outcome 1
 
-    result.incarnationIndex = rec - _trace.incarnations.data();
-    const bool issued = rec->issueCycle != cpu::noCycle32;
-    const bool read_after = issued && site.cycle < rec->issueCycle;
-    const bool wrong_path = rec->flags & cpu::incWrongPath;
-    const bool committed = rec->flags & cpu::incCommitted;
+    const cpu::IncarnationRecord rec =
+        _trace.incarnations[static_cast<std::size_t>(idx)];
+    result.incarnationIndex = idx;
+    const bool issued = rec.issueCycle != cpu::noCycle32;
+    const bool read_after = issued && site.cycle < rec.issueCycle;
+    const bool wrong_path = rec.flags & cpu::incWrongPath;
+    const bool committed = rec.flags & cpu::incCommitted;
 
     if (protection == Protection::Ecc) {
         // SECDED corrects any single-bit upset in the protected
@@ -180,7 +187,7 @@ FaultInjector::classify(const FaultSite &site,
 
     result.reRan = true;
     ForkServer::Verdict verdict =
-        rerunWithCorruption(rec->oracleSeq, site.bit);
+        rerunWithCorruption(rec.oracleSeq, site.bit);
     result.outputChanged = verdict.changed;
     result.rerunSteps = verdict.steps;
     if (protection == Protection::Parity) {

@@ -36,15 +36,19 @@ namespace faults
 class ResidencyIndex
 {
   public:
+    /** No residency occupies the probed (entry, cycle). */
+    static constexpr std::int64_t noIncarnation = -1;
+
     explicit ResidencyIndex(const cpu::SimTrace &trace);
 
-    /** The incarnation occupying 'entry' at 'cycle', or nullptr. */
-    const cpu::IncarnationRecord *find(std::uint16_t entry,
-                                       std::uint64_t cycle) const;
+    /** Index (into the trace's incarnation columns) of the
+     * incarnation occupying 'entry' at 'cycle', or noIncarnation. */
+    std::int64_t find(std::uint16_t entry, std::uint64_t cycle) const;
 
   private:
-    /** Per entry, residencies sorted by enqueue cycle. */
-    std::vector<std::vector<const cpu::IncarnationRecord *>> _byEntry;
+    const cpu::SimTrace &_trace;
+    /** Per entry, residency row indices sorted by enqueue cycle. */
+    std::vector<std::vector<std::uint32_t>> _byEntry;
 };
 
 /** Detail of a classified fault. */

@@ -1,6 +1,7 @@
 #include "arch_state.hh"
 
 #include <bit>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -12,17 +13,33 @@ namespace isa
 const SparseMemory::Page *
 SparseMemory::findPage(std::uint64_t addr) const
 {
-    auto it = _pages.find(addr / pageBytes);
-    return it == _pages.end() ? nullptr : &it->second;
+    const std::uint64_t page = addr / pageBytes;
+    if (page == _lastPage)
+        return &_pageStore[_lastSlot];
+    const std::uint32_t *slot = _pageTable.find(page);
+    if (!slot)
+        return nullptr;
+    _lastPage = page;
+    _lastSlot = *slot;
+    return &_pageStore[*slot];
 }
 
 SparseMemory::Page &
 SparseMemory::getPage(std::uint64_t addr)
 {
-    auto [it, inserted] = _pages.try_emplace(addr / pageBytes);
-    if (inserted)
-        it->second.fill(0);
-    return it->second;
+    const std::uint64_t page = addr / pageBytes;
+    if (page == _lastPage)
+        return _pageStore[_lastSlot];
+    std::uint32_t *slot = _pageTable.find(page);
+    if (!slot) {
+        slot = &_pageTable[page];
+        *slot = static_cast<std::uint32_t>(_pageStore.size());
+        _pageStore.emplace_back();
+        _pageStore.back().fill(0);
+    }
+    _lastPage = page;
+    _lastSlot = *slot;
+    return _pageStore[*slot];
 }
 
 std::uint8_t
@@ -41,16 +58,25 @@ SparseMemory::writeByte(std::uint64_t addr, std::uint8_t value)
 std::uint64_t
 SparseMemory::readWord(std::uint64_t addr) const
 {
-    // Fast path: the whole word lives in one page.
+    // Fast path: the whole word lives in one page. Words are
+    // little-endian by specification, so on a little-endian host the
+    // assembly loop collapses to one unaligned 8-byte load.
     if (addr % pageBytes <= pageBytes - 8) {
         const Page *page = findPage(addr);
         if (!page)
             return 0;
-        std::uint64_t v = 0;
         std::uint64_t off = addr % pageBytes;
-        for (int i = 7; i >= 0; --i)
-            v = (v << 8) | (*page)[off + static_cast<std::uint64_t>(i)];
-        return v;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint64_t v;
+            std::memcpy(&v, page->data() + off, 8);
+            return v;
+        } else {
+            std::uint64_t v = 0;
+            for (int i = 7; i >= 0; --i)
+                v = (v << 8) |
+                    (*page)[off + static_cast<std::uint64_t>(i)];
+            return v;
+        }
     }
     std::uint64_t v = 0;
     for (int i = 7; i >= 0; --i)
@@ -64,9 +90,13 @@ SparseMemory::writeWord(std::uint64_t addr, std::uint64_t value)
     if (addr % pageBytes <= pageBytes - 8) {
         Page &page = getPage(addr);
         std::uint64_t off = addr % pageBytes;
-        for (int i = 0; i < 8; ++i) {
-            page[off + static_cast<std::uint64_t>(i)] =
-                static_cast<std::uint8_t>(value >> (8 * i));
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(page.data() + off, &value, 8);
+        } else {
+            for (int i = 0; i < 8; ++i) {
+                page[off + static_cast<std::uint64_t>(i)] =
+                    static_cast<std::uint8_t>(value >> (8 * i));
+            }
         }
         return;
     }
@@ -86,20 +116,30 @@ SparseMemory::equals(const SparseMemory &other) const
         }
         return true;
     };
-    for (const auto &[index, page] : _pages) {
-        auto it = other._pages.find(index);
-        if (it == other._pages.end()) {
+    bool equal = true;
+    _pageTable.forEach([&](std::uint64_t index, std::uint32_t slot) {
+        if (!equal)
+            return;
+        const Page &page = _pageStore[slot];
+        const std::uint32_t *theirs = other._pageTable.find(index);
+        if (!theirs) {
             if (!zero(page))
-                return false;
-        } else if (page != it->second) {
-            return false;
+                equal = false;
+        } else if (page != other._pageStore[*theirs]) {
+            equal = false;
         }
-    }
-    for (const auto &[index, page] : other._pages) {
-        if (!_pages.count(index) && !zero(page))
-            return false;
-    }
-    return true;
+    });
+    if (!equal)
+        return false;
+    other._pageTable.forEach(
+        [&](std::uint64_t index, std::uint32_t slot) {
+            if (!equal)
+                return;
+            if (!_pageTable.contains(index) &&
+                !zero(other._pageStore[slot]))
+                equal = false;
+        });
+    return equal;
 }
 
 ArchState::ArchState()

@@ -12,18 +12,28 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "isa/isa.hh"
 #include "isa/program.hh"
+#include "sim/flat_hash.hh"
 
 namespace ser
 {
 namespace isa
 {
 
-/** Sparse byte-addressable memory backed by 4 KiB pages. */
+/**
+ * Sparse byte-addressable memory backed by 4 KiB pages.
+ *
+ * The page table is a flat open-addressing map from page index to a
+ * slot in a contiguous page store (sim/flat_hash.hh), not a
+ * node-based unordered_map: the oracle does one table probe per
+ * load/store, making this the hottest map in the simulator. A
+ * one-entry memo of the last page touched short-circuits the probe
+ * entirely for the common run of consecutive accesses to the same
+ * stack or heap page.
+ */
 class SparseMemory
 {
   public:
@@ -37,9 +47,16 @@ class SparseMemory
     void writeWord(std::uint64_t addr, std::uint64_t value);
 
     /** Number of pages ever touched (for footprint statistics). */
-    std::size_t numPages() const { return _pages.size(); }
+    std::size_t numPages() const { return _pageStore.size(); }
 
-    void clear() { _pages.clear(); }
+    void
+    clear()
+    {
+        _pageTable.clear();
+        _pageStore.clear();
+        _lastPage = noPage;
+        _lastSlot = 0;
+    }
 
     /**
      * Content equality. A page present on one side only counts as
@@ -52,10 +69,20 @@ class SparseMemory
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
+    static constexpr std::uint64_t noPage = ~std::uint64_t{0};
+
     const Page *findPage(std::uint64_t addr) const;
     Page &getPage(std::uint64_t addr);
 
-    std::unordered_map<std::uint64_t, Page> _pages;
+    /** Page index -> slot in _pageStore. Page indices are addresses
+     * shifted down by 12 bits, so the flat map's ~0 sentinel is
+     * unreachable. */
+    sim::FlatHashMap<std::uint32_t> _pageTable;
+    std::vector<Page> _pageStore;
+
+    // Last-page memo (mutable: reads warm it too).
+    mutable std::uint64_t _lastPage = noPage;
+    mutable std::uint32_t _lastSlot = 0;
 };
 
 /** Registers + memory + output stream. */

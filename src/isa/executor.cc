@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/compiler.hh"
 #include "sim/logging.hh"
 
 namespace ser
@@ -54,7 +55,7 @@ Executor::step(StepInfo *info)
         return Termination::Trap;
 
     StaticInst inst = _program.inst(_pc);
-    if (_corruptSeq && *_corruptSeq == _steps) {
+    if (SER_UNLIKELY(_corruptSeq && *_corruptSeq == _steps)) {
         std::uint64_t word = inst.encode() ^ _corruptMask;
         if (!StaticInst::decode(word, inst))
             return Termination::Trap;  // illegal opcode after upset
@@ -62,12 +63,18 @@ Executor::step(StepInfo *info)
 
     StepInfo local;
     StepInfo &si = info ? *info : local;
-    si = StepInfo{};
+    // Field-at-a-time reset: this is the per-fetch oracle step, and
+    // a whole-struct clear rewrites every byte the next lines
+    // immediately overwrite again.
     si.seq = _steps;
     si.pc = _pc;
     si.inst = inst;
     si.qpTrue = _state.readPred(inst.qp());
+    si.taken = false;
     si.nextPc = _pc + 1;
+    si.memAddr = 0;
+    si.storeValue = 0;
+    si.callDepthDelta = 0;
 
     Termination term = Termination::Running;
     if (si.qpTrue)

@@ -9,14 +9,14 @@ namespace ser
 namespace isa
 {
 
-namespace
+namespace detail
 {
 
 using RC = RegClass;
 using OC = OpClass;
 
 /** One row per opcode, indexed by the opcode's numeric value. */
-constexpr std::array<OpInfo, numOpcodes> opTable = {{
+const std::array<OpInfo, numOpcodes> opTable = {{
     // mnemonic   class       dst       src1      src2      imm   neut  mem   ctrl  out
     {"nop",       OC::Nop,    RC::None, RC::None, RC::None, false, true,  false, false, false},
     {"prefetch",  OC::Load,   RC::None, RC::Int,  RC::None, true,  true,  true,  false, false},
@@ -76,16 +76,13 @@ constexpr std::array<OpInfo, numOpcodes> opTable = {{
     {"ret",       OC::Branch, RC::None, RC::Int,  RC::None, false, false, false, true,  false},
 }};
 
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
+void
+invalidOpcode(std::size_t idx)
 {
-    auto idx = static_cast<std::size_t>(op);
-    if (idx >= opTable.size())
-        SER_PANIC("opInfo: invalid opcode {}", idx);
-    return opTable[idx];
+    SER_PANIC("opInfo: invalid opcode {}", idx);
 }
+
+} // namespace detail
 
 bool
 opcodeValid(std::uint8_t raw)
@@ -97,7 +94,8 @@ bool
 opcodeFromMnemonic(std::string_view mnemonic, Opcode &op)
 {
     for (int i = 0; i < numOpcodes; ++i) {
-        if (opTable[static_cast<std::size_t>(i)].mnemonic == mnemonic) {
+        if (detail::opTable[static_cast<std::size_t>(i)].mnemonic ==
+            mnemonic) {
             op = static_cast<Opcode>(i);
             return true;
         }

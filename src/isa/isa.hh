@@ -18,6 +18,8 @@
 #ifndef SER_ISA_ISA_HH
 #define SER_ISA_ISA_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -137,8 +139,27 @@ struct OpInfo
     bool isOutput;       ///< writes the program output (ACE sink)
 };
 
-/** Metadata for an opcode; valid for raw values < numOpcodes. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+/** One row per opcode, indexed by the opcode's numeric value
+ * (defined in isa.cc; reach it through opInfo()). */
+extern const std::array<OpInfo, numOpcodes> opTable;
+
+/** Out-of-line panic for an out-of-range opcode. */
+[[noreturn]] void invalidOpcode(std::size_t idx);
+} // namespace detail
+
+/** Metadata for an opcode; valid for raw values < numOpcodes.
+ * Inline: every decoder, latency and AVF-classification query funnels
+ * through this lookup, so it must compile to a load, not a call. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= detail::opTable.size())
+        detail::invalidOpcode(idx);
+    return detail::opTable[idx];
+}
 
 /** True if the raw 8-bit opcode field names a defined opcode. */
 bool opcodeValid(std::uint8_t raw);

@@ -45,22 +45,11 @@ Program::addData(std::uint64_t addr, std::uint64_t value)
     _data.push_back({addr, value});
 }
 
-const StaticInst &
-Program::inst(std::size_t index) const
+void
+Program::instOutOfRange(std::size_t index) const
 {
-    if (index >= _insts.size())
-        SER_PANIC("program: instruction index {} out of range ({})",
-                  index, _insts.size());
-    return _insts[index];
-}
-
-StaticInst &
-Program::inst(std::size_t index)
-{
-    if (index >= _insts.size())
-        SER_PANIC("program: instruction index {} out of range ({})",
-                  index, _insts.size());
-    return _insts[index];
+    SER_PANIC("program: instruction index {} out of range ({})",
+              index, _insts.size());
 }
 
 bool

@@ -52,8 +52,24 @@ class Program
     std::size_t size() const { return _insts.size(); }
     bool empty() const { return _insts.empty(); }
 
-    const StaticInst &inst(std::size_t index) const;
-    StaticInst &inst(std::size_t index);
+    /** Instruction at an index; panics when out of range. Inline:
+     * wrong-path fetch decodes through this accessor every cycle it
+     * runs ahead, so it must be a bounds check and a load, not a
+     * call (the panic itself stays out of line). */
+    const StaticInst &
+    inst(std::size_t index) const
+    {
+        if (index >= _insts.size())
+            instOutOfRange(index);
+        return _insts[index];
+    }
+    StaticInst &
+    inst(std::size_t index)
+    {
+        if (index >= _insts.size())
+            instOutOfRange(index);
+        return _insts[index];
+    }
 
     const std::vector<StaticInst> &instructions() const
     {
@@ -81,6 +97,8 @@ class Program
     std::string disassemble() const;
 
   private:
+    [[noreturn]] void instOutOfRange(std::size_t index) const;
+
     std::vector<StaticInst> _insts;
     std::map<std::string, std::size_t> _labels;
     std::vector<DataInit> _data;

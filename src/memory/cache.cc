@@ -28,7 +28,25 @@ Cache::Cache(const CacheParams &params, statistics::StatGroup *parent)
     // Set counts need not be powers of two (the paper's 10MB L2 is
     // not); setIndex uses modulo indexing.
     _numSets = lines / _params.assoc;
-    _lines.assign(lines, Line{});
+    // Uninitialized on purpose: setLines() zeroes a set on first
+    // touch, so constructing (or checkpoint-forking a run with) a
+    // large, mostly-cold cache costs O(touched sets), not O(size).
+    _lines.reset(new Line[lines]);
+    _touched.assign((_numSets + 63) / 64, 0);
+}
+
+Cache::Line *
+Cache::setLines(std::uint64_t set)
+{
+    Line *base = &_lines[set * _params.assoc];
+    std::uint64_t &word = _touched[set >> 6];
+    std::uint64_t bit = std::uint64_t{1} << (set & 63);
+    if (!(word & bit)) {
+        word |= bit;
+        for (unsigned w = 0; w < _params.assoc; ++w)
+            base[w] = Line{0, 0, false};
+    }
+    return base;
 }
 
 bool
@@ -36,7 +54,7 @@ Cache::access(std::uint64_t addr)
 {
     std::uint64_t set = setIndex(addr);
     std::uint64_t tag = tagOf(addr);
-    Line *base = &_lines[set * _params.assoc];
+    Line *base = setLines(set);
     for (unsigned w = 0; w < _params.assoc; ++w) {
         if (base[w].valid && base[w].tag == tag) {
             base[w].lruStamp = ++_stamp;
@@ -52,6 +70,8 @@ bool
 Cache::probe(std::uint64_t addr) const
 {
     std::uint64_t set = setIndex(addr);
+    if (!touched(set))
+        return false;  // untouched set: all ways invalid
     std::uint64_t tag = tagOf(addr);
     const Line *base = &_lines[set * _params.assoc];
     for (unsigned w = 0; w < _params.assoc; ++w) {
@@ -66,7 +86,7 @@ Cache::fill(std::uint64_t addr)
 {
     std::uint64_t set = setIndex(addr);
     std::uint64_t tag = tagOf(addr);
-    Line *base = &_lines[set * _params.assoc];
+    Line *base = setLines(set);
     Line *victim = &base[0];
     for (unsigned w = 0; w < _params.assoc; ++w) {
         if (base[w].valid && base[w].tag == tag) {
@@ -89,8 +109,9 @@ Cache::fill(std::uint64_t addr)
 void
 Cache::invalidateAll()
 {
-    for (auto &line : _lines)
-        line.valid = false;
+    // Clearing the touched bitmap makes every set read as all-invalid
+    // again; the stale line storage is re-zeroed on next touch.
+    _touched.assign(_touched.size(), 0);
 }
 
 double

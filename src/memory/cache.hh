@@ -12,6 +12,7 @@
 #define SER_MEMORY_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,11 +70,15 @@ class Cache : public statistics::StatGroup
     double missRate() const;
 
   private:
+    /** Deliberately trivial (no member initializers): line storage is
+     * allocated uninitialized and a set's lines are first zeroed when
+     * its _touched bit is set. A short run over a large cache (the
+     * paper's 10MB L2) then never pays for the cold capacity. */
     struct Line
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lruStamp = 0;
-        bool valid = false;
+        std::uint64_t tag;
+        std::uint64_t lruStamp;
+        bool valid;
     };
 
     std::uint64_t lineAddr(std::uint64_t addr) const
@@ -89,9 +94,22 @@ class Cache : public statistics::StatGroup
         return lineAddr(addr) / _numSets;
     }
 
+    /** The set's lines, zero-initializing them on first touch. */
+    Line *setLines(std::uint64_t set);
+
+    bool touched(std::uint64_t set) const
+    {
+        return (_touched[set >> 6] >>
+                (set & 63)) & 1;
+    }
+
     CacheParams _params;
     std::uint64_t _numSets;
-    std::vector<Line> _lines;  ///< numSets * assoc, set-major
+    /** numSets * assoc, set-major; garbage until touched. */
+    std::unique_ptr<Line[]> _lines;
+    /** One bit per set: its lines have been initialized since the
+     * last invalidateAll(). An untouched set is all-invalid. */
+    std::vector<std::uint64_t> _touched;
     std::uint64_t _stamp = 0;
 
     statistics::Scalar statHits;

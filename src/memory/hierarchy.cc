@@ -77,32 +77,31 @@ CacheHierarchy::access(std::uint64_t addr, std::uint64_t cycle)
 
     // Periodically drop completed fills so the map stays small.
     if (cycle >= _inflightSweepCycle) {
-        std::erase_if(_inflight, [cycle](const auto &kv) {
-            return kv.second.ready <= cycle;
+        _inflight.eraseIf([cycle](std::uint64_t, const Inflight &f) {
+            return f.ready <= cycle;
         });
         _inflightSweepCycle = cycle + 4 * _params.memLatency;
     }
 
-    auto it = _inflight.find(line);
-    if (it != _inflight.end()) {
-        if (it->second.ready > cycle) {
+    if (const Inflight *f = _inflight.find(line)) {
+        if (f->ready > cycle) {
             // Secondary miss: the line was already requested (by a
             // demand miss or a prefetch); wait out the remainder.
             // This is still a miss at the original level — squash
             // triggers see it as such.
             ++statServedInflight;
             unsigned remaining =
-                static_cast<unsigned>(it->second.ready - cycle);
+                static_cast<unsigned>(f->ready - cycle);
             SER_DPRINTF(Cache,
                         "cycle {}: addr {} secondary miss on "
                         "in-flight line, {} cycles remaining",
                         cycle, addr, remaining);
             lookupAndFill(addr);  // keep replacement state warm
-            return {it->second.level,
+            return {f->level,
                     std::max(remaining, _params.l0.hitLatency),
                     true};
         }
-        _inflight.erase(it);
+        _inflight.erase(line);
     }
 
     HitLevel level = lookupAndFill(addr);
@@ -125,7 +124,7 @@ CacheHierarchy::prefetch(std::uint64_t addr, std::uint64_t cycle)
 {
     ++statPrefetches;
     std::uint64_t line = addr / _params.l0.lineBytes;
-    if (_inflight.count(line))
+    if (_inflight.contains(line))
         return;  // already on its way
     if (_l0->probe(addr))
         return;  // already resident

@@ -16,9 +16,9 @@
 #define SER_MEMORY_HIERARCHY_HH
 
 #include <memory>
-#include <unordered_map>
 
 #include "memory/cache.hh"
+#include "sim/flat_hash.hh"
 #include "sim/stats.hh"
 
 namespace ser
@@ -92,14 +92,15 @@ class CacheHierarchy : public statistics::StatGroup
     HitLevel lookupAndFill(std::uint64_t addr);
     unsigned levelLatency(HitLevel level) const;
 
-    /** In-flight fills at L0-line granularity. Stale entries are
-     * dropped lazily. */
+    /** In-flight fills at L0-line granularity, in a flat
+     * open-addressing table probed once per load. Stale entries are
+     * dropped lazily (line indices never reach the ~0 sentinel). */
     struct Inflight
     {
         std::uint64_t ready;
         HitLevel level;  ///< where the fill is coming from
     };
-    std::unordered_map<std::uint64_t, Inflight> _inflight;
+    sim::FlatHashMap<Inflight> _inflight;
     std::uint64_t _inflightSweepCycle = 0;
 
     HierarchyParams _params;

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small portability shims for compiler-specific hints used on the
+ * hot paths (SoA fold loops, flat-hash probes). Everything here must
+ * degrade to a no-op on compilers that lack the extension.
+ */
+
+#ifndef SER_SIM_COMPILER_HH
+#define SER_SIM_COMPILER_HH
+
+/** C99 restrict for C++: the pointer is the only way the function
+ * body reaches that object. Lets the optimizer keep SoA column
+ * pointers in registers across stores through sibling columns. */
+#if defined(__GNUC__) || defined(__clang__)
+#define SER_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define SER_RESTRICT __restrict
+#else
+#define SER_RESTRICT
+#endif
+
+/** Force inlining of small helpers the compiler's size heuristics
+ * would otherwise keep out of line on the per-incarnation path. */
+#if defined(__GNUC__) || defined(__clang__)
+#define SER_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define SER_ALWAYS_INLINE inline
+#endif
+
+/** Branch-weight hints for guards that are cold by construction
+ * (window-straddling records, hash-table growth, slow-path exits). */
+#if defined(__GNUC__) || defined(__clang__)
+#define SER_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SER_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define SER_LIKELY(x) (x)
+#define SER_UNLIKELY(x) (x)
+#endif
+
+#endif // SER_SIM_COMPILER_HH

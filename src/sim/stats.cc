@@ -31,17 +31,6 @@ StatBase::dumpJson(json::JsonWriter &jw) const
     jw.value(value());
 }
 
-void
-Average::sample(double v, std::uint64_t weight)
-{
-    if (weight == 0)
-        return;
-    _sum += v * static_cast<double>(weight);
-    _min = std::min(_min, v);
-    _max = std::max(_max, v);
-    _count += weight;
-}
-
 double
 Average::value() const
 {
@@ -92,23 +81,6 @@ Distribution::Distribution(StatGroup *parent, std::string name,
     auto n = static_cast<std::size_t>(
         std::ceil((max - min) / bucket_size));
     _buckets.assign(n, 0);
-}
-
-void
-Distribution::sample(double v, std::uint64_t weight)
-{
-    _count += weight;
-    _sum += v * static_cast<double>(weight);
-    if (v < _min) {
-        _underflow += weight;
-    } else if (v >= _max) {
-        _overflow += weight;
-    } else {
-        auto idx = static_cast<std::size_t>((v - _min) / _bucketSize);
-        if (idx >= _buckets.size())
-            idx = _buckets.size() - 1;
-        _buckets[idx] += weight;
-    }
 }
 
 double

@@ -101,8 +101,21 @@ class Average : public StatBase
      * mantissa — which is what lets the cycle-skipping scheduler fold
      * a whole idle span into a single weighted sample without
      * perturbing any printed statistic.
+     *
+     * Defined inline: the pipeline samples several averages every
+     * simulated cycle, and the body is a handful of scalar ops.
      */
-    void sample(double v, std::uint64_t weight = 1);
+    void sample(double v, std::uint64_t weight = 1)
+    {
+        if (weight == 0)
+            return;
+        _sum += v * static_cast<double>(weight);
+        if (v < _min)
+            _min = v;
+        if (v > _max)
+            _max = v;
+        _count += weight;
+    }
 
     double value() const override;  // the mean
     std::uint64_t count() const { return _count; }
@@ -129,7 +142,24 @@ class Distribution : public StatBase
     Distribution(StatGroup *parent, std::string name, std::string desc,
                  double min, double max, double bucket_size);
 
-    void sample(double v, std::uint64_t weight = 1);
+    /** Inline for the same reason as Average::sample — it sits on
+     * the pipeline's per-cycle path (issue-width histogram). */
+    void sample(double v, std::uint64_t weight = 1)
+    {
+        _count += weight;
+        _sum += v * static_cast<double>(weight);
+        if (v < _min) {
+            _underflow += weight;
+        } else if (v >= _max) {
+            _overflow += weight;
+        } else {
+            auto idx =
+                static_cast<std::size_t>((v - _min) / _bucketSize);
+            if (idx >= _buckets.size())
+                idx = _buckets.size() - 1;
+            _buckets[idx] += weight;
+        }
+    }
 
     double value() const override;  // the mean
     /**

@@ -376,10 +376,14 @@ TEST(CampaignProperty, ExhaustiveDueEqualsAnalyticalExactly)
          c < r.trace.endCycle; ++c) {
         for (std::uint16_t e = 0; e < r.trace.iqEntries; ++e) {
             ++total;
-            const cpu::IncarnationRecord *rec = index.find(e, c);
-            if (rec && rec->issueCycle != cpu::noCycle32 &&
-                c < rec->issueCycle)
-                ++pre;
+            const std::int64_t rec = index.find(e, c);
+            if (rec != ResidencyIndex::noIncarnation) {
+                const std::uint32_t issue =
+                    r.trace.incarnations
+                        .issueCycle[static_cast<std::size_t>(rec)];
+                if (issue != cpu::noCycle32 && c < issue)
+                    ++pre;
+            }
         }
     }
     double exhaustive =

@@ -462,3 +462,144 @@ TEST(Pipeline, RandomProgramsAgreeWithFunctionalExecution)
         checkTraceInvariants(trace);
     }
 }
+
+// --- InstArena round-trip: the SoA packing loses no state ---------
+
+TEST(InstArena, OperandPackingRoundTrips)
+{
+    // Random programs cover every operand shape the generator can
+    // emit (int/fp/pred defs, memory ops, predicated control). The
+    // packed u32 must reproduce the register specifiers and operand
+    // classes of every static instruction exactly.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        isa::Program program = workloads::randomProgram(seed);
+        for (std::size_t i = 0; i < program.size(); ++i) {
+            const isa::StaticInst inst =
+                program.inst(static_cast<std::uint32_t>(i));
+            const std::uint32_t w = packOperands(inst);
+            EXPECT_EQ(opndQp(w), inst.qp()) << "seed " << seed;
+            EXPECT_EQ(opndSrc1(w), inst.src1()) << "seed " << seed;
+            EXPECT_EQ(opndSrc2(w), inst.src2()) << "seed " << seed;
+            EXPECT_EQ(opndSrc1Class(w),
+                      static_cast<std::uint32_t>(
+                          inst.info().src1Class))
+                << "seed " << seed;
+            EXPECT_EQ(opndSrc2Class(w),
+                      static_cast<std::uint32_t>(
+                          inst.info().src2Class))
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(InstArena, RecyclingIsLifoAndResetsTheLivenessPredicate)
+{
+    InstArena arena(4);
+    arena.reserve(8);
+    EXPECT_GE(arena.capacity(), 8u);
+    EXPECT_EQ(arena.live(), 0u);
+
+    // Fill three ids with distinct junk in every column.
+    InstId a = arena.allocate();
+    InstId b = arena.allocate();
+    InstId c = arena.allocate();
+    EXPECT_EQ(arena.live(), 3u);
+    for (InstId id : {a, b, c}) {
+        arena.seq[id] = 100 + id;
+        arena.fetchCycle[id] = 200 + id;
+        arena.enqueueCycle[id] = 300 + id;
+        arena.issueCycle[id] = 400 + id;
+        arena.completeCycle[id] = 500 + id;
+        arena.pc[id] = 600 + id;
+        arena.opnd[id] = 700 + id;
+        arena.iqEntry[id] = static_cast<std::uint16_t>(id);
+        arena.flags[id] = diWrongPath | diQpTrue;
+        EXPECT_TRUE(arena.issued(id));
+    }
+
+    // Squash releases youngest-first; the replay fetch must get the
+    // same ids back in reverse release order (LIFO, cache-warm) with
+    // the liveness predicate — and only that — reset.
+    arena.release(c);
+    arena.release(b);
+    EXPECT_EQ(arena.live(), 1u);
+    InstId b2 = arena.allocate();
+    InstId c2 = arena.allocate();
+    EXPECT_EQ(b2, b);
+    EXPECT_EQ(c2, c);
+    for (InstId id : {b2, c2}) {
+        EXPECT_FALSE(arena.issued(id));
+        EXPECT_EQ(arena.issueCycle[id], invalidCycle);
+    }
+    // The survivor's state is untouched by its neighbors' recycling.
+    EXPECT_EQ(arena.seq[a], 100u + a);
+    EXPECT_EQ(arena.issueCycle[a], 400u + a);
+    EXPECT_TRUE(arena.issued(a));
+
+    arena.release(a);
+    arena.release(b2);
+    arena.release(c2);
+    EXPECT_EQ(arena.live(), 0u);
+    EXPECT_EQ(arena.highWater(), 3u);
+}
+
+TEST(InstArena, SquashReplayLosesNoArchitecturalState)
+{
+    // Heavy trigger squashing recycles arena ids constantly: every
+    // replayed instruction re-lands in ids that just held other
+    // incarnations' fields. If any column or cold-record field
+    // leaked across recycling, the commit stream (staticIdx, qpTrue,
+    // memAddr — all carried through the arena) would diverge from
+    // the functional oracle.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        isa::Program program = workloads::randomProgram(seed);
+        isa::Executor golden(program);
+        ASSERT_EQ(golden.run(2000000), isa::Termination::Halted)
+            << "seed " << seed;
+
+        core::MissTriggerPolicy policy(core::TriggerLevel::L0Miss,
+                                       core::TriggerAction::Squash);
+        InOrderPipeline pipe(program, quietParams());
+        pipe.setExposurePolicy(&policy);
+        SimTrace trace = pipe.run();
+
+        isa::Executor check(program);
+        ASSERT_EQ(trace.commits.size(), golden.steps())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < trace.commits.size(); ++i) {
+            isa::StepInfo si;
+            ASSERT_EQ(check.step(&si), i + 1 == trace.commits.size()
+                                           ? isa::Termination::Halted
+                                           : isa::Termination::Running)
+                << "seed " << seed << " commit " << i;
+            const CommitRecord &cr = trace.commits[i];
+            EXPECT_EQ(cr.staticIdx, si.pc) << "seed " << seed;
+            EXPECT_EQ(cr.qpTrue != 0, si.qpTrue) << "seed " << seed;
+            const std::uint64_t mem =
+                si.qpTrue && si.inst.isMem() &&
+                        !si.inst.isPrefetch()
+                    ? si.memAddr
+                    : 0;
+            EXPECT_EQ(cr.memAddr, mem) << "seed " << seed;
+        }
+        EXPECT_EQ(pipe.archState().output(),
+                  golden.state().output())
+            << "seed " << seed;
+
+        // Replays of one oracle instruction must agree on the static
+        // identity in every incarnation (no pc/staticIdx leakage).
+        std::map<std::uint32_t, std::uint32_t> seq2idx;
+        for (const auto &inc : trace.incarnations) {
+            if (inc.oracleSeq == noSeq32)
+                continue;
+            auto [it, fresh] =
+                seq2idx.emplace(inc.oracleSeq, inc.staticIdx);
+            if (!fresh) {
+                EXPECT_EQ(it->second, inc.staticIdx)
+                    << "seed " << seed << " seq " << inc.oracleSeq;
+            }
+        }
+        trace.program = new isa::Program(program);
+        checkTraceInvariants(trace);
+    }
+}

@@ -58,18 +58,24 @@ TEST(ResidencyIndex, FindsOccupantsByEntryAndCycle)
         halt
     )");
     ResidencyIndex index(r.trace);
-    for (const auto &inc : r.trace.incarnations) {
-        const auto *found =
+    for (std::size_t i = 0; i < r.trace.incarnations.size(); ++i) {
+        const cpu::IncarnationRecord inc = r.trace.incarnations[i];
+        const std::int64_t found =
             index.find(inc.iqEntry, inc.enqueueCycle);
-        ASSERT_NE(found, nullptr);
-        EXPECT_EQ(found->staticIdx, inc.staticIdx);
+        ASSERT_NE(found, ResidencyIndex::noIncarnation);
+        EXPECT_EQ(r.trace
+                      .incarnations[static_cast<std::size_t>(found)]
+                      .staticIdx,
+                  inc.staticIdx);
         // Outside the residency: either empty or someone else.
-        const auto *after = index.find(inc.iqEntry, inc.evictCycle);
-        if (after) {
+        const std::int64_t after =
+            index.find(inc.iqEntry, inc.evictCycle);
+        if (after != ResidencyIndex::noIncarnation) {
             EXPECT_NE(after, found);
         }
     }
-    EXPECT_EQ(index.find(0, 1u << 30), nullptr);
+    EXPECT_EQ(index.find(0, 1u << 30),
+              ResidencyIndex::noIncarnation);
 }
 
 TEST(Injector, IdleEntryIsBenign)

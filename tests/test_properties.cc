@@ -19,6 +19,7 @@
 #include "cpu/pipeline.hh"
 #include "faults/campaign.hh"
 #include "faults/injector.hh"
+#include "isa/encoding.hh"
 #include "isa/executor.hh"
 #include "workloads/profile.hh"
 #include "workloads/random_program.hh"
@@ -238,3 +239,145 @@ INSTANTIATE_TEST_SUITE_P(
     SomeBenchmarks, SquashMonotonicity,
     ::testing::Values("mcf", "ammp", "equake", "gzip", "cc",
                       "swim"));
+
+/**
+ * Reference fold: the production AVF fold (class-summed, unrolled,
+ * and SIMD-batched where the host supports it) must match a naive
+ * per-bit-cycle integration exactly. The reference walks every
+ * incarnation with the table-free classifyIncarnation() and adds
+ * each clipped resident cycle's bit rates one cycle at a time —
+ * no class summing, no rate factoring, no batching — so any
+ * reassociation or clipping bug in the optimized kernels shows up
+ * as a mismatch here.
+ */
+namespace
+{
+
+avf::AvfResult
+referenceFold(const cpu::SimTrace &trace,
+              const avf::DeadnessResult &deadness)
+{
+    avf::AvfResult r;
+    constexpr std::uint64_t bits = isa::encoding::payloadBits;
+    r.windowCycles = trace.endCycle - trace.startCycle;
+    r.totalBitCycles = static_cast<std::uint64_t>(trace.iqEntries) *
+                       bits * r.windowCycles;
+    std::uint64_t occupied = 0;
+    for (const auto &inc : trace.incarnations) {
+        avf::IncarnationClass c =
+            avf::classifyIncarnation(trace, deadness, inc);
+        for (std::uint64_t cy = c.preLo; cy < c.preHi; ++cy) {
+            occupied += bits;
+            if (!c.issued) {
+                r.squashedUnread += bits;
+                continue;
+            }
+            r.ace += c.aceRate;
+            r.aceRefined += c.aceRefinedRate;
+            r.unAceRead[static_cast<int>(c.source)] +=
+                c.unAceReadRate;
+        }
+        for (std::uint64_t cy = c.postLo; cy < c.postHi; ++cy) {
+            occupied += bits;
+            r.exAce += bits;
+        }
+        if (c.issued && c.fddRegExposure && c.preCycles() > 0)
+            r.fddRegExposures.push_back(
+                {c.preCycles() * c.unAceReadRate,
+                 c.overwriteDist});
+    }
+    r.idle = r.totalBitCycles - occupied;
+    return r;
+}
+
+void
+expectFoldsEqual(const avf::AvfResult &got,
+                 const avf::AvfResult &ref, const std::string &tag)
+{
+    EXPECT_EQ(got.windowCycles, ref.windowCycles) << tag;
+    EXPECT_EQ(got.totalBitCycles, ref.totalBitCycles) << tag;
+    EXPECT_EQ(got.idle, ref.idle) << tag;
+    EXPECT_EQ(got.exAce, ref.exAce) << tag;
+    EXPECT_EQ(got.squashedUnread, ref.squashedUnread) << tag;
+    EXPECT_EQ(got.ace, ref.ace) << tag;
+    EXPECT_EQ(got.aceRefined, ref.aceRefined) << tag;
+    for (int s = 0; s < avf::numUnAceSources; ++s) {
+        EXPECT_EQ(got.unAceRead[s], ref.unAceRead[s]) << tag;
+        EXPECT_EQ(got.unAceUnread[s], ref.unAceUnread[s]) << tag;
+    }
+    ASSERT_EQ(got.fddRegExposures.size(),
+              ref.fddRegExposures.size())
+        << tag;
+    for (std::size_t i = 0; i < got.fddRegExposures.size(); ++i) {
+        EXPECT_EQ(got.fddRegExposures[i].bitCycles,
+                  ref.fddRegExposures[i].bitCycles)
+            << tag << " exposure " << i;
+        EXPECT_EQ(got.fddRegExposures[i].overwriteDist,
+                  ref.fddRegExposures[i].overwriteDist)
+            << tag << " exposure " << i;
+    }
+    // The derived AVFs ride on the integer totals; the issue's
+    // acceptance bound is 1e-12 on these.
+    EXPECT_NEAR(got.sdcAvf(), ref.sdcAvf(), 1e-12) << tag;
+    EXPECT_NEAR(got.sdcAvfRefined(), ref.sdcAvfRefined(), 1e-12)
+        << tag;
+    EXPECT_NEAR(got.dueAvf(), ref.dueAvf(), 1e-12) << tag;
+    EXPECT_NEAR(got.falseDueAvf(), ref.falseDueAvf(), 1e-12) << tag;
+    EXPECT_NEAR(got.idleFraction(), ref.idleFraction(), 1e-12)
+        << tag;
+    EXPECT_NEAR(got.exAceFraction(), ref.exAceFraction(), 1e-12)
+        << tag;
+}
+
+} // namespace
+
+/** Every surrogate, two window shapes: the optimized fold equals
+ * the naive per-bit-cycle reference. The warmup variant puts the
+ * window start mid-run so residencies straddle the boundary and the
+ * batched kernel's clipping fallback is exercised. */
+class ReferenceFold : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ReferenceFold, OptimizedFoldMatchesNaivePerBitCycleFold)
+{
+    isa::Program program =
+        workloads::buildBenchmark(GetParam(), 12000);
+
+    cpu::PipelineParams params;
+    params.maxInsts = 40000;
+    auto policy = core::makeTriggerPolicy("l0", "squash");
+
+    // Whole-window trace, with squashing for class variety.
+    {
+        cpu::InOrderPipeline pipe(program, params);
+        pipe.setExposurePolicy(policy.get());
+        cpu::SimTrace trace = pipe.run();
+        trace.program = &program;
+        avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+        expectFoldsEqual(avf::computeAvf(trace, dead),
+                         referenceFold(trace, dead),
+                         GetParam() + "/whole");
+    }
+
+    // Warmup window: startCycle > 0 exercises the clip path.
+    {
+        cpu::InOrderPipeline pipe(program, params);
+        pipe.setExposurePolicy(policy.get());
+        pipe.setWarmupInsts(3000);
+        cpu::SimTrace trace = pipe.run();
+        trace.program = &program;
+        ASSERT_GT(trace.startCycle, 0u) << GetParam();
+        avf::DeadnessResult dead = avf::analyzeDeadness(trace);
+        expectFoldsEqual(avf::computeAvf(trace, dead),
+                         referenceFold(trace, dead),
+                         GetParam() + "/warmup");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ReferenceFold,
+    ::testing::ValuesIn(workloads::suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });

@@ -1,12 +1,12 @@
 /**
  * @file
- * The PR's two allocation-path changes, tested together: the
- * slab-backed DynInst pool (cpu/dyn_inst_pool.hh) and the memoized
- * run cache (harness/run_cache.hh).
+ * The allocation-path layers, tested together: the SoA instruction
+ * arena (cpu/inst_arena.hh) and the memoized run cache
+ * (harness/run_cache.hh).
  *
- * Pool: LIFO recycling, the high-water mark, and — through a real
- * squash-heavy pipeline run — that the in-flight population never
- * outgrows the architecturally reserved bound, so steady state
+ * Arena: LIFO id recycling, the high-water mark, and — through a
+ * real squash-heavy pipeline run — that the in-flight population
+ * never outgrows the architecturally reserved bound, so steady state
  * allocates nothing.
  *
  * Cache: content-addressed keys (equal-content programs share, any
@@ -20,7 +20,7 @@
 #include <memory>
 
 #include "core/trigger.hh"
-#include "cpu/dyn_inst_pool.hh"
+#include "cpu/inst_arena.hh"
 #include "cpu/pipeline.hh"
 #include "harness/experiment.hh"
 #include "harness/run_cache.hh"
@@ -30,60 +30,67 @@
 using namespace ser;
 
 // ---------------------------------------------------------------
-// DynInstPool
+// InstArena
 
-TEST(DynInstPool, LifoRecyclingAndHighWater)
+TEST(InstArena, LifoRecyclingAndHighWater)
 {
-    cpu::DynInstPool pool(4);
-    EXPECT_EQ(pool.capacity(), 0u);
+    cpu::InstArena arena(4);
+    EXPECT_EQ(arena.capacity(), 0u);
 
-    cpu::DynInst *a = pool.allocate();
-    cpu::DynInst *b = pool.allocate();
+    cpu::InstId a = arena.allocate();
+    cpu::InstId b = arena.allocate();
     EXPECT_NE(a, b);
-    EXPECT_EQ(pool.live(), 2u);
-    EXPECT_EQ(pool.highWater(), 2u);
-    EXPECT_EQ(pool.capacity(), 4u);  // one slab
+    EXPECT_EQ(arena.live(), 2u);
+    EXPECT_EQ(arena.highWater(), 2u);
+    EXPECT_EQ(arena.capacity(), 4u);  // one slab
 
     // LIFO: the next allocation reuses the most recent release.
-    pool.release(b);
-    EXPECT_EQ(pool.live(), 1u);
-    cpu::DynInst *c = pool.allocate();
+    arena.release(b);
+    EXPECT_EQ(arena.live(), 1u);
+    cpu::InstId c = arena.allocate();
     EXPECT_EQ(c, b);
 
-    // The slot comes back reset to a default-constructed DynInst.
-    c->seq = 1234;
-    pool.release(c);
-    cpu::DynInst *d = pool.allocate();
+    // The id comes back with only the liveness column (issueCycle)
+    // reset; every other column is deliberately left stale — the
+    // fetch path overwrites them before any stage reads them (see
+    // allocate()'s contract), so the arena does not pay to clear
+    // them on every recycle.
+    arena.seq[c] = 1234;
+    arena.issueCycle[c] = 77;
+    arena.flags[c] = cpu::diWrongPath;
+    arena.release(c);
+    cpu::InstId d = arena.allocate();
     ASSERT_EQ(d, c);
-    EXPECT_EQ(d->seq, cpu::DynInst{}.seq);
+    EXPECT_EQ(arena.issueCycle[d], cpu::invalidCycle);
+    EXPECT_EQ(arena.seq[d], 1234u);  // stale by contract
 
-    pool.release(a);
-    pool.release(d);
-    EXPECT_EQ(pool.live(), 0u);
-    EXPECT_EQ(pool.highWater(), 2u);  // the mark survives releases
+    arena.release(a);
+    arena.release(d);
+    EXPECT_EQ(arena.live(), 0u);
+    EXPECT_EQ(arena.highWater(), 2u);  // the mark survives releases
 }
 
-TEST(DynInstPool, ReserveCoversAllocationsWithoutGrowth)
+TEST(InstArena, ReserveCoversAllocationsWithoutGrowth)
 {
-    cpu::DynInstPool pool(4);
-    pool.reserve(100);
-    EXPECT_EQ(pool.capacity(), 100u);
-    pool.reserve(50);  // already covered: no-op
-    EXPECT_EQ(pool.capacity(), 100u);
+    cpu::InstArena arena(4);
+    arena.reserve(100);
+    EXPECT_EQ(arena.capacity(), 100u);
+    arena.reserve(50);  // already covered: no-op
+    EXPECT_EQ(arena.capacity(), 100u);
 
-    std::vector<cpu::DynInst *> taken;
+    std::vector<cpu::InstId> taken;
     for (int i = 0; i < 100; ++i)
-        taken.push_back(pool.allocate());
-    EXPECT_EQ(pool.capacity(), 100u);  // no slab was added
-    EXPECT_EQ(pool.highWater(), 100u);
-    cpu::DynInst *extra = pool.allocate();  // 101st grows by a slab
-    EXPECT_GT(pool.capacity(), 100u);
-    pool.release(extra);
-    for (cpu::DynInst *p : taken)
-        pool.release(p);
+        taken.push_back(arena.allocate());
+    EXPECT_EQ(arena.capacity(), 100u);  // no slab was added
+    EXPECT_EQ(arena.highWater(), 100u);
+    cpu::InstId extra = arena.allocate();  // 101st grows by a slab
+    EXPECT_GT(arena.capacity(), 100u);
+    arena.release(extra);
+    for (cpu::InstId id : taken)
+        arena.release(id);
 }
 
-TEST(DynInstPool, PipelineRecyclesAcrossSquashes)
+TEST(InstArena, PipelineRecyclesAcrossSquashes)
 {
     // A squash-heavy run (loads wander a large array, L0-miss
     // trigger) fetches the same in-flight window over and over —
