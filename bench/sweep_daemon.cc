@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The persistent sweep daemon: a long-lived process that answers
+ * repeat sweep queries from the run cache's memory and disk tiers
+ * in well under a millisecond instead of re-simulating.
+ *
+ * It is the thin composition of three PR-sized pieces:
+ *
+ *   - the TelemetryServer poll loop (--serve PORT) carries the HTTP
+ *     surface (/metrics /status /runs ... plus the mounted routes),
+ *   - the SweepService (harness/sweep_service.hh) mounts POST /sweep
+ *     and GET /sweep[/N] on it,
+ *   - the RunCache with --cache-dir arms the persistent tier, so the
+ *     daemon's warm set survives restarts and is shared with every
+ *     batch bench pointed at the same directory.
+ *
+ * Usage:
+ *
+ *   sweep_daemon --serve 8080 --cache-dir /var/tmp/ser-cache \
+ *                [--jobs N] [--metrics-out F]
+ *
+ *   curl -d '{"benchmark":"mcf","insts":200000}' \
+ *        http://127.0.0.1:8080/sweep
+ *       -> 202 {"id":1,"state":"pending",...}   (cold: scheduled)
+ *       -> 200 {"id":2,"state":"done","warm":true,"result":{...}}
+ *                                               (warm: answered)
+ *   curl http://127.0.0.1:8080/sweep/1          (poll the ticket)
+ *
+ * Cold queries run on --jobs pool workers; SIGINT/SIGTERM shuts the
+ * daemon down cleanly. EXPERIMENTS.md has a full walkthrough.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "harness/bench_options.hh"
+#include "harness/sweep_service.hh"
+#include "harness/telemetry_server.hh"
+#include "sim/logging.hh"
+
+using namespace ser;
+
+int
+main(int argc, char **argv)
+{
+    // Block the shutdown signals before any thread exists, so the
+    // poll loop and the pool workers inherit the mask and only the
+    // sigwait below ever sees them. (installShutdownFlush, armed by
+    // --metrics-out, waits on the same set; whichever waiter wins
+    // terminates the process after flushing — both paths are clean.)
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    harness::BenchOptions opts = harness::BenchOptions::parse(
+        argc, argv,
+        "--serve PORT --cache-dir DIR [--jobs N]   "
+        "(persistent sweep daemon; POST /sweep, GET /sweep/<id>)");
+    if (opts.servePort < 0)
+        SER_FATAL("{}: the daemon needs --serve PORT (0 picks an "
+                  "ephemeral port)", argv[0]);
+    if (opts.cacheDir.empty())
+        SER_WARN("no --cache-dir / SER_CACHE_DIR: the warm set "
+                 "will not survive this process");
+
+    harness::TelemetryServer &server =
+        harness::TelemetryServer::instance();
+    harness::SweepService service(opts.jobs);
+    service.mountOn(server);
+    std::cerr << "info: sweep daemon: POST http://127.0.0.1:"
+              << server.port() << "/sweep ("
+              << (opts.jobs ? opts.jobs : 1)
+              << " worker(s); Ctrl-C to stop)\n";
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::cerr << "info: sweep daemon: caught "
+              << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+              << ", shutting down\n";
+    server.stop();
+    return 0;
+}

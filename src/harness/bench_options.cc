@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/cache_codec.hh"
+#include "harness/disk_cache.hh"
 #include "harness/metrics.hh"
 #include "harness/progress.hh"
 #include "harness/run_cache.hh"
@@ -49,6 +51,12 @@ printUsage(const char *argv0, const std::string &usage)
                  "(re-simulate every sweep point;\n"
                  "                   output is byte-identical either "
                  "way)\n"
+              << "  --cache-dir DIR  persistent disk tier for the "
+                 "run cache (or SER_CACHE_DIR):\n"
+                 "                   artifact blobs under DIR survive "
+                 "the process, so repeated\n"
+                 "                   sweeps skip simulation; output "
+                 "is byte-identical cold or warm\n"
               << "  --no-cycle-skip  disable idle-cycle fast-forward "
                  "in the timing pipeline\n"
                  "                   (tick every cycle; output is "
@@ -174,6 +182,12 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
         } else if (token == "--no-run-cache") {
             opts.runCache = false;
             RunCache::instance().setEnabled(false);
+        } else if (token == "--cache-dir" ||
+                   token.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir =
+                optionValue(argc, argv, i, "--cache-dir", token);
+            if (opts.cacheDir.empty())
+                SER_FATAL("{}: --cache-dir needs a path", argv[0]);
         } else if (token == "--no-cycle-skip") {
             opts.cycleSkip = false;
             cpu::setDefaultCycleSkip(false);
@@ -231,6 +245,16 @@ BenchOptions::parse(int argc, char **argv, const std::string &usage)
     // decides (default: serial).
     if (!jobs_given)
         opts.jobs = defaultJobs();
+    // Without an explicit --cache-dir, SER_CACHE_DIR decides
+    // (default: no disk tier).
+    if (opts.cacheDir.empty()) {
+        const char *env = std::getenv("SER_CACHE_DIR");
+        if (env && *env)
+            opts.cacheDir = env;
+    }
+    if (!opts.cacheDir.empty())
+        DiskCache::instance().setDirectory(opts.cacheDir,
+                                           codec::kSchemaVersion);
     // The interval series is only ever written next to a manifest;
     // sampling without one silently produced nothing before.
     if (opts.intervalCycles && opts.jsonPath.empty())

@@ -22,6 +22,11 @@
  *   --no-run-cache   disable the memoized run cache (sweep points
  *                    re-simulate instead of sharing artifacts;
  *                    output is byte-identical either way)
+ *   --cache-dir DIR  persistent disk tier for the run cache (same
+ *                    as SER_CACHE_DIR): content-addressed artifact
+ *                    blobs under DIR survive the process, so a
+ *                    repeated sweep skips simulation entirely;
+ *                    output is byte-identical cold or warm
  *   --no-cycle-skip  disable event-driven idle-cycle fast-forward
  *                    in the timing pipeline (tick every cycle;
  *                    output is byte-identical either way)
@@ -85,6 +90,11 @@ struct BenchOptions
     /** False after --no-run-cache (parse() also flips the
      * process-wide harness::RunCache switch). */
     bool runCache = true;
+
+    /** --cache-dir DIR, else SER_CACHE_DIR, else empty = no disk
+     * tier. parse() points the process-wide harness::DiskCache at
+     * it, so warm artifacts persist across processes. */
+    std::string cacheDir;
 
     /** False after --no-cycle-skip (parse() also flips the
      * process-wide cpu::PipelineParams default, which is how the

@@ -1,0 +1,282 @@
+#include "disk_cache.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "sim/crc64.hh"
+
+namespace ser
+{
+namespace harness
+{
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'E', 'R', 'B'};
+constexpr std::size_t kHeaderBytes = 32;
+
+struct BlobHeader
+{
+    char magic[4];
+    std::uint32_t formatVersion;
+    std::uint32_t schemaVersion;
+    std::uint32_t keyLen;
+    std::uint64_t payloadLen;
+    std::uint64_t crc;
+};
+static_assert(sizeof(BlobHeader) == kHeaderBytes,
+              "blob header layout drifted");
+
+struct State
+{
+    mutable std::mutex lock;
+    std::string dir;
+    std::uint32_t schemaVersion = 0;
+    std::atomic<std::uint64_t> tempSeq{0};
+};
+
+State &
+state()
+{
+    // Leaked like RunCache::instance(): atexit snapshots may read
+    // after main returns.
+    static State *s = new State;
+    return *s;
+}
+
+bool
+makeDir(const std::string &path)
+{
+    return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+std::string
+hexKeyHash(const std::string &key)
+{
+    std::uint64_t h = crc64(0, key.data(), key.size());
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+void
+quarantine(const std::string &path)
+{
+    // Preserved for inspection; a second corrupt blob at the same
+    // path just replaces the first quarantine.
+    ::rename(path.c_str(), (path + ".quarantine").c_str());
+}
+
+} // namespace
+
+DiskCache &
+DiskCache::instance()
+{
+    static DiskCache *cache = new DiskCache;
+    return *cache;
+}
+
+void
+DiskCache::setDirectory(const std::string &dir,
+                        std::uint32_t schema_version)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> guard(s.lock);
+    s.dir = dir;
+    s.schemaVersion = schema_version;
+    if (!dir.empty())
+        makeDir(dir);
+}
+
+bool
+DiskCache::enabled() const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> guard(s.lock);
+    return !s.dir.empty();
+}
+
+std::string
+DiskCache::directory() const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> guard(s.lock);
+    return s.dir;
+}
+
+std::string
+DiskCache::blobPath(const std::string &section,
+                    const std::string &key) const
+{
+    State &s = state();
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> guard(s.lock);
+        dir = s.dir;
+    }
+    return dir + "/" + section + "/" + hexKeyHash(key) + ".blob";
+}
+
+DiskCache::LoadResult
+DiskCache::load(
+    const std::string &section, const std::string &key,
+    const std::function<bool(const void *, std::size_t)> &decode)
+{
+    State &s = state();
+    std::string dir;
+    std::uint32_t schemaVersion;
+    {
+        std::lock_guard<std::mutex> guard(s.lock);
+        dir = s.dir;
+        schemaVersion = s.schemaVersion;
+    }
+    if (dir.empty())
+        return {LoadStatus::Disabled, 0};
+
+    std::string path =
+        dir + "/" + section + "/" + hexKeyHash(key) + ".blob";
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return {LoadStatus::NoEntry, 0};
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < kHeaderBytes)
+    {
+        ::close(fd);
+        quarantine(path);
+        return {LoadStatus::Corrupt, 0};
+    }
+    std::size_t size = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return {LoadStatus::NoEntry, 0};
+
+    const unsigned char *bytes =
+        static_cast<const unsigned char *>(map);
+    BlobHeader header;
+    std::memcpy(&header, bytes, kHeaderBytes);
+
+    LoadResult result{LoadStatus::Corrupt, 0};
+    if (std::memcmp(header.magic, kMagic, 4) != 0) {
+        // Not one of ours at all: corrupt.
+    } else if (header.formatVersion != kFormatVersion ||
+               header.schemaVersion != schemaVersion)
+    {
+        result.status = LoadStatus::Stale;
+    } else if (header.keyLen != key.size() ||
+               header.keyLen > size - kHeaderBytes ||
+               header.payloadLen !=
+                   size - kHeaderBytes - header.keyLen)
+    {
+        // Framing disagrees with the file size: truncated or
+        // garbled. (keyLen mismatch with intact framing would be a
+        // filename collision, but that is indistinguishable from
+        // corruption without the framing holding up, so the
+        // byte-compare below handles the collision case.)
+    } else if (std::memcmp(bytes + kHeaderBytes, key.data(),
+                           key.size()) != 0)
+    {
+        result.status = LoadStatus::NoEntry;  // bucket collision
+    } else {
+        const unsigned char *payload =
+            bytes + kHeaderBytes + header.keyLen;
+        std::uint64_t crc = crc64(0, bytes + kHeaderBytes,
+                                  header.keyLen);
+        crc = crc64(crc, payload, header.payloadLen);
+        if (crc == header.crc &&
+            decode(payload,
+                   static_cast<std::size_t>(header.payloadLen)))
+        {
+            result = {LoadStatus::Ok, header.payloadLen};
+        }
+    }
+
+    ::munmap(map, size);
+    if (result.status == LoadStatus::Corrupt)
+        quarantine(path);
+    return result;
+}
+
+std::uint64_t
+DiskCache::store(const std::string &section, const std::string &key,
+                 const std::string &payload)
+{
+    State &s = state();
+    std::string dir;
+    std::uint32_t schemaVersion;
+    {
+        std::lock_guard<std::mutex> guard(s.lock);
+        dir = s.dir;
+        schemaVersion = s.schemaVersion;
+    }
+    if (dir.empty())
+        return 0;
+
+    std::string sectionDir = dir + "/" + section;
+    if (!makeDir(sectionDir))
+        return 0;
+
+    BlobHeader header;
+    std::memcpy(header.magic, kMagic, 4);
+    header.formatVersion = kFormatVersion;
+    header.schemaVersion = schemaVersion;
+    header.keyLen = static_cast<std::uint32_t>(key.size());
+    header.payloadLen = payload.size();
+    std::uint64_t crc = crc64(0, key.data(), key.size());
+    header.crc = crc64(crc, payload.data(), payload.size());
+
+    // Temp name unique across processes (pid) and threads (seq);
+    // same-directory so the rename is atomic on every filesystem.
+    char temp[64];
+    std::snprintf(temp, sizeof(temp), ".tmp.%ld.%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      s.tempSeq.fetch_add(1)));
+    std::string tempPath = sectionDir + "/" + temp;
+    int fd = ::open(tempPath.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        return 0;
+
+    auto writeAll = [fd](const void *data, std::size_t len) {
+        const char *p = static_cast<const char *>(data);
+        while (len) {
+            ssize_t n = ::write(fd, p, len);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += n;
+            len -= static_cast<std::size_t>(n);
+        }
+        return true;
+    };
+
+    bool ok = writeAll(&header, kHeaderBytes) &&
+              writeAll(key.data(), key.size()) &&
+              writeAll(payload.data(), payload.size());
+    ok = (::close(fd) == 0) && ok;
+    std::string path =
+        sectionDir + "/" + hexKeyHash(key) + ".blob";
+    if (!ok || ::rename(tempPath.c_str(), path.c_str()) != 0) {
+        ::unlink(tempPath.c_str());
+        return 0;
+    }
+    return kHeaderBytes + key.size() + payload.size();
+}
+
+} // namespace harness
+} // namespace ser

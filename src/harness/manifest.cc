@@ -6,6 +6,7 @@
 
 #include "core/tracking.hh"
 #include "harness/build_info.hh"
+#include "harness/disk_cache.hh"
 #include "harness/run_cache.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
@@ -377,14 +378,19 @@ JsonReport::write(const std::string &path) const
         jw.key("run_cache");
         jw.beginObject();
         jw.kv("enabled", cache.enabled());
+        jw.kv("disk_enabled", DiskCache::instance().enabled());
         auto section = [&jw](const char *name,
                              const RunCache::Counters &c) {
             jw.key(name);
             jw.beginObject();
             jw.kv("hits", c.hits);
+            jw.kv("disk_hits", c.diskHits);
             jw.kv("misses", c.misses);
             jw.kv("evictions", c.evictions);
             jw.kv("bytes", c.bytes);
+            jw.kv("disk_bytes_read", c.diskBytesRead);
+            jw.kv("disk_bytes_written", c.diskBytesWritten);
+            jw.kv("disk_corrupt", c.diskCorrupt);
             jw.endObject();
         };
         section("sim", cache.simCounters());

@@ -248,6 +248,7 @@ MetricsRegistry::collectProcessMetrics()
         {"sim", cache.simCounters()},
         {"deadness", cache.deadnessCounters()},
         {"avf", cache.avfCounters()},
+        {"campaign", cache.campaignCounters()},
     };
     std::lock_guard<std::mutex> guard(_lock);
 
@@ -265,8 +266,12 @@ MetricsRegistry::collectProcessMetrics()
 
     for (const SectionStats &s : sections) {
         upsert("ser_run_cache_hits_total", Kind::Counter,
-               "Run-cache lookups answered from cache.", "section",
-               s.name).uvalue = s.counters.hits;
+               "Run-cache lookups answered from the in-process "
+               "map.", "section", s.name).uvalue = s.counters.hits;
+        upsert("ser_run_cache_disk_hits_total", Kind::Counter,
+               "Run-cache lookups answered from the persistent "
+               "disk tier.", "section",
+               s.name).uvalue = s.counters.diskHits;
         upsert("ser_run_cache_misses_total", Kind::Counter,
                "Run-cache lookups that computed.", "section",
                s.name).uvalue = s.counters.misses;
@@ -277,6 +282,17 @@ MetricsRegistry::collectProcessMetrics()
                "Approximate bytes retained per cache section.",
                "section", s.name).dvalue =
             static_cast<double>(s.counters.bytes);
+        upsert("ser_run_cache_disk_read_bytes_total", Kind::Counter,
+               "Blob payload bytes deserialized on disk hits.",
+               "section", s.name).uvalue = s.counters.diskBytesRead;
+        upsert("ser_run_cache_disk_written_bytes_total",
+               Kind::Counter,
+               "Blob bytes published to the disk tier.", "section",
+               s.name).uvalue = s.counters.diskBytesWritten;
+        upsert("ser_run_cache_disk_corrupt_total", Kind::Counter,
+               "Blobs rejected by integrity checks and "
+               "quarantined.", "section",
+               s.name).uvalue = s.counters.diskCorrupt;
     }
 
     // The prof layer: counters (already name-sorted) and the

@@ -2,12 +2,64 @@
 
 #include <sstream>
 
+#include "harness/cache_codec.hh"
+#include "harness/disk_cache.hh"
 #include "harness/experiment.hh"
 
 namespace ser
 {
 namespace harness
 {
+namespace
+{
+
+// Per-type dispatch into the cache codec, so the one get<T> template
+// can serve the disk tier for every section.
+std::string
+encodeValue(const SimProducts &v)
+{
+    return codec::encodeSimProducts(v);
+}
+std::string
+encodeValue(const avf::DeadnessResult &v)
+{
+    return codec::encodeDeadness(v);
+}
+std::string
+encodeValue(const avf::AvfResult &v)
+{
+    return codec::encodeAvf(v);
+}
+std::string
+encodeValue(const faults::CampaignOutcome &v)
+{
+    return codec::encodeCampaign(v);
+}
+
+bool
+decodeValue(const void *data, std::size_t len, SimProducts *out)
+{
+    return codec::decodeSimProducts(data, len, out);
+}
+bool
+decodeValue(const void *data, std::size_t len,
+            avf::DeadnessResult *out)
+{
+    return codec::decodeDeadness(data, len, out);
+}
+bool
+decodeValue(const void *data, std::size_t len, avf::AvfResult *out)
+{
+    return codec::decodeAvf(data, len, out);
+}
+bool
+decodeValue(const void *data, std::size_t len,
+            faults::CampaignOutcome *out)
+{
+    return codec::decodeCampaign(data, len, out);
+}
+
+} // namespace
 
 const char *
 cacheOutcomeName(CacheOutcome outcome)
@@ -16,8 +68,17 @@ cacheOutcomeName(CacheOutcome outcome)
       case CacheOutcome::Off: return "off";
       case CacheOutcome::Miss: return "miss";
       case CacheOutcome::Hit: return "hit";
+      case CacheOutcome::DiskHit: return "disk_hit";
     }
     return "off";
+}
+
+RunCache::RunCache()
+{
+    _sim.name = "sim";
+    _deadness.name = "deadness";
+    _avf.name = "avf";
+    _campaign.name = "campaign";
 }
 
 RunCache &
@@ -55,19 +116,21 @@ RunCache::get(Section &section, const std::string &key,
               CacheOutcome *outcome)
 {
     std::shared_ptr<Entry> entry;
-    bool hit;
+    bool mapHit;
     {
         std::lock_guard<std::mutex> guard(section.lock);
         auto it = section.map.find(key);
-        hit = it != section.map.end();
-        if (hit) {
+        mapHit = it != section.map.end();
+        if (mapHit) {
             entry = it->second;
             ++section.counters.hits;
         } else {
+            // Inserted now; whether this is a disk hit or a full
+            // miss is decided inside the once-lambda below, which
+            // also owns the miss/diskHits counter increment.
             entry = std::make_shared<Entry>();
             section.map.emplace(key, entry);
             section.fifo.push_back(key);
-            ++section.counters.misses;
             std::size_t capacity = _capacity.load();
             if (capacity && section.map.size() > capacity) {
                 // FIFO: the front is strictly older than the entry
@@ -79,16 +142,56 @@ RunCache::get(Section &section, const std::string &key,
             }
         }
     }
-    if (outcome)
-        *outcome = hit ? CacheOutcome::Hit : CacheOutcome::Miss;
-    // Compute outside the section lock: concurrent misses on
+    // Resolve outside the section lock: concurrent misses on
     // *different* keys overlap; racers on the same key block here
     // and share the first thread's result.
     std::call_once(entry->once, [&] {
-        auto value = std::make_shared<T>(compute());
+        DiskCache &disk = DiskCache::instance();
+        std::shared_ptr<T> value;
+        CacheOutcome source = CacheOutcome::Miss;
+        if (disk.enabled()) {
+            auto candidate = std::make_shared<T>();
+            DiskCache::LoadResult loaded = disk.load(
+                section.name, key,
+                [&](const void *data, std::size_t len) {
+                    return decodeValue(data, len, candidate.get());
+                });
+            if (loaded.status == DiskCache::LoadStatus::Ok) {
+                value = std::move(candidate);
+                source = CacheOutcome::DiskHit;
+                std::lock_guard<std::mutex> guard(section.lock);
+                ++section.counters.diskHits;
+                section.counters.diskBytesRead +=
+                    loaded.payloadBytes;
+            } else if (loaded.status ==
+                       DiskCache::LoadStatus::Corrupt)
+            {
+                std::lock_guard<std::mutex> guard(section.lock);
+                ++section.counters.diskCorrupt;
+            }
+        }
+        if (!value) {
+            value = std::make_shared<T>(compute());
+            {
+                std::lock_guard<std::mutex> guard(section.lock);
+                ++section.counters.misses;
+            }
+            if (disk.enabled()) {
+                std::uint64_t written = disk.store(
+                    section.name, key, encodeValue(*value));
+                std::lock_guard<std::mutex> guard(section.lock);
+                section.counters.diskBytesWritten += written;
+            }
+        }
         entry->bytes.store(approxBytes(*value));
         entry->value = std::move(value);
+        entry->source.store(static_cast<int>(source));
     });
+    if (outcome) {
+        *outcome = mapHit ? CacheOutcome::Hit
+                          : static_cast<CacheOutcome>(
+                                entry->source.load());
+    }
     return std::static_pointer_cast<const T>(entry->value);
 }
 
@@ -98,6 +201,18 @@ RunCache::getSim(const std::string &key,
                  CacheOutcome *outcome)
 {
     return get<SimProducts>(_sim, key, compute, outcome);
+}
+
+bool
+RunCache::hasSim(const std::string &key) const
+{
+    std::lock_guard<std::mutex> guard(_sim.lock);
+    auto it = _sim.map.find(key);
+    // source is stored (seq_cst) after the once-lambda publishes the
+    // value, so a nonzero source means the entry is fully resolved.
+    return it != _sim.map.end() &&
+           it->second->source.load() !=
+               static_cast<int>(CacheOutcome::Off);
 }
 
 std::shared_ptr<const avf::DeadnessResult>
@@ -240,6 +355,14 @@ RunCache::simKey(const isa::Program &program,
                  const ExperimentConfig &config,
                  const cpu::PipelineParams &p)
 {
+    return simKey(programHash(program), config, p);
+}
+
+std::string
+RunCache::simKey(std::uint64_t program_hash,
+                 const ExperimentConfig &config,
+                 const cpu::PipelineParams &p)
+{
     const memory::HierarchyParams &m = p.hierarchy;
     auto cache = [](std::ostringstream &os,
                     const memory::CacheParams &c) {
@@ -247,7 +370,7 @@ RunCache::simKey(const isa::Program &program,
            << ',' << c.hitLatency;
     };
     std::ostringstream os;
-    os << std::hex << programHash(program) << std::dec
+    os << std::hex << program_hash << std::dec
        << "|warmup=" << config.warmupInsts
        << "|trigger=" << config.triggerLevel << '/'
        << config.triggerAction

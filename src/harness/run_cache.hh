@@ -32,6 +32,14 @@
  * per-section capacity (default unlimited — a full suite sweep is
  * tens of MB per benchmark, freed when the process exits).
  *
+ * Persistent tier: with `--cache-dir DIR` (or SER_CACHE_DIR), a miss
+ * in the process-local map falls through to the content-addressed
+ * blob store (harness/disk_cache.hh) before computing, and every
+ * computed value is published back. Warm re-runs of an identical
+ * sweep then skip simulation entirely across *processes* — the tier
+ * the sweep daemon answers repeat queries from. Outputs are
+ * byte-identical with the tier cold, warm, or absent.
+ *
  * Escape hatch: `--no-run-cache` (BenchOptions) disables the cache
  * process-wide; outputs are byte-identical either way, which
  * tests/check_determinism.cc enforces.
@@ -67,12 +75,15 @@ struct ExperimentConfig;
 
 /** How one cache section answered for one run (manifest
  * observability; "off" covers --no-run-cache and trace-event runs,
- * which need a live pipeline). */
+ * which need a live pipeline). "disk_hit" means the process-local
+ * map missed but the persistent tier (--cache-dir) supplied the
+ * value; subsequent lookups in the same process are plain hits. */
 enum class CacheOutcome
 {
     Off,
     Miss,
     Hit,
+    DiskHit,
 };
 
 const char *cacheOutcomeName(CacheOutcome outcome);
@@ -119,7 +130,13 @@ class RunCache
 
     struct Counters
     {
+        /** Memory-tier hits: the key was already in the process-
+         * local map. */
         std::uint64_t hits = 0;
+        /** Disk-tier hits: the map missed but a verified blob under
+         * --cache-dir supplied the value. */
+        std::uint64_t diskHits = 0;
+        /** Full misses: computed fresh (neither tier answered). */
         std::uint64_t misses = 0;
         /** Entries dropped by the FIFO capacity bound (0 with the
          * default unlimited capacity; deterministic regardless —
@@ -129,6 +146,13 @@ class RunCache
          * the section (summed at query time, so it reflects
          * evictions). */
         std::uint64_t bytes = 0;
+        /** Disk-tier traffic: blob payload bytes deserialized on
+         * disk hits / full blob bytes published on misses. */
+        std::uint64_t diskBytesRead = 0;
+        std::uint64_t diskBytesWritten = 0;
+        /** Blobs rejected by the integrity checks (CRC/framing/
+         * decode) and quarantined; each also counts as a miss. */
+        std::uint64_t diskCorrupt = 0;
     };
 
     Counters simCounters() const;
@@ -140,6 +164,12 @@ class RunCache
     getSim(const std::string &key,
            const std::function<SimProducts()> &compute,
            CacheOutcome *outcome = nullptr);
+
+    /** Warm probe: true when the sim section's map already holds a
+     * *resolved* entry for 'key' (the sweep daemon answers such
+     * queries inline instead of scheduling them). Never blocks on an
+     * in-flight computation. */
+    bool hasSim(const std::string &key) const;
 
     std::shared_ptr<const avf::DeadnessResult>
     getDeadness(const std::string &key,
@@ -175,6 +205,16 @@ class RunCache
                               const cpu::PipelineParams &
                                   effective_params);
 
+    /** Same key from a precomputed programHash(): lets a caller that
+     * probes many configs of one program (the sweep daemon) hash the
+     * program image once instead of per request — the hash walks
+     * every data initialiser, which for large-working-set surrogates
+     * is millions of entries. */
+    static std::string simKey(std::uint64_t program_hash,
+                              const ExperimentConfig &config,
+                              const cpu::PipelineParams &
+                                  effective_params);
+
     /** Deadness is a pure function of the trace; options is reserved
      * for future analysis variants. */
     static std::string deadnessKey(const std::string &sim_key,
@@ -199,17 +239,23 @@ class RunCache
          * thread; atomic so counters() can read it without joining
          * the once_flag. */
         std::atomic<std::uint64_t> bytes{0};
+        /** How the once-lambda resolved the value (a CacheOutcome:
+         * DiskHit or Miss), so the inserting thread can report the
+         * true source even if a racer ran the lambda. */
+        std::atomic<int> source{0};
     };
 
     struct Section
     {
+        /** Disk-tier subdirectory name ("sim", "deadness", ...). */
+        const char *name = "";
         mutable std::mutex lock;
         std::unordered_map<std::string, std::shared_ptr<Entry>> map;
         std::deque<std::string> fifo;
         Counters counters;
     };
 
-    RunCache() = default;
+    RunCache();
 
     template <typename T>
     std::shared_ptr<const T> get(Section &section,

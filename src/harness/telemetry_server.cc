@@ -1,5 +1,6 @@
 #include "telemetry_server.hh"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -191,13 +192,23 @@ TelemetryServer::loop()
                 if (n > 0) {
                     conn.buffer.append(buf,
                                        static_cast<std::size_t>(n));
-                    if (conn.buffer.size() > maxHeaderBytes) {
-                        // Oversized header: drop silently.
+                    bool headComplete =
+                        conn.buffer.find("\r\n\r\n") !=
+                            std::string::npos ||
+                        conn.buffer.find("\n\n") !=
+                            std::string::npos;
+                    if ((!headComplete &&
+                         conn.buffer.size() > maxHeaderBytes) ||
+                        conn.buffer.size() >
+                            maxHeaderBytes + maxBodyBytes)
+                    {
+                        // Oversized header/body: drop silently.
                         close_it = true;
                     } else {
-                        std::string method, target;
+                        std::string method, target, body;
                         int parsed = parseRequest(conn.buffer,
-                                                  &method, &target);
+                                                  &method, &target,
+                                                  &body);
                         if (parsed != 0) {
                             Response response =
                                 parsed < 0
@@ -205,7 +216,7 @@ TelemetryServer::loop()
                                                "text/plain; "
                                                "charset=utf-8",
                                                "bad request\n"}
-                                    : handle(method, target);
+                                    : handle(method, target, body);
                             sendResponse(conn.fd, response);
                             close_it = true;
                         }
@@ -261,13 +272,20 @@ TelemetryServer::sendResponse(int fd, const Response &response)
 int
 TelemetryServer::parseRequest(const std::string &buffer,
                               std::string *method,
-                              std::string *target)
+                              std::string *target,
+                              std::string *body)
 {
-    // A request is complete once the header terminator arrives; we
-    // only ever inspect the request line.
-    if (buffer.find("\r\n\r\n") == std::string::npos &&
-        buffer.find("\n\n") == std::string::npos)
-        return 0;
+    // The head is complete once the header terminator arrives.
+    std::size_t headEnd = buffer.find("\r\n\r\n");
+    std::size_t bodyStart;
+    if (headEnd != std::string::npos) {
+        bodyStart = headEnd + 4;
+    } else {
+        headEnd = buffer.find("\n\n");
+        if (headEnd == std::string::npos)
+            return 0;
+        bodyStart = headEnd + 2;
+    }
 
     std::size_t eol = buffer.find('\n');
     if (eol == std::string::npos)
@@ -283,23 +301,91 @@ TelemetryServer::parseRequest(const std::string &buffer,
         return -1;
     if (version.rfind("HTTP/", 0) != 0 || t.empty() || t[0] != '/')
         return -1;
+
+    // Content-Length decides how much body to wait for (the only
+    // body framing we speak — no chunked encoding).
+    std::size_t contentLength = 0;
+    std::size_t pos = eol + 1;
+    while (pos < headEnd) {
+        std::size_t lineEnd = buffer.find('\n', pos);
+        if (lineEnd == std::string::npos || lineEnd > headEnd)
+            lineEnd = headEnd;
+        std::string header = buffer.substr(pos, lineEnd - pos);
+        if (!header.empty() && header.back() == '\r')
+            header.pop_back();
+        pos = lineEnd + 1;
+        std::size_t colon = header.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = header.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        if (name != "content-length")
+            continue;
+        std::string value = header.substr(colon + 1);
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        if (!end || end == value.c_str())
+            return -1;
+        while (*end == ' ')
+            ++end;
+        if (*end != '\0')
+            return -1;
+        if (parsed > maxBodyBytes)
+            return -1;
+        contentLength = static_cast<std::size_t>(parsed);
+    }
+    if (buffer.size() - bodyStart < contentLength)
+        return 0;
+
     *method = std::move(m);
     *target = std::move(t);
+    if (body)
+        *body = buffer.substr(bodyStart, contentLength);
     return 1;
+}
+
+void
+TelemetryServer::setRequestHandler(RequestHandler handler)
+{
+    std::lock_guard<std::mutex> guard(_handlerLock);
+    _handler = std::move(handler);
 }
 
 TelemetryServer::Response
 TelemetryServer::handle(std::string_view method,
                         std::string_view target) const
 {
-    if (method != "GET")
-        return {405, "text/plain; charset=utf-8",
-                "method not allowed\n"};
+    return handle(method, target, std::string());
+}
 
+TelemetryServer::Response
+TelemetryServer::handle(std::string_view method,
+                        std::string_view target,
+                        const std::string &body) const
+{
     // Drop any query string: /status?pretty == /status.
     std::size_t query = target.find('?');
     std::string path(target.substr(
         0, query == std::string_view::npos ? target.size() : query));
+
+    if (method != "GET") {
+        // Only a mounted handler speaks non-GET methods.
+        RequestHandler handler;
+        {
+            std::lock_guard<std::mutex> guard(_handlerLock);
+            handler = _handler;
+        }
+        if (handler) {
+            Response response = handler(method, path, body);
+            if (response.status != 0)
+                return response;
+        }
+        return {405, "text/plain; charset=utf-8",
+                "method not allowed\n"};
+    }
 
     if (path == "/healthz")
         return {200, "text/plain; charset=utf-8", "ok\n"};
@@ -348,6 +434,18 @@ TelemetryServer::handle(std::string_view method,
         return {200, "application/json; charset=utf-8",
                 os.str() + "\n"};
     }
+    // Unclaimed GET path: offer it to the mounted handler before
+    // falling back to 404.
+    RequestHandler handler;
+    {
+        std::lock_guard<std::mutex> guard(_handlerLock);
+        handler = _handler;
+    }
+    if (handler) {
+        Response response = handler(method, path, body);
+        if (response.status != 0)
+            return response;
+    }
     return {404, "text/plain; charset=utf-8", "not found\n"};
 }
 
@@ -361,13 +459,17 @@ TelemetryServer::statusJson() const
     RunCache::Counters dead = cache.deadnessCounters();
     RunCache::Counters avf = cache.avfCounters();
     std::uint64_t hits = sim.hits + dead.hits + avf.hits;
-    std::uint64_t lookups =
-        hits + sim.misses + dead.misses + avf.misses;
+    std::uint64_t diskHits =
+        sim.diskHits + dead.diskHits + avf.diskHits;
+    std::uint64_t lookups = hits + diskHits + sim.misses +
+                            dead.misses + avf.misses;
 
-    std::size_t published;
+    std::uint64_t published, retained, evicted;
     {
         std::lock_guard<std::mutex> guard(_publishLock);
-        published = _runs.size();
+        published = _runsPublished;
+        retained = _runs.size();
+        evicted = _runsEvicted;
     }
 
     double uptime = std::chrono::duration<double>(
@@ -394,9 +496,10 @@ TelemetryServer::statusJson() const
         jw.key("cache");
         jw.beginObject();
         jw.kv("hits", hits);
+        jw.kv("disk_hits", diskHits);
         jw.kv("lookups", lookups);
         jw.kv("hit_rate",
-              lookups ? static_cast<double>(hits) /
+              lookups ? static_cast<double>(hits + diskHits) /
                             static_cast<double>(lookups)
                       : 0.0);
         jw.endObject();
@@ -409,8 +512,9 @@ TelemetryServer::statusJson() const
         } else {
             jw.nullValue();
         }
-        jw.kv("runs_published",
-              static_cast<std::uint64_t>(published));
+        jw.kv("runs_published", published);
+        jw.kv("runs_retained", retained);
+        jw.kv("runs_evicted", evicted);
         jw.kv("uptime_seconds", uptime);
         jw.endObject();
     }
@@ -426,6 +530,8 @@ TelemetryServer::runsIndexJson() const
         std::lock_guard<std::mutex> guard(_publishLock);
         jw.beginObject();
         jw.kv("count", static_cast<std::uint64_t>(_runs.size()));
+        jw.kv("published", _runsPublished);
+        jw.kv("evicted", _runsEvicted);
         jw.key("runs");
         jw.beginArray();
         for (const auto &entry : _runs) {
@@ -494,10 +600,21 @@ TelemetryServer::publishRun(std::size_t index,
     if (!_running.load())
         return;
     std::lock_guard<std::mutex> guard(_publishLock);
+    bool fresh = _runs.find(index) == _runs.end();
     PublishedRun &run = _runs[index];
     run.benchmark = benchmark;
     run.ipc = ipc;
     run.manifest = std::move(manifest);
+    if (!fresh)
+        return;
+    ++_runsPublished;
+    // Bounded retention: evict the oldest submission index (the map
+    // is ordered by it) so an arbitrarily long sweep keeps a fixed
+    // window of full manifests instead of all of them.
+    while (_runs.size() > runsRingCapacity) {
+        _runs.erase(_runs.begin());
+        ++_runsEvicted;
+    }
 }
 
 void

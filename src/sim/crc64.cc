@@ -1,0 +1,41 @@
+#include "crc64.hh"
+
+namespace ser
+{
+
+namespace
+{
+
+/** Reflected ECMA-182 polynomial (0x42F0E1EBA9EA3693 bit-reversed). */
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+struct Crc64Table
+{
+    std::uint64_t entries[256];
+
+    constexpr Crc64Table() : entries()
+    {
+        for (std::uint32_t byte = 0; byte < 256; ++byte) {
+            std::uint64_t crc = byte;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (crc & 1 ? kPoly : 0);
+            entries[byte] = crc;
+        }
+    }
+};
+
+constexpr Crc64Table kTable;
+
+} // namespace
+
+std::uint64_t
+crc64(std::uint64_t crc, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    while (len--)
+        crc = (crc >> 8) ^ kTable.entries[(crc ^ *p++) & 0xff];
+    return ~crc;
+}
+
+} // namespace ser

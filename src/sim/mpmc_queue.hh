@@ -1,0 +1,203 @@
+/**
+ * @file
+ * A bounded lock-free multi-producer/multi-consumer queue (the
+ * joernblog atomic_queue / Vyukov idiom): a power-of-two ring where
+ * every cell carries its own sequence counter, so producers and
+ * consumers claim slots with one fetch_add each and never touch a
+ * mutex or condition variable. Slot handoff is acquire/release on
+ * the per-cell sequence, which makes the element write itself
+ * data-race-free (tests/test_mpmc.cc stresses N producers x M
+ * consumers under SER_SANITIZE=thread).
+ *
+ * This is the dispatch substrate for two users:
+ *
+ *  - ser::parallelFor feeds worker shards their indices through it
+ *    instead of the old shared claim counter, so the sweep fan-out
+ *    and the daemon's request producers share one proven primitive;
+ *  - harness::SweepService (daemon mode) schedules cold-miss sweep
+ *    jobs from the HTTP poll thread onto its resident worker pool.
+ *
+ * Semantics:
+ *  - tryPush/tryPop never block; they fail when the ring is full /
+ *    empty *at the claimed slot* (the classic bounded-queue
+ *    contract).
+ *  - push/pop spin with a yield backoff. pop() additionally returns
+ *    false once the queue is closed *and* drained, which is how
+ *    worker pools shut down without a sentinel element per worker.
+ *  - close() is sticky; push/tryPush after close are a programming
+ *    error (asserted in debug builds, dropped otherwise).
+ */
+
+#ifndef SER_SIM_MPMC_QUEUE_HH
+#define SER_SIM_MPMC_QUEUE_HH
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace ser
+{
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /** Capacity is rounded up to a power of two (minimum 2). */
+    explicit MpmcQueue(std::size_t capacity)
+    {
+        std::size_t size = 2;
+        while (size < capacity)
+            size <<= 1;
+        _mask = size - 1;
+        _cells = std::make_unique<Cell[]>(size);
+        for (std::size_t i = 0; i < size; ++i)
+            _cells[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    std::size_t capacity() const { return _mask + 1; }
+
+    /** Non-blocking enqueue; false when the ring is full, and the
+     * argument is NOT consumed (an rvalue is only moved from on
+     * success), so callers can retry the same value — push()'s spin
+     * loop depends on this. */
+    bool tryPush(T &&value) { return tryPushRef(value); }
+    bool tryPush(const T &value)
+    {
+        T copy(value);
+        return tryPushRef(copy);
+    }
+
+    /** Non-blocking dequeue; false when the ring is empty. */
+    bool tryPop(T *out)
+    {
+        std::size_t pos = _head.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = _cells[pos & _mask];
+            std::size_t seq = cell.seq.load(std::memory_order_acquire);
+            std::intptr_t diff =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (_head.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    *out = std::move(cell.value);
+                    // Publish the slot for the producer one lap out.
+                    cell.seq.store(pos + _mask + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // slot not yet produced: empty
+            } else {
+                pos = _head.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Blocking enqueue (spin + yield while the ring is full). */
+    void push(T value)
+    {
+        Backoff backoff;
+        while (!tryPushRef(value))
+            backoff.pause();
+    }
+
+    /**
+     * Blocking dequeue: waits for an element, returns false only
+     * once close() has been called and every element is drained —
+     * the worker-pool exit condition.
+     */
+    bool pop(T *out)
+    {
+        Backoff backoff;
+        for (;;) {
+            if (tryPop(out))
+                return true;
+            if (_closed.load(std::memory_order_acquire)) {
+                // Raced close vs a straggling producer: one last
+                // look after seeing the closed flag.
+                return tryPop(out);
+            }
+            backoff.pause();
+        }
+    }
+
+    /** Sticky: wakes every blocked pop() once the ring drains. */
+    void close() { _closed.store(true, std::memory_order_release); }
+    bool closed() const
+    {
+        return _closed.load(std::memory_order_acquire);
+    }
+
+  private:
+    /** The one enqueue path: moves from 'value' only after winning a
+     * slot, leaving it intact on a full ring. (The earlier
+     * by-value tryPush consumed its argument even on failure, so
+     * push()'s retry loop would enqueue a moved-from element once
+     * the ring ever filled — harmless for trivially-copyable
+     * indices, fatal for std::function jobs.) */
+    bool tryPushRef(T &value)
+    {
+        assert(!_closed.load(std::memory_order_relaxed) &&
+               "push after close");
+        std::size_t pos = _tail.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = _cells[pos & _mask];
+            std::size_t seq = cell.seq.load(std::memory_order_acquire);
+            std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                // The slot is free for this generation: claim it.
+                if (_tail.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = std::move(value);
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // a full lap behind: ring is full
+            } else {
+                pos = _tail.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    struct Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    /** Brief spin, then yield: latency for the hot handoff, no
+     * busy-burn when a queue stays full/empty for a while. */
+    struct Backoff
+    {
+        unsigned spins = 0;
+        void pause()
+        {
+            if (++spins < 64)
+                return;
+            std::this_thread::yield();
+        }
+    };
+
+    std::unique_ptr<Cell[]> _cells;
+    std::size_t _mask = 0;
+    alignas(64) std::atomic<std::size_t> _tail{0};
+    alignas(64) std::atomic<std::size_t> _head{0};
+    alignas(64) std::atomic<bool> _closed{false};
+};
+
+} // namespace ser
+
+#endif // SER_SIM_MPMC_QUEUE_HH

@@ -1,10 +1,8 @@
 #include "parallel.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 #include <mutex>
-#include <thread>
-#include <vector>
 
 namespace ser
 {
@@ -20,18 +18,17 @@ parallelFor(std::size_t n, unsigned jobs,
         return;
     }
 
-    // A shared claim counter hands out indices; each worker drains
-    // until the queue is empty. Results (written by fn) are indexed
-    // by i, so scheduling never affects aggregation order.
-    std::atomic<std::size_t> next{0};
+    // Indices flow caller -> workers through the bounded MPMC ring.
+    // The ring is deliberately small: a full ring just blocks the
+    // producer, and fn's results are indexed by i, so scheduling
+    // never affects aggregation order.
+    MpmcQueue<std::size_t> queue(std::min<std::size_t>(n, 1024));
     std::exception_ptr error;
     std::mutex errorLock;
-    auto work = [&] {
-        for (;;) {
-            std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
+
+    auto consume = [&] {
+        std::size_t i;
+        while (queue.pop(&i)) {
             try {
                 fn(i);
             } catch (...) {
@@ -45,12 +42,44 @@ parallelFor(std::size_t n, unsigned jobs,
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (std::size_t w = 1; w < workers; ++w)
-        pool.emplace_back(work);
-    work();  // the calling thread is worker 0
+        pool.emplace_back(consume);
+
+    for (std::size_t i = 0; i < n; ++i)
+        queue.push(i);
+    queue.close();
+    consume();  // the calling thread drains the tail as worker 0
+
     for (auto &thread : pool)
         thread.join();
     if (error)
         std::rethrow_exception(error);
+}
+
+WorkerPool::WorkerPool(unsigned threads, std::size_t queueCapacity)
+    : _queue(queueCapacity)
+{
+    unsigned count = threads ? threads : 1;
+    _threads.reserve(count);
+    for (unsigned t = 0; t < count; ++t) {
+        _threads.emplace_back([this] {
+            std::function<void()> job;
+            while (_queue.pop(&job))
+                job();
+        });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    _queue.close();
+    for (auto &thread : _threads)
+        thread.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    _queue.push(std::move(job));
 }
 
 } // namespace ser

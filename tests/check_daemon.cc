@@ -1,0 +1,337 @@
+/**
+ * @file
+ * End-to-end checker for the sweep daemon
+ * (harness/sweep_service.hh mounted on harness/telemetry_server.hh),
+ * used by the daemon_query_identical ctest case. Runs everything
+ * in-process against a private TelemetryServer on an ephemeral port
+ * and a throwaway --cache-dir:
+ *
+ *  1. a cold POST /sweep answers 202 with a ticket and completes on
+ *     the worker pool (polled over real HTTP);
+ *  2. a repeat POST answers 200 inline with a byte-identical
+ *     manifest (the response memo);
+ *  3. the daemon's manifest equals a direct in-process
+ *     runProgram + writeRunManifest of the same spec, modulo the
+ *     masked timings_seconds / run_cache fields (manifest_mask.hh) —
+ *     the daemon is a transport, not a different simulator;
+ *  4. after a simulated process restart (RunCache cleared, blob
+ *     directory kept) a fresh service still answers 200 inline from
+ *     the disk tier, with zero sim misses;
+ *  5. malformed specs answer 400 with a JSON error, unclaimed paths
+ *     fall through to the server's routes;
+ *  6. the warm-answer latency acceptance: the median of 50 repeat
+ *     POSTs through SweepService::handle() is under 1 ms.
+ *
+ * Exits 0 when every check passes, 1 with a message otherwise.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/cache_codec.hh"
+#include "harness/disk_cache.hh"
+#include "harness/experiment.hh"
+#include "harness/manifest.hh"
+#include "harness/run_cache.hh"
+#include "harness/sweep_service.hh"
+#include "harness/telemetry_server.hh"
+#include "manifest_mask.hh"
+#include "sim/json.hh"
+#include "workloads/suite.hh"
+
+using namespace ser;
+using harness::SweepService;
+using harness::TelemetryServer;
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    std::cerr << "check_daemon: FAIL: " << message << "\n";
+    std::exit(1);
+}
+
+void
+check(bool ok, const std::string &message)
+{
+    if (!ok)
+        fail(message);
+}
+
+struct HttpReply
+{
+    int status = 0;
+    std::string body;
+};
+
+/** One HTTP/1.1 request against 127.0.0.1:port (Connection: close,
+ * matching the server's per-request contract). */
+HttpReply
+httpRequest(std::uint16_t port, const std::string &method,
+            const std::string &path, const std::string &body = "")
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(fd >= 0, "socket(2) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    check(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0,
+          "connect(2) failed");
+
+    std::ostringstream req;
+    req << method << " " << path << " HTTP/1.1\r\n"
+        << "Host: 127.0.0.1\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    std::string out = req.str();
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                           0);
+        check(n > 0, "send(2) failed");
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    HttpReply parsed;
+    std::size_t space = reply.find(' ');
+    check(space != std::string::npos, "malformed status line");
+    parsed.status = std::atoi(reply.c_str() + space + 1);
+    std::size_t blank = reply.find("\r\n\r\n");
+    check(blank != std::string::npos, "missing header terminator");
+    parsed.body = reply.substr(blank + 4);
+    return parsed;
+}
+
+json::JsonValue
+parsed(const std::string &text, const std::string &what)
+{
+    json::JsonValue doc;
+    std::string err;
+    if (!json::parseJson(text, &doc, &err))
+        fail(what + " does not parse as JSON: " + err);
+    return doc;
+}
+
+std::string
+stringField(const json::JsonValue &doc, const char *name,
+            const std::string &what)
+{
+    const json::JsonValue *v = doc.find(name);
+    check(v && v->isString(), what + " lacks string '" + name + "'");
+    return v->string;
+}
+
+/** The serialized "result" manifest bytes of a compact ticket JSON
+ * (the last member, so the bytes run to the closing brace). */
+std::string
+resultBytes(const std::string &ticket)
+{
+    const std::string marker = "\"result\":";
+    std::size_t pos = ticket.find(marker);
+    check(pos != std::string::npos, "ticket has no result member");
+    pos += marker.size();
+    check(ticket.size() > pos + 1 && ticket.back() == '}',
+          "unexpected ticket layout");
+    return ticket.substr(pos, ticket.size() - pos - 1);
+}
+
+void
+checkMaskedEqual(const std::string &a, const std::string &b,
+                 const std::string &what)
+{
+    json::JsonValue da = parsed(a, what + " (lhs)");
+    json::JsonValue db = parsed(b, what + " (rhs)");
+    tests::maskTimings(da);
+    tests::maskTimings(db);
+    std::string where;
+    if (!tests::jsonEqual(da, db, "manifest", &where))
+        fail(what + ": manifests differ at " + where);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Throwaway persistent tier + a clean in-process cache.
+    char dirTemplate[] = "/tmp/ser_check_daemon_XXXXXX";
+    check(::mkdtemp(dirTemplate) != nullptr, "mkdtemp failed");
+    const std::string cacheDir = dirTemplate;
+    harness::DiskCache::instance().setDirectory(
+        cacheDir, harness::codec::kSchemaVersion);
+    harness::RunCache &cache = harness::RunCache::instance();
+    cache.setEnabled(true);
+    cache.setCapacity(0);
+    cache.clear();
+
+    TelemetryServer server;
+    auto service = std::make_unique<SweepService>(2);
+    service->mountOn(server);
+    server.start(0);  // ephemeral port
+    const std::uint16_t port = server.port();
+
+    const std::string spec =
+        "{\"benchmark\": \"gzip\", \"insts\": 5000, "
+        "\"warmup\": 500}";
+
+    // --- 1. Cold query: 202, ticket completes on the pool. ------
+    HttpReply cold = httpRequest(port, "POST", "/sweep", spec);
+    check(cold.status == 202,
+          "cold POST /sweep: expected 202, got " +
+              std::to_string(cold.status));
+    json::JsonValue coldTicket = parsed(cold.body, "cold ticket");
+    check(stringField(coldTicket, "state", "cold ticket") !=
+              "done",
+          "cold POST answered inline; expected a scheduled run");
+
+    std::string doneBody;
+    for (int i = 0; i < 3000; ++i) {
+        HttpReply poll = httpRequest(port, "GET", "/sweep/1");
+        check(poll.status == 200, "GET /sweep/1: expected 200");
+        std::string state =
+            stringField(parsed(poll.body, "ticket"), "state",
+                        "ticket");
+        check(state != "failed", "cold run failed");
+        if (state == "done") {
+            doneBody = poll.body;
+            break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+    }
+    check(!doneBody.empty(), "cold run did not complete in time");
+    const std::string coldManifest = resultBytes(doneBody);
+    check(service->coldAnswers() == 1, "cold_answers != 1");
+
+    // --- 2. Repeat query: 200 inline, byte-identical manifest. --
+    HttpReply warm = httpRequest(port, "POST", "/sweep", spec);
+    check(warm.status == 200,
+          "repeat POST /sweep: expected 200, got " +
+              std::to_string(warm.status));
+    check(stringField(parsed(warm.body, "warm ticket"), "state",
+                      "warm ticket") == "done",
+          "repeat POST not answered inline");
+    check(resultBytes(warm.body) == coldManifest,
+          "repeat answer is not byte-identical to the cold one");
+    check(service->warmAnswers() == 1, "warm_answers != 1");
+
+    // --- 3. The daemon result equals a direct in-process run. ---
+    harness::ExperimentConfig config;
+    config.dynamicTarget = 5000;
+    config.warmupInsts = 500;
+    auto program = std::make_shared<const isa::Program>(
+        workloads::buildBenchmark("gzip", 5000));
+    harness::RunArtifacts direct =
+        harness::runProgram(program, config, "gzip");
+    std::ostringstream directOs;
+    {
+        json::JsonWriter jw(directOs);
+        harness::writeRunManifest(jw, direct, config);
+    }
+    checkMaskedEqual(coldManifest, directOs.str(),
+                     "daemon vs direct run");
+
+    // --- 4. Disk-tier warm answer across a simulated restart. ---
+    // A fresh service has an empty response memo and the cleared
+    // RunCache an empty map; only the blob directory persists. The
+    // POST must still answer 200 inline, with zero sim misses.
+    cache.clear();
+    SweepService restarted(1);
+    TelemetryServer::Response restartReply =
+        restarted.handle("POST", "/sweep", spec);
+    check(restartReply.status == 200,
+          "post-restart POST: expected 200 (disk-warm), got " +
+              std::to_string(restartReply.status));
+    checkMaskedEqual(resultBytes(restartReply.body), coldManifest,
+                     "post-restart vs original answer");
+    auto counters = cache.simCounters();
+    check(counters.misses == 0,
+          "post-restart run re-simulated (sim misses != 0)");
+    check(counters.diskHits == 1,
+          "post-restart run did not hit the disk tier");
+
+    // --- 5. Error paths and route fall-through. -----------------
+    HttpReply bad =
+        httpRequest(port, "POST", "/sweep",
+                    "{\"benchmark\": \"no-such-benchmark\"}");
+    check(bad.status == 400, "unknown benchmark: expected 400");
+    parsed(bad.body, "error body");
+    bad = httpRequest(port, "POST", "/sweep",
+                      "{\"benchmark\": \"gzip\", \"instz\": 1}");
+    check(bad.status == 400, "unknown field: expected 400");
+    bad = httpRequest(port, "POST", "/sweep", "{\"insts\": 5}");
+    check(bad.status == 400, "missing benchmark: expected 400");
+    bad = httpRequest(port, "GET", "/sweep/999");
+    check(bad.status == 404, "unknown ticket: expected 404");
+    check(httpRequest(port, "GET", "/healthz").status == 200,
+          "/healthz did not fall through to the server");
+    check(httpRequest(port, "POST", "/healthz").status == 405,
+          "POST /healthz: expected 405");
+
+    HttpReply index = httpRequest(port, "GET", "/sweep");
+    json::JsonValue indexDoc = parsed(index.body, "index");
+    const json::JsonValue *tickets = indexDoc.find("tickets");
+    check(tickets && tickets->isArray() &&
+              tickets->array.size() == 2,
+          "index does not list both tickets");
+
+    // --- 6. Warm-answer latency: median handle() under 1 ms. ----
+    std::vector<double> micros;
+    for (int i = 0; i < 50; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        TelemetryServer::Response r =
+            service->handle("POST", "/sweep", spec);
+        auto t1 = std::chrono::steady_clock::now();
+        check(r.status == 200, "timed repeat POST not warm");
+        micros.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0)
+                .count());
+    }
+    std::sort(micros.begin(), micros.end());
+    double median = micros[micros.size() / 2];
+    std::cout << "check_daemon: warm answer median " << median
+              << " us (p90 " << micros[micros.size() * 9 / 10]
+              << " us)\n";
+    check(median < 1000.0,
+          "warm-answer median " + std::to_string(median) +
+              " us exceeds the 1 ms acceptance");
+
+    // Orderly teardown: the service must outlive the server's poll
+    // thread (mountOn contract).
+    server.stop();
+    service.reset();
+    harness::DiskCache::instance().setDirectory(
+        "", harness::codec::kSchemaVersion);
+    check(std::system(("rm -rf '" + cacheDir + "'").c_str()) == 0,
+          "cleanup failed");
+
+    std::cout << "check_daemon: all checks passed\n";
+    return 0;
+}

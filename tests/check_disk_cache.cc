@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Standalone disk-tier accounting checker for the persistent-cache
+ * fixtures:
+ *
+ *     check_disk_cache manifest.json cold|warm
+ *
+ * Reads the manifest's process-wide run_cache block and asserts the
+ * disk tier actually did its job:
+ *
+ *   cold  — a run against an empty --cache-dir: every section
+ *           computed at least once (misses > 0), published its
+ *           blobs (disk_bytes_written > 0), read nothing back, and
+ *           hit no corruption;
+ *   warm  — a later *process* against the populated directory: the
+ *           sim section simulated nothing (misses == 0) and answered
+ *           from blobs (disk_hits > 0, disk_bytes_read > 0), again
+ *           corruption-free. This is the cross-process warm-hit
+ *           guarantee: the byte-identity of the manifests themselves
+ *           is checked separately by check_determinism.
+ *
+ * Exits 0 when the counters agree with the mode, 1 otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hh"
+
+using ser::json::JsonValue;
+
+namespace
+{
+
+int failures = 0;
+
+const JsonValue *
+lookup(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *v = &doc;
+    std::istringstream parts(path);
+    std::string part;
+    while (std::getline(parts, part, '.')) {
+        if (!v->isObject() || !(v = v->find(part.c_str()))) {
+            std::cerr << "check_disk_cache: missing '" << path
+                      << "'\n";
+            ++failures;
+            return nullptr;
+        }
+    }
+    return v;
+}
+
+double
+number(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *v = lookup(doc, path);
+    if (!v)
+        return 0;
+    if (!v->isNumber()) {
+        std::cerr << "check_disk_cache: '" << path
+                  << "' is not a number\n";
+        ++failures;
+        return 0;
+    }
+    return v->number;
+}
+
+void
+expect(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cerr << "check_disk_cache: FAIL: " << what << "\n";
+        ++failures;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr
+            << "usage: check_disk_cache manifest.json cold|warm\n";
+        return 2;
+    }
+    const std::string mode = argv[2];
+    if (mode != "cold" && mode != "warm") {
+        std::cerr << "check_disk_cache: bad mode '" << mode << "'\n";
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::cerr << "check_disk_cache: cannot open '" << argv[1]
+                  << "'\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc;
+    std::string err;
+    if (!ser::json::parseJson(buf.str(), &doc, &err)) {
+        std::cerr << "check_disk_cache: '" << argv[1]
+                  << "' does not parse: " << err << "\n";
+        return 1;
+    }
+
+    const JsonValue *enabled = lookup(doc, "run_cache.disk_enabled");
+    expect(enabled && enabled->isBool() && enabled->boolean,
+           "disk tier not enabled");
+
+    for (const char *section : {"sim", "deadness", "avf"}) {
+        std::string base = std::string("run_cache.") + section + ".";
+        expect(number(doc, base + "disk_corrupt") == 0,
+               base + "disk_corrupt != 0");
+        if (mode == "cold") {
+            expect(number(doc, base + "misses") > 0,
+                   base + "misses == 0 in a cold run");
+            expect(number(doc, base + "disk_bytes_written") > 0,
+                   base + "disk_bytes_written == 0 in a cold run");
+            expect(number(doc, base + "disk_hits") == 0,
+                   base + "disk_hits != 0 in a cold run");
+        } else {
+            expect(number(doc, base + "misses") == 0,
+                   base + "misses != 0 in a warm run");
+            expect(number(doc, base + "disk_hits") > 0,
+                   base + "disk_hits == 0 in a warm run");
+            expect(number(doc, base + "disk_bytes_read") > 0,
+                   base + "disk_bytes_read == 0 in a warm run");
+        }
+    }
+
+    if (failures)
+        return 1;
+    std::cout << "check_disk_cache: " << mode
+              << " counters agree\n";
+    return 0;
+}
